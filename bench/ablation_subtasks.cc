@@ -1,0 +1,79 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. Work-cycle sub-task budget (§3.3 footnote: "4 works well").
+//   2. Hungry-thread poll interval (arrival-check cadence).
+//   3. Atomic-min discovery vs the benign-race load/store relaxation.
+//
+//   ./ablation_subtasks [--scale 0.03] [--device Fiji]
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("ablation_subtasks", "work-budget / poll / discovery ablations");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.03);
+  args.add_string("device", "Fiji or Spectre", "Fiji");
+  if (!args.parse(argc, argv)) return 2;
+
+  const DeviceEntry dev = device_by_name(args.get_string("device"));
+  const double scale = args.get_double("scale");
+
+  // Budget matters most when degrees vary: use the social stand-in plus
+  // the synthetic saturator.
+  const char* names[] = {"Synthetic", "soc-LiveJournal1", "USA-road-d.NY"};
+
+  std::printf("Ablation 1 — work-cycle sub-task budget (RF/AN, %s)\n",
+              dev.config.name.c_str());
+  util::Table budget_table({"Dataset", "budget 1", "2", "4 (paper)", "8", "16", "32"});
+  for (const char* name : names) {
+    const graph::Graph g = bfs::dataset_by_name(name).build(scale);
+    std::vector<std::string> row{name};
+    for (const unsigned budget : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      bfs::PtBfsOptions opt;
+      opt.work_budget = budget;
+      opt.num_workgroups = dev.paper_workgroups;
+      const auto r = run_validated(dev.config, g, 0, opt);
+      row.push_back(util::Table::fmt_ms(r.run.seconds));
+    }
+    budget_table.add_row(std::move(row));
+  }
+  budget_table.print();
+
+  std::printf("\nAblation 2 — hungry-thread poll interval (RF/AN, %s, cycles)\n",
+              dev.config.name.c_str());
+  util::Table poll_table({"Dataset", "60", "240 (default)", "960", "3840"});
+  for (const char* name : names) {
+    const graph::Graph g = bfs::dataset_by_name(name).build(scale);
+    std::vector<std::string> row{name};
+    for (const simt::Cycle poll : {60u, 240u, 960u, 3840u}) {
+      bfs::PtBfsOptions opt;
+      opt.poll_interval = poll;
+      opt.num_workgroups = dev.paper_workgroups;
+      const auto r = run_validated(dev.config, g, 0, opt);
+      row.push_back(util::Table::fmt_ms(r.run.seconds));
+    }
+    poll_table.add_row(std::move(row));
+  }
+  poll_table.print();
+
+  std::printf("\nAblation 3 — discovery: atomic-min vs benign-race (RF/AN, %s)\n",
+              dev.config.name.c_str());
+  util::Table disc_table({"Dataset", "atomic-min (ms)", "benign-race (ms)",
+                          "levels exact?"});
+  for (const char* name : names) {
+    const bfs::DatasetSpec& spec = bfs::dataset_by_name(name);
+    const graph::Graph g = spec.build(scale);
+    const auto ref = graph::bfs_levels(g, spec.source);
+    bfs::PtBfsOptions opt;
+    opt.num_workgroups = dev.paper_workgroups;
+    const auto atomic = run_validated(dev.config, g, spec.source, opt);
+    opt.atomic_discovery = false;
+    const auto benign = run_validated(dev.config, g, spec.source, opt);
+    disc_table.add_row({name, util::Table::fmt_ms(atomic.run.seconds),
+                        util::Table::fmt_ms(benign.run.seconds),
+                        bfs::matches_reference(benign.levels, ref) ? "yes"
+                                                                   : "no (>= ref)"});
+  }
+  disc_table.print();
+  return 0;
+}

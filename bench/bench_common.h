@@ -1,0 +1,71 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bfs/common.h"
+#include "bfs/datasets.h"
+#include "bfs/pt_bfs.h"
+#include "core/counters.h"
+#include "graph/bfs_ref.h"
+#include "sim/config.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace scq::bench {
+
+struct DeviceEntry {
+  simt::DeviceConfig config;
+  std::uint32_t paper_workgroups;  // 224 (Fiji) / 32 (Spectre), §5.4
+};
+
+inline std::vector<DeviceEntry> paper_devices() {
+  return {{simt::fiji_config(), 224}, {simt::spectre_config(), 32}};
+}
+
+inline DeviceEntry device_by_name(const std::string& name) {
+  for (const DeviceEntry& d : paper_devices()) {
+    if (d.config.name == name) return d;
+  }
+  std::fprintf(stderr, "unknown device '%s' (Fiji|Spectre)\n", name.c_str());
+  std::exit(2);
+}
+
+// Runs PT BFS and validates against the serial reference; exits loudly
+// on mismatch so benchmark numbers are never reported for wrong output.
+inline bfs::BfsResult run_validated(const simt::DeviceConfig& config,
+                                    const graph::Graph& g, graph::Vertex source,
+                                    const bfs::PtBfsOptions& options) {
+  bfs::BfsResult result = bfs::run_pt_bfs(config, g, source, options);
+  if (result.run.aborted) {
+    std::fprintf(stderr, "FATAL: %s run aborted: %s\n",
+                 std::string(to_string(options.variant)).c_str(),
+                 result.run.abort_reason.c_str());
+    std::exit(1);
+  }
+  const auto ref = graph::bfs_levels(g, source);
+  const bool ok = options.atomic_discovery
+                      ? bfs::matches_reference(result.levels, ref)
+                      : bfs::plausible_levels(result.levels, ref);
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: BFS output mismatch (%s): %s\n",
+                 std::string(to_string(options.variant)).c_str(),
+                 bfs::first_mismatch(result.levels, ref).c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+// The workgroup sweep used by the figure benches: powers of two up to
+// the device's paper workgroup count, always including the endpoint.
+inline std::vector<std::uint32_t> workgroup_sweep(std::uint32_t max_wgs) {
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t wg = 1; wg < max_wgs; wg *= 2) sweep.push_back(wg);
+  sweep.push_back(max_wgs);
+  return sweep;
+}
+
+}  // namespace scq::bench

@@ -1,0 +1,48 @@
+// Reproduces Figure 1: retries caused by CAS failure for the top-down
+// BFS running on the traditional (BASE) queue, as the number of active
+// threads (workgroups) grows, on both devices.
+//
+//   ./fig1_cas_retries [--scale 0.02] [--csv out.csv]
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig1_cas_retries", "Fig. 1: CAS retries vs threads");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.02);
+  args.add_string("csv", "dump series to this CSV file", "");
+  if (!args.parse(argc, argv)) return 2;
+
+  const graph::Graph g =
+      bfs::dataset_by_name("Synthetic").build(args.get_double("scale"));
+  util::CsvWriter csv({"device", "workgroups", "threads", "cas_failures",
+                       "cas_attempts"});
+
+  std::printf("Fig. 1 — CAS failures of the BASE queue vs active threads\n");
+  for (const DeviceEntry& dev : paper_devices()) {
+    std::printf("\n%s (up to %u workgroups):\n", dev.config.name.c_str(),
+                dev.paper_workgroups);
+    std::printf("  %-12s %-10s %-14s %s\n", "workgroups", "threads",
+                "CAS failures", "CAS attempts");
+    for (const std::uint32_t wgs : workgroup_sweep(dev.paper_workgroups)) {
+      bfs::PtBfsOptions opt;
+      opt.variant = QueueVariant::kBase;
+      opt.num_workgroups = wgs;
+      const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
+      std::printf("  %-12u %-10u %-14llu %llu\n", wgs, wgs * simt::kWaveWidth,
+                  static_cast<unsigned long long>(r.run.stats.cas_failures),
+                  static_cast<unsigned long long>(r.run.stats.cas_attempts));
+      csv.add_row({dev.config.name, std::to_string(wgs),
+                   std::to_string(wgs * simt::kWaveWidth),
+                   std::to_string(r.run.stats.cas_failures),
+                   std::to_string(r.run.stats.cas_attempts)});
+    }
+  }
+
+  if (const std::string& path = args.get_string("csv"); !path.empty()) {
+    if (!csv.write(path)) return 1;
+    std::printf("\nseries -> %s\n", path.c_str());
+  }
+  return 0;
+}

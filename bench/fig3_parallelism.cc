@@ -1,0 +1,89 @@
+// Reproduces Figure 3 (vertices available for thread assignment at each
+// BFS level, for all six datasets) and, with --stats, Tables 1 and 2
+// (dataset degree statistics).
+//
+//   ./fig3_parallelism [--scale 0.05] [--stats] [--csv prefix]
+#include "graph/stats.h"
+
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig3_parallelism",
+                       "Fig. 3 frontier profiles + Tables 1/2 dataset stats");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.05);
+  args.add_flag("stats", "print Table 1/2 degree statistics", false);
+  args.add_string("csv", "write per-dataset profile CSVs with this prefix", "");
+  if (!args.parse(argc, argv)) return 2;
+
+  const double scale = args.get_double("scale");
+
+  util::Table stats_table({"Dataset", "n Vertices", "n Edges", "Min", "Max",
+                           "Avg", "Std"});
+
+  for (const bfs::DatasetSpec& spec : bfs::paper_datasets()) {
+    const graph::Graph g = spec.build(scale);
+    const auto profile = graph::frontier_profile(g, spec.source);
+
+    std::uint64_t peak = 0, peak_level = 0, reachable = 0;
+    for (std::size_t l = 0; l < profile.size(); ++l) {
+      reachable += profile[l];
+      if (profile[l] > peak) {
+        peak = profile[l];
+        peak_level = l;
+      }
+    }
+    std::printf("%-18s levels=%-6zu peak=%-9llu @level %-4llu reachable=%llu\n",
+                spec.name.c_str(), profile.size(),
+                static_cast<unsigned long long>(peak),
+                static_cast<unsigned long long>(peak_level),
+                static_cast<unsigned long long>(reachable));
+
+    // Compact sparkline of the frontier profile (log-ish bucket glyphs).
+    std::string line = "  ";
+    const std::size_t buckets = std::min<std::size_t>(profile.size(), 72);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::size_t begin = b * profile.size() / buckets;
+      const std::size_t end = std::max(begin + 1, (b + 1) * profile.size() / buckets);
+      std::uint64_t m = 0;
+      for (std::size_t l = begin; l < end; ++l) m = std::max(m, profile[l]);
+      const char* glyphs = " .:-=+*#%@";
+      int idx = 0;
+      for (std::uint64_t v = m; v > 0 && idx < 9; v /= 8) ++idx;
+      line += glyphs[idx];
+    }
+    std::printf("%s\n", line.c_str());
+
+    if (args.get_flag("stats")) {
+      const graph::DegreeStats ds = graph::degree_stats(g);
+      stats_table.add_row({spec.name, std::to_string(ds.n_vertices),
+                           std::to_string(ds.n_edges),
+                           std::to_string(ds.min_degree),
+                           std::to_string(ds.max_degree),
+                           util::Table::fmt_double(ds.avg_degree, 1),
+                           util::Table::fmt_double(ds.std_degree, 2)});
+    }
+
+    if (const std::string& prefix = args.get_string("csv"); !prefix.empty()) {
+      util::CsvWriter csv({"level", "vertices"});
+      for (std::size_t l = 0; l < profile.size(); ++l) {
+        csv.add_row({std::to_string(l), std::to_string(profile[l])});
+      }
+      std::string name = spec.name;
+      for (char& c : name) {
+        if (c == '/' || c == ' ') c = '_';
+      }
+      (void)csv.write(prefix + name + ".csv");
+    }
+  }
+
+  if (args.get_flag("stats")) {
+    std::printf("\nTables 1-2 — dataset statistics (generated stand-ins at "
+                "scale %.3f; paper values in DESIGN.md)\n",
+                scale);
+    stats_table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 5: retry ratio (scheduler atomic operations used by
+// the BASE kernel over those required by the proposed RF/AN design) as
+// workgroups are added, for the three selected datasets (Synthetic,
+// soc-LiveJournal1, USA-road-d.NY) on both devices.
+//
+// Note (EXPERIMENTS.md): our BFS relaxes edges with atomic-min, which
+// contributes identical per-edge atomics to every variant, so the ratio
+// is computed over the atomics the *task scheduler* issues — the
+// quantity the paper's design argument concerns.
+//
+//   ./fig5_retry_ratio [--scale 0.02] [--csv out.csv]
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("fig5_retry_ratio", "Fig. 5: retry ratio vs workgroups");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.02);
+  args.add_string("csv", "dump series to this CSV file", "");
+  if (!args.parse(argc, argv)) return 2;
+
+  const double scale = args.get_double("scale");
+  const char* names[] = {"Synthetic", "soc-LiveJournal1", "USA-road-d.NY"};
+  util::CsvWriter csv({"device", "dataset", "workgroups", "base_queue_atomics",
+                       "rfan_queue_atomics", "retry_ratio"});
+
+  for (const DeviceEntry& dev : paper_devices()) {
+    std::printf("\n%s:\n%-18s", dev.config.name.c_str(), "dataset");
+    const auto sweep = workgroup_sweep(dev.paper_workgroups);
+    for (const std::uint32_t wgs : sweep) std::printf(" %8u", wgs);
+    std::printf("\n");
+    for (const char* name : names) {
+      const graph::Graph g = bfs::dataset_by_name(name).build(scale);
+      std::printf("%-18s", name);
+      for (const std::uint32_t wgs : sweep) {
+        bfs::PtBfsOptions opt;
+        opt.num_workgroups = wgs;
+        opt.variant = QueueVariant::kBase;
+        const auto base = run_validated(dev.config, g, 0, opt);
+        opt.variant = QueueVariant::kRfan;
+        const auto rfan = run_validated(dev.config, g, 0, opt);
+        const auto base_ops = base.run.stats.user[kQueueAtomics];
+        const auto rfan_ops = std::max<std::uint64_t>(
+            rfan.run.stats.user[kQueueAtomics], 1);
+        const double ratio =
+            static_cast<double>(base_ops) / static_cast<double>(rfan_ops);
+        std::printf(" %7.1fx", ratio);
+        csv.add_row({dev.config.name, name, std::to_string(wgs),
+                     std::to_string(base_ops), std::to_string(rfan_ops),
+                     util::Table::fmt_double(ratio, 2)});
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (const std::string& path = args.get_string("csv"); !path.empty()) {
+    if (!csv.write(path)) return 1;
+    std::printf("\nseries -> %s\n", path.c_str());
+  }
+  return 0;
+}

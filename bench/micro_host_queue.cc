@@ -1,0 +1,187 @@
+// google-benchmark microbenchmarks for the host-side queues — the
+// paper's claim that the retry-free/arbitrary-n design "can be used for
+// other purposes with little change" (§1), quantified on CPU threads:
+//
+//   * single-thread enqueue/dequeue round trips
+//   * batch (arbitrary-n) operations vs item-at-a-time
+//   * mixed producer/consumer threads (broker vs CAS vs mutex+deque)
+//   * claim/poll monitor API latency
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/host_queue.h"
+
+namespace {
+
+using scq::HostBrokerQueue;
+using scq::HostCasQueue;
+
+// Baseline everyone understands: a mutex around std::deque.
+template <typename T>
+class MutexQueue {
+ public:
+  explicit MutexQueue(std::size_t) {}
+  bool enqueue(const T& v) {
+    std::scoped_lock lock(mu_);
+    q_.push_back(v);
+    return true;
+  }
+  std::optional<T> try_dequeue() {
+    std::scoped_lock lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<T> q_;
+};
+
+// ---- Single-thread round trips ----
+
+void BM_Broker_SingleThread(benchmark::State& state) {
+  HostBrokerQueue<std::uint64_t> q(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue(i++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Broker_SingleThread);
+
+void BM_Cas_SingleThread(benchmark::State& state) {
+  HostCasQueue<std::uint64_t> q(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.try_enqueue(i++));
+    benchmark::DoNotOptimize(q.try_dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Cas_SingleThread);
+
+void BM_Mutex_SingleThread(benchmark::State& state) {
+  MutexQueue<std::uint64_t> q(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue(i++));
+    benchmark::DoNotOptimize(q.try_dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mutex_SingleThread);
+
+// ---- Arbitrary-n: batch size sweep (one fetch_add per batch) ----
+
+void BM_Broker_BatchEnqueueDequeue(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  HostBrokerQueue<std::uint64_t> q(1 << 14);
+  std::vector<std::uint64_t> in(batch, 42), out(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue_batch(in));
+    benchmark::DoNotOptimize(q.dequeue_batch(out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Broker_BatchEnqueueDequeue)->RangeMultiplier(4)->Range(1, 256);
+
+// Item-at-a-time over the same volume, for contrast with batching.
+void BM_Broker_SingleOverSameVolume(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  HostBrokerQueue<std::uint64_t> q(1 << 14);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) benchmark::DoNotOptimize(q.enqueue(i));
+    for (std::size_t i = 0; i < batch; ++i) benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Broker_SingleOverSameVolume)->RangeMultiplier(4)->Range(1, 256);
+
+// ---- Multi-threaded: half the threads produce, half consume ----
+
+HostBrokerQueue<std::uint64_t>* g_broker = nullptr;
+HostCasQueue<std::uint64_t>* g_cas = nullptr;
+MutexQueue<std::uint64_t>* g_mutex = nullptr;
+
+void BM_Broker_Mpmc(benchmark::State& state) {
+  if (state.thread_index() == 0) g_broker = new HostBrokerQueue<std::uint64_t>(4096);
+  const bool producer = state.thread_index() % 2 == 0;
+  for (auto _ : state) {
+    if (producer) {
+      while (!g_broker->try_enqueue(1)) std::this_thread::yield();
+    } else {
+      while (!g_broker->try_dequeue()) std::this_thread::yield();
+    }
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations());
+    delete g_broker;
+    g_broker = nullptr;
+  }
+}
+BENCHMARK(BM_Broker_Mpmc)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_Cas_Mpmc(benchmark::State& state) {
+  if (state.thread_index() == 0) g_cas = new HostCasQueue<std::uint64_t>(4096);
+  const bool producer = state.thread_index() % 2 == 0;
+  for (auto _ : state) {
+    if (producer) {
+      while (!g_cas->try_enqueue(1)) std::this_thread::yield();
+    } else {
+      while (!g_cas->try_dequeue()) std::this_thread::yield();
+    }
+  }
+  if (state.thread_index() == 0) {
+    state.counters["cas_retries"] =
+        static_cast<double>(g_cas->cas_retries());
+    state.SetItemsProcessed(state.iterations());
+    delete g_cas;
+    g_cas = nullptr;
+  }
+}
+BENCHMARK(BM_Cas_Mpmc)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_Mutex_Mpmc(benchmark::State& state) {
+  if (state.thread_index() == 0) g_mutex = new MutexQueue<std::uint64_t>(4096);
+  const bool producer = state.thread_index() % 2 == 0;
+  for (auto _ : state) {
+    if (producer) {
+      g_mutex->enqueue(1);
+    } else {
+      while (!g_mutex->try_dequeue()) std::this_thread::yield();
+    }
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations());
+    delete g_mutex;
+    g_mutex = nullptr;
+  }
+}
+BENCHMARK(BM_Mutex_Mpmc)->Threads(2)->Threads(4)->UseRealTime();
+
+// ---- Monitor API: retry-free claim + poll until arrival ----
+
+void BM_Broker_ClaimPoll(benchmark::State& state) {
+  HostBrokerQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 7;
+  std::array<std::uint64_t, 1> out{};
+  for (auto _ : state) {
+    auto ticket = q.claim_slots(1);       // dequeue phase 1 (never blocks)
+    benchmark::DoNotOptimize(q.enqueue(v));
+    while (q.poll(ticket, out) == 0) {    // phase 2: dna monitor
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Broker_ClaimPoll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Table 5: the proposed RF/AN persistent-thread BFS against
+// the CHAI-style collaborative heterogeneous BFS on CHAI's two roadmap
+// inputs. As in the paper, the comparison runs on the integrated
+// (Spectre-class) device only — the heterogeneous kernel needs
+// cross-cluster CPU/GPU atomics the discrete part lacks.
+//
+//   ./table5_chai [--scale 0.25] [--cpu-wgs 4]
+#include "bfs/chai_bfs.h"
+
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("table5_chai", "Table 5: CHAI BFS vs RF/AN");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.25);
+  args.add_int("cpu-wgs", "narrow workgroups modeling CPU threads", 4);
+  if (!args.parse(argc, argv)) return 2;
+
+  const DeviceEntry dev = device_by_name("Spectre");
+  util::Table table({"Dataset", "CHAI (ms)", "RF/AN (ms)", "Speedup"});
+
+  for (const bfs::DatasetSpec& spec : bfs::chai_datasets()) {
+    const graph::Graph g = spec.build(args.get_double("scale"));
+    const auto ref = graph::bfs_levels(g, spec.source);
+
+    bfs::ChaiBfsOptions chai_opt;
+    chai_opt.cpu_workgroups = static_cast<std::uint32_t>(args.get_int("cpu-wgs"));
+    const bfs::BfsResult chai = bfs::run_chai_bfs(dev.config, g, spec.source, chai_opt);
+    if (chai.run.aborted || !bfs::matches_reference(chai.levels, ref)) {
+      std::fprintf(stderr, "FATAL: CHAI BFS wrong on %s: %s\n", spec.name.c_str(),
+                   bfs::first_mismatch(chai.levels, ref).c_str());
+      return 1;
+    }
+
+    bfs::PtBfsOptions opt;
+    opt.num_workgroups = dev.paper_workgroups;
+    const bfs::BfsResult rfan = run_validated(dev.config, g, spec.source, opt);
+
+    table.add_row({spec.name, util::Table::fmt_ms(chai.run.seconds),
+                   util::Table::fmt_ms(rfan.run.seconds),
+                   util::Table::fmt_speedup(chai.run.seconds / rfan.run.seconds, 3)});
+  }
+
+  std::printf("Table 5 — CHAI-style collaborative BFS vs RF/AN (ms), %s\n",
+              dev.config.name.c_str());
+  table.print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Table 6: the proposed RF/AN persistent-thread BFS against
+// the Rodinia-style level-synchronous BFS on Rodinia's three synthetic
+// inputs (graph4096 / graph65536 / graph1MW_6), on both devices.
+//
+//   ./table6_rodinia [--scale 1.0]
+#include "bfs/rodinia_bfs.h"
+
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("table6_rodinia", "Table 6: Rodinia BFS vs RF/AN");
+  // Rodinia's inputs are small enough to run at paper scale by default,
+  // except graph1MW_6 which --scale also shrinks.
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.25);
+  if (!args.parse(argc, argv)) return 2;
+
+  util::Table table({"Dataset", "Device", "Rodinia (ms)", "RF/AN (ms)",
+                     "Speedup", "Rodinia launches"});
+
+  for (const bfs::DatasetSpec& spec : bfs::rodinia_datasets()) {
+    // The two small graphs always run at paper size.
+    const double scale =
+        spec.paper_vertices <= 65'536 ? 1.0 : args.get_double("scale");
+    const graph::Graph g = spec.build(scale);
+    const auto ref = graph::bfs_levels(g, spec.source);
+
+    for (const DeviceEntry& dev : paper_devices()) {
+      const bfs::RodiniaBfsResult rod =
+          bfs::run_rodinia_bfs(dev.config, g, spec.source);
+      if (!bfs::matches_reference(rod.bfs.levels, ref)) {
+        std::fprintf(stderr, "FATAL: Rodinia BFS wrong on %s: %s\n",
+                     spec.name.c_str(),
+                     bfs::first_mismatch(rod.bfs.levels, ref).c_str());
+        return 1;
+      }
+
+      bfs::PtBfsOptions opt;
+      opt.num_workgroups = dev.paper_workgroups;
+      const bfs::BfsResult rfan = run_validated(dev.config, g, spec.source, opt);
+
+      table.add_row({spec.name, dev.config.name,
+                     util::Table::fmt_ms(rod.bfs.run.seconds),
+                     util::Table::fmt_ms(rfan.run.seconds),
+                     util::Table::fmt_speedup(
+                         rod.bfs.run.seconds / rfan.run.seconds, 2),
+                     std::to_string(rod.launches)});
+    }
+  }
+
+  std::printf("Table 6 — Rodinia-style level-synchronous BFS vs RF/AN (ms)\n");
+  table.print();
+  return 0;
+}

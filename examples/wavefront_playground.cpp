@@ -1,0 +1,129 @@
+// Writing a custom kernel against the SIMT simulator directly.
+//
+// Demonstrates the device API the queue library itself is built on:
+// wavefronts as coroutines, per-lane vector memory operations, the
+// serializing atomic unit, and the statistics it produces. The kernel
+// builds a histogram two ways — per-lane atomics on a handful of hot
+// bins vs privatized per-wave bins — and shows the contention gap, the
+// same effect the proxy-thread design exploits (§3.3).
+//
+// Usage: ./wavefront_playground [--bins 4] [--items 65536]
+#include <cstdio>
+#include <vector>
+
+#include "sim/device.h"
+#include "util/args.h"
+#include "util/prng.h"
+
+using namespace simt;
+
+int main(int argc, char** argv) {
+  scq::util::ArgParser args("wavefront_playground", "custom-kernel demo");
+  args.add_int("bins", "histogram bins (fewer = hotter)", 2);
+  args.add_int("items", "input elements", 1 << 20);
+  args.add_string("trace", "write a Chrome trace JSON of kernel B here", "");
+  if (!args.parse(argc, argv)) return 2;
+
+  const auto n_bins = static_cast<std::uint64_t>(args.get_int("bins"));
+  const auto n_items = static_cast<std::uint64_t>(args.get_int("items"));
+
+  DeviceConfig cfg = fiji_config();
+  Device dev(cfg);
+  TraceRecorder trace;
+
+  // Host setup: input data + two result buffers.
+  Buffer input = dev.alloc(n_items);
+  Buffer hot_bins = dev.alloc(n_bins);
+  Buffer private_bins = dev.alloc(n_bins * cfg.resident_waves());
+  Buffer final_bins = dev.alloc(n_bins);
+  scq::util::Xoshiro256 rng(7);
+  for (std::uint64_t i = 0; i < n_items; ++i) {
+    dev.write_word(input.at(i), rng.below(n_bins));
+  }
+
+  const std::uint32_t wgs = cfg.resident_waves();
+  const std::uint64_t per_wave = (n_items + wgs - 1) / wgs;
+
+  // Kernel A: every lane atomically bumps a shared bin — all traffic
+  // lands on n_bins hot addresses and serializes at the atomic unit.
+  const auto naive = dev.launch(wgs, [&](Wave& w) -> Kernel<void> {
+    const std::uint64_t begin = w.workgroup_id() * per_wave;
+    const std::uint64_t end = std::min(begin + per_wave, n_items);
+    for (std::uint64_t i = begin; i < end; i += kWaveWidth) {
+      std::array<Addr, kWaveWidth> in{}, bins{};
+      std::array<std::uint64_t, kWaveWidth> vals{}, ones{};
+      LaneMask active = 0;
+      for (unsigned lane = 0; lane < kWaveWidth && i + lane < end; ++lane) {
+        active |= LaneMask{1} << lane;
+        in[lane] = input.at(i + lane);
+      }
+      co_await w.load_lanes(active, in, vals);
+      for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+        if ((active >> lane) & 1u) {
+          bins[lane] = hot_bins.at(vals[lane]);
+          ones[lane] = 1;
+        }
+      }
+      co_await w.atomic_lanes(AtomicKind::kAdd, active, bins, ones);
+    }
+  });
+
+  if (!args.get_string("trace").empty()) dev.attach_tracer(&trace);
+
+  // Kernel B: privatized per-wave bins (no contention), then one wave
+  // reduces — the "aggregate before touching shared state" idea.
+  const auto privatized = dev.launch(wgs, [&](Wave& w) -> Kernel<void> {
+    const std::uint64_t begin = w.workgroup_id() * per_wave;
+    const std::uint64_t end = std::min(begin + per_wave, n_items);
+    std::vector<std::uint64_t> local(n_bins, 0);
+    for (std::uint64_t i = begin; i < end; i += kWaveWidth) {
+      std::array<Addr, kWaveWidth> in{};
+      std::array<std::uint64_t, kWaveWidth> vals{};
+      LaneMask active = 0;
+      for (unsigned lane = 0; lane < kWaveWidth && i + lane < end; ++lane) {
+        active |= LaneMask{1} << lane;
+        in[lane] = input.at(i + lane);
+      }
+      co_await w.load_lanes(active, in, vals);
+      co_await w.lds_ops(static_cast<std::uint32_t>(std::popcount(active)));
+      for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+        if ((active >> lane) & 1u) local[vals[lane]] += 1;
+      }
+    }
+    // One store + one shared atomic per bin per wave.
+    for (std::uint64_t b = 0; b < n_bins; ++b) {
+      co_await w.store(private_bins.at(w.workgroup_id() * n_bins + b), local[b]);
+      co_await w.atomic_add(final_bins.at(b), local[b]);
+    }
+  });
+
+  // Validate both against each other and the input.
+  std::vector<std::uint64_t> expect(n_bins, 0);
+  for (std::uint64_t i = 0; i < n_items; ++i) expect[dev.read_word(input.at(i))]++;
+  bool ok = true;
+  for (std::uint64_t b = 0; b < n_bins; ++b) {
+    ok &= dev.read_word(hot_bins.at(b)) == expect[b];
+    ok &= dev.read_word(final_bins.at(b)) == expect[b];
+  }
+
+  std::printf("histogram of %llu items into %llu bins on %u waves (%s)\n",
+              static_cast<unsigned long long>(n_items),
+              static_cast<unsigned long long>(n_bins), wgs,
+              ok ? "both kernels correct" : "MISMATCH");
+  std::printf("  per-lane shared atomics: %9llu cycles (%llu atomic ops)\n",
+              static_cast<unsigned long long>(naive.cycles),
+              static_cast<unsigned long long>(naive.stats.afa_ops));
+  std::printf("  privatized + reduce:     %9llu cycles (%llu atomic ops)\n",
+              static_cast<unsigned long long>(privatized.cycles),
+              static_cast<unsigned long long>(privatized.stats.afa_ops));
+  std::printf("  contention speedup: %.2fx — why the proxy thread exists\n",
+              static_cast<double>(naive.cycles) /
+                  static_cast<double>(privatized.cycles));
+  if (const std::string& path = args.get_string("trace"); !path.empty()) {
+    if (trace.write_chrome_json(path)) {
+      std::printf("  wrote %zu trace slices -> %s (open in chrome://tracing)\n",
+                  trace.events().size(), path.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

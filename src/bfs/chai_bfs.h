@@ -1,0 +1,35 @@
+// CHAI-style collaborative persistent BFS baseline (§6.4.1).
+//
+// Models the structure of CHAI's heterogeneous BFS: one persistent
+// launch; per level, every thread claims frontier vertices by per-lane
+// fetch-add on a shared input cursor (no wavefront aggregation),
+// discovers children with per-lane CAS on the cost array, appends them
+// to the output frontier with another per-lane fetch-add, and crosses a
+// software global barrier before the frontier swap. The CPU side of the
+// collaboration is modeled as extra narrow (1-lane) workgroups sharing
+// the same queue counters — the cross-cluster atomic traffic that keeps
+// this kernel off the discrete GPU in the paper (it runs on the
+// integrated device only, as in Table 5).
+#pragma once
+
+#include "bfs/common.h"
+#include "sim/config.h"
+
+namespace scq::bfs {
+
+struct ChaiBfsOptions {
+  // Narrow workgroups standing in for collaborating CPU threads.
+  std::uint32_t cpu_workgroups = 4;
+  // 0 = all resident GPU wave slots.
+  std::uint32_t gpu_workgroups = 0;
+  // Extra latency charged on every shared-counter round: CHAI's queue
+  // counters live in OpenCL 2.0 fine-grain SVM so CPU and GPU can both
+  // touch them, and SVM atomic round trips are several times slower
+  // than device-local atomics.
+  simt::Cycle svm_atomic_extra = 2000;
+};
+
+BfsResult run_chai_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
+                       Vertex source, const ChaiBfsOptions& options = {});
+
+}  // namespace scq::bfs

@@ -1,0 +1,96 @@
+#include "bfs/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace scq::bfs {
+
+namespace {
+
+graph::Vertex scaled(graph::Vertex paper, double scale) {
+  const double v = std::max(64.0, static_cast<double>(paper) * scale);
+  return static_cast<graph::Vertex>(v);
+}
+
+}  // namespace
+
+graph::Graph DatasetSpec::build(double scale) const {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("dataset scale must be in (0, 1]");
+  }
+  const graph::Vertex v = scaled(paper_vertices, scale);
+  switch (kind) {
+    case DatasetKind::kSynthetic:
+      return graph::synthetic_kary(v, 4);
+    case DatasetKind::kSocial: {
+      graph::RmatParams p;
+      p.n_vertices = v;
+      // Keep the paper's average degree at any scale.
+      const double avg = static_cast<double>(paper_edges) /
+                         static_cast<double>(paper_vertices);
+      p.n_edges = static_cast<std::uint64_t>(avg * static_cast<double>(v));
+      p.seed = 0x50C1A1 + paper_vertices;  // distinct graph per dataset
+      return graph::rmat(p);
+    }
+    case DatasetKind::kRoad: {
+      graph::RoadParams p;
+      p.n_vertices = v;
+      p.seed = 0x70AD + paper_vertices;
+      return graph::road_network(p);
+    }
+    case DatasetKind::kRodinia: {
+      graph::RodiniaParams p;
+      p.n_vertices = v;
+      p.avg_degree = 3;  // symmetrized to ~6 edges/vertex like graph*_6
+      p.seed = 0x70D1A + paper_vertices;
+      return graph::rodinia_random(p);
+    }
+  }
+  throw std::invalid_argument("unknown dataset kind");
+}
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  static const std::vector<DatasetSpec> kDatasets{
+      {"Synthetic", DatasetKind::kSynthetic, 10'485'760, 10'485'759, 0},
+      {"gplus_combined", DatasetKind::kSocial, 107'614, 30'494'866, 0},
+      {"soc-LiveJournal1", DatasetKind::kSocial, 4'847'571, 68'993'773, 0},
+      {"USA-road-d.NY", DatasetKind::kRoad, 264'346, 733'846, 0},
+      {"USA-road-d.LKS", DatasetKind::kRoad, 2'758'119, 6'885'658, 0},
+      {"USA-road-d.USA", DatasetKind::kRoad, 23'947'347, 58'333'344, 0},
+  };
+  return kDatasets;
+}
+
+const std::vector<DatasetSpec>& chai_datasets() {
+  // CHAI ships New York (59k vertices in its cut-down NYR input) and the
+  // DIMACS San Francisco Bay roadmap.
+  static const std::vector<DatasetSpec> kDatasets{
+      {"NYR_input.dat", DatasetKind::kRoad, 59'723, 144'374, 0},
+      {"USA-road-d.BAY", DatasetKind::kRoad, 321'270, 800'172, 0},
+  };
+  return kDatasets;
+}
+
+const std::vector<DatasetSpec>& rodinia_datasets() {
+  static const std::vector<DatasetSpec> kDatasets{
+      {"graph4096", DatasetKind::kRodinia, 4'096, 24'576, 0},
+      {"graph65536", DatasetKind::kRodinia, 65'536, 393'216, 0},
+      {"graph1MW_6", DatasetKind::kRodinia, 1'000'000, 5'999'970, 0},
+  };
+  return kDatasets;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const auto* registry :
+       {&paper_datasets(), &chai_datasets(), &rodinia_datasets()}) {
+    for (const DatasetSpec& spec : *registry) {
+      if (spec.name == name) return spec;
+    }
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace scq::bfs

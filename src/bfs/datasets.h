@@ -1,0 +1,43 @@
+// Registry of the paper's evaluation datasets (§5.2, Tables 1-2, plus
+// CHAI's and Rodinia's inputs), each backed by a generator matched to
+// the published statistics. A scale factor in (0, 1] shrinks vertex and
+// edge counts proportionally so the full benchmark suite runs in
+// minutes; scale=1 reproduces paper-size graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scq::bfs {
+
+enum class DatasetKind { kSynthetic, kSocial, kRoad, kRodinia };
+
+struct DatasetSpec {
+  std::string name;          // the paper's dataset name
+  DatasetKind kind;
+  graph::Vertex paper_vertices;
+  std::uint64_t paper_edges;
+  graph::Vertex source = 0;
+
+  // Builds the stand-in graph at `scale` (vertices ~= paper_vertices *
+  // scale). Deterministic.
+  [[nodiscard]] graph::Graph build(double scale) const;
+};
+
+// The six datasets of §5.2 in paper order: Synthetic, gplus_combined,
+// soc-LiveJournal1, USA-road-d.NY, USA-road-d.LKS, USA-road-d.USA.
+const std::vector<DatasetSpec>& paper_datasets();
+
+// CHAI's two roadmap inputs (Table 5): NYR_input, USA-road-d.BAY.
+const std::vector<DatasetSpec>& chai_datasets();
+
+// Rodinia's three synthetic inputs (Table 6): graph4096, graph65536,
+// graph1MW_6.
+const std::vector<DatasetSpec>& rodinia_datasets();
+
+// Lookup across all registries; throws std::invalid_argument if absent.
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+}  // namespace scq::bfs

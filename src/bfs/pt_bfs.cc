@@ -1,0 +1,206 @@
+#include "bfs/pt_bfs.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <memory>
+
+#include "core/counters.h"
+#include "core/ext_schedulers.h"
+
+namespace scq::bfs {
+
+namespace {
+
+using simt::Addr;
+using simt::Kernel;
+using simt::LaneMask;
+using simt::Wave;
+using simt::kWaveWidth;
+
+constexpr LaneMask bit(unsigned lane) { return LaneMask{1} << lane; }
+
+template <typename F>
+void for_lanes(LaneMask mask, F&& f) {
+  while (mask) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+    f(lane);
+    mask &= mask - 1;
+  }
+}
+
+// Per-lane vertex-processing registers.
+struct LaneWork {
+  std::array<std::uint64_t, kWaveWidth> vertex{};
+  std::array<std::uint64_t, kWaveWidth> cursor{};   // next edge index
+  std::array<std::uint64_t, kWaveWidth> row_end{};  // one past last edge
+  std::array<std::uint64_t, kWaveWidth> cost{};     // this vertex's level
+};
+
+Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
+                         const PtBfsOptions& opt) {
+  WaveQueueState st{};
+  std::array<std::uint64_t, kWaveWidth> tokens{};
+  LaneWork lw{};
+  LaneMask working = 0;
+
+  for (;;) {  // Algorithm 1: one iteration per work cycle
+    w.bump(kWorkCycles);
+    if (co_await queue.all_done(w)) break;
+
+    bool progress = false;
+
+    // Dequeue phase 1: lanes that neither hold a vertex nor monitor a
+    // slot (nor sit on an eagerly delivered token) ask for work.
+    st.hungry = ~(working | st.assigned | st.ready);
+    co_await queue.acquire_slots(w, st);
+
+    // Dequeue phase 2: non-atomic arrival check; arrived lanes run the
+    // enumeration prolog (Listing 2 lines 6-22).
+    if (st.assigned || st.ready) {
+      const LaneMask arrived = co_await queue.check_arrival(w, st, tokens);
+      if (arrived) {
+        progress = true;
+        std::array<Addr, kWaveWidth> a{};
+        std::array<std::uint64_t, kWaveWidth> row_begin{}, row_end{}, vcost{};
+        for_lanes(arrived, [&](unsigned lane) {
+          lw.vertex[lane] = tokens[lane];
+          a[lane] = g.row_offsets.at(lw.vertex[lane]);
+        });
+        co_await w.load_lanes(arrived, a, row_begin);
+        for_lanes(arrived, [&](unsigned lane) { a[lane] += 1; });
+        co_await w.load_lanes(arrived, a, row_end);
+        for_lanes(arrived, [&](unsigned lane) {
+          a[lane] = g.cost.at(lw.vertex[lane]);
+        });
+        co_await w.load_lanes(arrived, a, vcost);
+        for_lanes(arrived, [&](unsigned lane) {
+          lw.cursor[lane] = row_begin[lane];
+          lw.row_end[lane] = row_end[lane];
+          lw.cost[lane] = vcost[lane];
+        });
+        working |= arrived;
+      }
+    }
+
+    // Work phase: up to work_budget uniform sub-tasks (edges) per lane.
+    st.clear_produce();
+    std::uint32_t finished = 0;
+    if (working) {
+      progress = true;
+      for (unsigned t = 0; t < opt.work_budget; ++t) {
+        LaneMask active = 0;
+        for_lanes(working, [&](unsigned lane) {
+          if (lw.cursor[lane] < lw.row_end[lane]) active |= bit(lane);
+        });
+        if (!active) break;
+
+        // Fetch child vertex ids.
+        std::array<Addr, kWaveWidth> ea{};
+        std::array<std::uint64_t, kWaveWidth> child{};
+        for_lanes(active, [&](unsigned lane) {
+          ea[lane] = g.cols.at(lw.cursor[lane]);
+          lw.cursor[lane] += 1;
+        });
+        co_await w.load_lanes(active, ea, child);
+        w.bump(kEdgesRelaxed, static_cast<std::uint64_t>(std::popcount(active)));
+
+        // Relax: cost[child] = min(cost[child], cost[v] + 1); improved
+        // children are (re-)enqueued (label correcting).
+        std::array<Addr, kWaveWidth> ca{};
+        std::array<std::uint64_t, kWaveWidth> newcost{}, oldcost{};
+        for_lanes(active, [&](unsigned lane) {
+          ca[lane] = g.cost.at(child[lane]);
+          newcost[lane] = lw.cost[lane] + 1;
+        });
+        LaneMask improved = 0;
+        if (opt.atomic_discovery) {
+          co_await w.atomic_lanes(simt::AtomicKind::kMin, active, ca, newcost,
+                                  {}, oldcost);
+          for_lanes(active, [&](unsigned lane) {
+            if (oldcost[lane] > newcost[lane]) improved |= bit(lane);
+          });
+        } else {
+          // Benign-race ablation: plain read-modify-write. Racy stores
+          // may leave levels above the true distance (validated with
+          // plausible_levels).
+          co_await w.load_lanes(active, ca, oldcost);
+          for_lanes(active, [&](unsigned lane) {
+            if (oldcost[lane] > newcost[lane]) improved |= bit(lane);
+          });
+          if (improved) co_await w.store_lanes(improved, ca, newcost);
+        }
+        for_lanes(improved, [&](unsigned lane) {
+          st.push_token(lane, child[lane]);
+          if (oldcost[lane] != kUnvisited) w.bump(kDupEnqueues);
+        });
+      }
+
+      // Lanes whose enumeration finished become hungry next cycle.
+      LaneMask done_lanes = 0;
+      for_lanes(working, [&](unsigned lane) {
+        if (lw.cursor[lane] >= lw.row_end[lane]) done_lanes |= bit(lane);
+      });
+      finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
+      working &= ~done_lanes;
+      w.bump(kTasksProcessed, finished);
+    }
+
+    // ScheduleNewlyDiscoveredWorkTokens(), then report completions.
+    // Ordering matters for termination: children are published before
+    // the completion counter can reach Rear.
+    co_await queue.publish(w, st);
+    co_await queue.report_complete(w, finished);
+
+    if (!progress) co_await w.idle(opt.poll_interval);
+  }
+}
+
+}  // namespace
+
+BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
+                     Vertex source, const PtBfsOptions& options) {
+  if (source >= g.num_vertices()) {
+    throw simt::SimError("run_pt_bfs: source out of range");
+  }
+  if (options.work_budget == 0 || options.work_budget > kMaxWorkBudget) {
+    throw simt::SimError("run_pt_bfs: work_budget must be in [1, kMaxWorkBudget]");
+  }
+
+  double headroom = options.queue_headroom;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    simt::Device dev(config);
+    const DeviceGraph dg = upload_graph(dev, g);
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(static_cast<double>(g.num_vertices()) * headroom) +
+        kWaveWidth;
+    auto queue = make_scheduler(dev, options.variant, capacity);
+
+    // Seed: source at level 0, its token in the scheduler (host-side, §3.1).
+    dev.write_word(dg.cost.at(source), 0);
+    const std::uint64_t seed[] = {source};
+    queue->seed(dev, seed);
+
+    const std::uint32_t workgroups = options.num_workgroups != 0
+                                         ? options.num_workgroups
+                                         : config.resident_waves();
+    const simt::RunResult run = dev.launch(workgroups, [&](Wave& w) -> Kernel<void> {
+      return pt_bfs_wave(w, *queue, dg, options);
+    });
+
+    if (run.aborted && attempt < 8) {
+      // §4.4: queue-full means the problem outgrew the allocation; the
+      // host retries the kernel with a larger queue.
+      headroom *= 2.0;
+      continue;
+    }
+
+    BfsResult result;
+    result.run = run;
+    result.attempts = attempt;
+    if (!run.aborted) result.levels = read_levels(dev, dg);
+    return result;
+  }
+}
+
+}  // namespace scq::bfs

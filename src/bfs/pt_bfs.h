@@ -1,0 +1,45 @@
+// Persistent-thread top-down BFS (the paper's driver application, §5.1).
+//
+// Every persistent wave loops work cycles (Algorithm 1): hungry lanes
+// request task tokens (vertices) from the shared concurrent queue,
+// working lanes relax up to `work_budget` edges — the paper's fixed
+// number of uniformly complex sub-tasks (§3.3) — newly discovered
+// vertices are published back to the queue, and completions are
+// reported for termination detection. The queue variant (BASE / AN /
+// RF/AN) is pluggable, which is the experiment of §5.3.
+//
+// Discovery uses a label-correcting relaxation: atomic-min on the cost
+// word and re-enqueue whenever the cost improved. This converges to
+// exact BFS levels under any interleaving (validated against the serial
+// reference). The optional benign-race mode replaces the atomic-min
+// with a plain load/store pair — faster but only approximately level-
+// accurate, kept as an ablation.
+#pragma once
+
+#include "bfs/common.h"
+#include "core/queue.h"
+#include "sim/config.h"
+
+namespace scq::bfs {
+
+struct PtBfsOptions {
+  QueueVariant variant = QueueVariant::kRfan;
+  // Sub-tasks (edges) per work cycle; the paper found 4 works well.
+  unsigned work_budget = 4;
+  // Wait between polls when a work cycle makes no progress.
+  simt::Cycle poll_interval = 240;
+  // false = benign-race ablation (plain load/store discovery).
+  bool atomic_discovery = true;
+  // Queue capacity = reachable-bound * headroom (label correcting may
+  // enqueue duplicates). On queue-full abort the run retries with
+  // double the headroom, as §4.4 prescribes.
+  double queue_headroom = 1.3;
+  // 0 = all resident wave slots (persistent-thread launch).
+  std::uint32_t num_workgroups = 0;
+};
+
+// Runs one BFS to completion on a fresh device built from `config`.
+BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
+                     Vertex source, const PtBfsOptions& options = {});
+
+}  // namespace scq::bfs

@@ -1,0 +1,182 @@
+#include "bfs/pt_sssp.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "core/counters.h"
+#include "core/ext_schedulers.h"
+#include "graph/sssp_ref.h"
+
+namespace scq::bfs {
+
+namespace {
+
+using simt::Addr;
+using simt::Kernel;
+using simt::LaneMask;
+using simt::Wave;
+using simt::kWaveWidth;
+
+constexpr LaneMask bit(unsigned lane) { return LaneMask{1} << lane; }
+
+template <typename F>
+void for_lanes(LaneMask mask, F&& f) {
+  while (mask) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+    f(lane);
+    mask &= mask - 1;
+  }
+}
+
+Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
+                          const PtSsspOptions& opt) {
+  WaveQueueState st{};
+  std::array<std::uint64_t, kWaveWidth> tokens{};
+  std::array<std::uint64_t, kWaveWidth> vertex{}, cursor{}, row_end{}, vdist{};
+  LaneMask working = 0;
+
+  for (;;) {
+    w.bump(kWorkCycles);
+    if (co_await queue.all_done(w)) break;
+
+    bool progress = false;
+
+    st.hungry = ~(working | st.assigned | st.ready);
+    co_await queue.acquire_slots(w, st);
+
+    if (st.assigned || st.ready) {
+      const LaneMask arrived = co_await queue.check_arrival(w, st, tokens);
+      if (arrived) {
+        progress = true;
+        std::array<Addr, kWaveWidth> a{};
+        std::array<std::uint64_t, kWaveWidth> row_begin{}, re{}, dist_now{};
+        for_lanes(arrived, [&](unsigned lane) {
+          vertex[lane] = tokens[lane];
+          a[lane] = g.row_offsets.at(vertex[lane]);
+        });
+        co_await w.load_lanes(arrived, a, row_begin);
+        for_lanes(arrived, [&](unsigned lane) { a[lane] += 1; });
+        co_await w.load_lanes(arrived, a, re);
+        for_lanes(arrived, [&](unsigned lane) {
+          a[lane] = g.cost.at(vertex[lane]);
+        });
+        co_await w.load_lanes(arrived, a, dist_now);
+        for_lanes(arrived, [&](unsigned lane) {
+          cursor[lane] = row_begin[lane];
+          row_end[lane] = re[lane];
+          vdist[lane] = dist_now[lane];
+        });
+        working |= arrived;
+      }
+    }
+
+    st.clear_produce();
+    std::uint32_t finished = 0;
+    if (working) {
+      progress = true;
+      for (unsigned t = 0; t < opt.work_budget; ++t) {
+        LaneMask active = 0;
+        for_lanes(working, [&](unsigned lane) {
+          if (cursor[lane] < row_end[lane]) active |= bit(lane);
+        });
+        if (!active) break;
+
+        std::array<Addr, kWaveWidth> ea{};
+        std::array<std::uint64_t, kWaveWidth> child{}, edge_w{};
+        for_lanes(active, [&](unsigned lane) { ea[lane] = g.cols.at(cursor[lane]); });
+        co_await w.load_lanes(active, ea, child);
+        if (g.has_weights) {
+          for_lanes(active, [&](unsigned lane) {
+            ea[lane] = g.weights.at(cursor[lane]);
+          });
+          co_await w.load_lanes(active, ea, edge_w);
+        } else {
+          for_lanes(active, [&](unsigned lane) { edge_w[lane] = 1; });
+        }
+        for_lanes(active, [&](unsigned lane) { cursor[lane] += 1; });
+        w.bump(kEdgesRelaxed, static_cast<std::uint64_t>(std::popcount(active)));
+
+        // Relax with atomic-min; improvements are re-enqueued.
+        std::array<Addr, kWaveWidth> ca{};
+        std::array<std::uint64_t, kWaveWidth> nd{}, old{};
+        for_lanes(active, [&](unsigned lane) {
+          ca[lane] = g.cost.at(child[lane]);
+          nd[lane] = vdist[lane] + edge_w[lane];
+        });
+        co_await w.atomic_lanes(simt::AtomicKind::kMin, active, ca, nd, {}, old);
+        for_lanes(active, [&](unsigned lane) {
+          if (old[lane] > nd[lane]) {
+            st.push_token(lane, child[lane]);
+            if (old[lane] != kUnvisited) w.bump(kDupEnqueues);
+          }
+        });
+      }
+
+      LaneMask done_lanes = 0;
+      for_lanes(working, [&](unsigned lane) {
+        if (cursor[lane] >= row_end[lane]) done_lanes |= bit(lane);
+      });
+      finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
+      working &= ~done_lanes;
+      w.bump(kTasksProcessed, finished);
+    }
+
+    co_await queue.publish(w, st);
+    co_await queue.report_complete(w, finished);
+    if (!progress) co_await w.idle(opt.poll_interval);
+  }
+}
+
+}  // namespace
+
+SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
+                       Vertex source, const PtSsspOptions& options) {
+  if (source >= g.num_vertices()) {
+    throw simt::SimError("run_pt_sssp: source out of range");
+  }
+  if (options.work_budget == 0 || options.work_budget > kMaxWorkBudget) {
+    throw simt::SimError("run_pt_sssp: work_budget out of range");
+  }
+
+  double headroom = options.queue_headroom;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    simt::Device dev(config);
+    const DeviceGraph dg = upload_graph(dev, g);
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(static_cast<double>(g.num_vertices()) * headroom) +
+        kWaveWidth;
+    auto queue = make_scheduler(dev, options.variant, capacity);
+
+    dev.write_word(dg.cost.at(source), 0);
+    const std::uint64_t seed[] = {source};
+    queue->seed(dev, seed);
+
+    const std::uint32_t workgroups = options.num_workgroups != 0
+                                         ? options.num_workgroups
+                                         : config.resident_waves();
+    const simt::RunResult run =
+        dev.launch(workgroups, [&](Wave& w) -> Kernel<void> {
+          return pt_sssp_wave(w, *queue, dg, options);
+        });
+
+    if (run.aborted && attempt < 8) {
+      headroom *= 2.0;
+      continue;
+    }
+
+    SsspResult result;
+    result.run = run;
+    result.attempts = attempt;
+    if (!run.aborted) {
+      result.dist.assign(dg.n_vertices, graph::kUnreachableDist);
+      for (Vertex v = 0; v < dg.n_vertices; ++v) {
+        const std::uint64_t word = dev.read_word(dg.cost.at(v));
+        result.dist[v] = word;  // kUnvisited == kUnreachableDist
+      }
+    }
+    return result;
+  }
+}
+
+}  // namespace scq::bfs

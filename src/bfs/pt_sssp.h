@@ -1,0 +1,38 @@
+// Persistent-thread single-source shortest paths — a second irregular
+// workload on the same scheduler, demonstrating the queue is
+// application-agnostic (the paper's "it can be used for other purposes
+// ... with little change", §1).
+//
+// Same work-cycle structure as the BFS driver, but relaxations add edge
+// weights: dist[child] = min(dist[child], dist[v] + w(e)), with every
+// improvement re-enqueued (label-correcting SSSP, the classic GPU
+// worklist algorithm). Converges to exact Dijkstra distances under any
+// processing order.
+#pragma once
+
+#include "bfs/common.h"
+#include "core/queue.h"
+#include "sim/config.h"
+
+namespace scq::bfs {
+
+struct PtSsspOptions {
+  QueueVariant variant = QueueVariant::kRfan;
+  unsigned work_budget = 4;
+  simt::Cycle poll_interval = 240;
+  // Label-correcting SSSP re-enqueues more than BFS: give the token
+  // array more room up front.
+  double queue_headroom = 3.0;
+  std::uint32_t num_workgroups = 0;
+};
+
+struct SsspResult {
+  simt::RunResult run;
+  std::vector<std::uint64_t> dist;  // per-vertex distance
+  std::uint32_t attempts = 1;
+};
+
+SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
+                       Vertex source, const PtSsspOptions& options = {});
+
+}  // namespace scq::bfs

@@ -1,0 +1,24 @@
+// Rodinia-style level-synchronous BFS baseline (§6.4.2).
+//
+// The Rodinia benchmark's BFS exits to the host after every level: each
+// level launches two grid-sized kernels (one thread per vertex), so a
+// graph with L levels pays 2L kernel launches and 2L full-vertex sweeps
+// even when the frontier holds a handful of vertices. That overhead is
+// exactly what Table 6 measures against the persistent-thread queue.
+#pragma once
+
+#include "bfs/common.h"
+#include "sim/config.h"
+
+namespace scq::bfs {
+
+struct RodiniaBfsResult {
+  BfsResult bfs;
+  std::uint32_t levels_executed = 0;
+  std::uint32_t launches = 0;
+};
+
+RodiniaBfsResult run_rodinia_bfs(const simt::DeviceConfig& config,
+                                 const graph::Graph& g, Vertex source);
+
+}  // namespace scq::bfs

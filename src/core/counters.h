@@ -1,0 +1,22 @@
+// Application-level statistics counter indices (DeviceStats::user).
+#pragma once
+
+namespace scq {
+
+enum UserCounter : unsigned {
+  kWorkCycles = 0,      // persistent-thread work cycles executed (per wave)
+  kPolls = 1,           // arrival checks that found no data
+  kEmptyRetries = 2,    // dequeue attempts that hit a queue-empty exception
+  kTasksProcessed = 3,  // task tokens fully processed
+  kEdgesRelaxed = 4,    // BFS edges examined
+  kTokensEnqueued = 5,  // tokens published to the queue
+  kDupEnqueues = 6,     // re-enqueues (label-correcting improvements)
+  kLevelsOrSweeps = 7,  // level-synchronous baselines: levels executed
+  // Scheduler-only atomic accounting (Fig. 5's retry ratio is computed
+  // over the atomics the *task scheduler* issues, isolating the queue
+  // from the application's per-edge traffic).
+  kQueueAtomics = 8,     // atomic ops issued by queue operations
+  kQueueCasFailures = 9, // failed CASes among them (retry driver)
+};
+
+}  // namespace scq

@@ -1,0 +1,487 @@
+#include "core/queue.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/counters.h"
+
+namespace scq {
+
+namespace {
+
+constexpr LaneMask bit(unsigned lane) { return LaneMask{1} << lane; }
+
+template <typename F>
+void for_lanes(LaneMask mask, F&& f) {
+  while (mask) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+    f(lane);
+    mask &= mask - 1;
+  }
+}
+
+// Bounded retry loops: a lock-free CAS loop always makes global progress,
+// but we cap iterations so a simulator bug surfaces as an abort instead
+// of a hang.
+constexpr int kMaxCasRounds = 1 << 20;
+
+}  // namespace
+
+std::string_view to_string(QueueVariant v) {
+  switch (v) {
+    case QueueVariant::kBase:
+      return "BASE";
+    case QueueVariant::kAn:
+      return "AN";
+    case QueueVariant::kRfan:
+      return "RF/AN";
+    case QueueVariant::kStack:
+      return "LOCK-STACK";
+    case QueueVariant::kDistrib:
+      return "DISTRIB";
+  }
+  return "?";
+}
+
+QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity) {
+  QueueLayout q;
+  q.ctrl = dev.alloc(4);
+  q.slots = dev.alloc(capacity);
+  q.capacity = capacity;
+  reset_device_queue(dev, q);
+  return q;
+}
+
+void reset_device_queue(simt::Device& dev, const QueueLayout& q) {
+  dev.fill(q.ctrl, 0);
+  dev.fill(q.slots, kDna);
+}
+
+void seed_device_queue(simt::Device& dev, const QueueLayout& q,
+                       std::span<const std::uint64_t> tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    dev.write_word(q.slot_addr(i), tokens[i]);
+  }
+  dev.write_word(q.rear_addr(), tokens.size());
+}
+
+// ---- Shared dequeue phase 2: data arrival (paper Listing 2) ----
+
+Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
+                                            std::span<std::uint64_t> tokens) {
+  // Drain eagerly delivered tokens first (no memory traffic: they were
+  // read during acquisition).
+  LaneMask eager = 0;
+  if (st.ready) {
+    eager = st.ready;
+    for_lanes(eager, [&](unsigned lane) { tokens[lane] = st.ready_tokens[lane]; });
+    st.ready = 0;
+  }
+
+  // Only monitor slots inside queue bounds; a lane whose assigned index
+  // ran past the queue (RF/AN overshoot during drain) simply idles until
+  // termination (Listing 2, lines 3-5).
+  LaneMask candidates = 0;
+  std::array<Addr, kWaveWidth> addrs{};
+  for_lanes(st.assigned, [&](unsigned lane) {
+    if (st.slot[lane] < layout_.capacity) {
+      candidates |= bit(lane);
+      addrs[lane] = layout_.slots.base + st.slot[lane];
+    }
+  });
+  if (!candidates) co_return eager;
+
+  std::array<std::uint64_t, kWaveWidth> values{};
+  co_await w.load_lanes(candidates, addrs, values);
+
+  LaneMask arrived = 0;
+  for_lanes(candidates, [&](unsigned lane) {
+    if (values[lane] != kDna) {
+      arrived |= bit(lane);
+      tokens[lane] = values[lane];
+    }
+  });
+  const unsigned missed = static_cast<unsigned>(std::popcount(candidates & ~arrived));
+  if (missed) w.bump(kPolls, missed);
+
+  if (arrived) {
+    // Pick up the token and put the sentinel back; no atomics are needed
+    // because this lane is the only consumer of its slot.
+    std::array<std::uint64_t, kWaveWidth> dna{};
+    dna.fill(kDna);
+    co_await w.store_lanes(arrived, addrs, dna);
+    st.assigned &= ~arrived;
+  }
+  co_return arrived | eager;
+}
+
+void DeviceQueue::seed(simt::Device& dev, std::span<const std::uint64_t> tokens) {
+  seed_device_queue(dev, layout_, tokens);
+}
+
+Kernel<bool> DeviceQueue::all_done(Wave& w) {
+  // One coalesced snapshot of (Completed, Rear). Completed == Rear means
+  // every token ever enqueued has been fully processed, which (since a
+  // task's children are enqueued before its completion is reported)
+  // implies no further work can appear.
+  std::array<Addr, kWaveWidth> addrs{};
+  addrs[0] = layout_.completed_addr();
+  addrs[1] = layout_.rear_addr();
+  std::array<std::uint64_t, kWaveWidth> values{};
+  co_await w.load_lanes(LaneMask{0b11}, addrs, values);
+  co_return values[0] == values[1];
+}
+
+// ---- Shared enqueue tail for the arbitrary-n variants (Listing 3) ----
+
+Kernel<void> DeviceQueue::write_tokens(
+    Wave& w, WaveQueueState& st,
+    const std::array<std::uint64_t, kWaveWidth>& lane_base) {
+  std::uint32_t max_k = 0;
+  for (auto k : st.n_new) max_k = std::max(max_k, k);
+
+  for (std::uint32_t t = 0; t < max_k; ++t) {
+    LaneMask mask = 0;
+    std::array<Addr, kWaveWidth> addrs{};
+    std::array<std::uint64_t, kWaveWidth> vals{};
+    bool overflow = false;
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      if (st.n_new[lane] > t) {
+        const std::uint64_t index = lane_base[lane] + t;
+        if (index >= layout_.capacity) {
+          overflow = true;
+          break;
+        }
+        mask |= bit(lane);
+        addrs[lane] = layout_.slots.base + index;
+        vals[lane] = st.new_tokens[lane][t];
+      }
+    }
+    if (overflow) {
+      co_await w.abort_kernel("queue full: reserved slot beyond capacity");
+      co_return;
+    }
+    if (!mask) continue;
+
+    // Tokens may only be stored over a sentinel; anything else means the
+    // producer lapped the consumers — a queue-full exception (§4.4).
+    std::array<std::uint64_t, kWaveWidth> check{};
+    co_await w.load_lanes(mask, addrs, check);
+    bool full = false;
+    for_lanes(mask, [&](unsigned lane) { full |= check[lane] != kDna; });
+    if (full) {
+      co_await w.abort_kernel("queue full: slot sentinel overwritten");
+      co_return;
+    }
+    co_await w.store_lanes(mask, addrs, vals);
+    w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(mask)));
+  }
+}
+
+// ---- RF/AN: retry-free, arbitrary-n (the proposed queue, §4) ----
+
+Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
+  const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
+  if (n == 0) co_return;
+
+  // Listing 1: the proxy zeroes the LDS counter; every hungry lane
+  // atomically increments it to learn its wave-relative slot. Local
+  // atomics never fail and their latency is hidden.
+  co_await w.lds_ops(n + 1);
+
+  // One non-failing AFA reserves n slots for the whole wavefront.
+  w.bump(kQueueAtomics);
+  const simt::CasResult r = co_await w.atomic_add(layout_.front_addr(), n);
+
+  unsigned k = 0;
+  for_lanes(st.hungry, [&](unsigned lane) { st.slot[lane] = r.old_value + k++; });
+  st.assigned |= st.hungry;
+  st.hungry = 0;
+  co_await w.compute(2);  // relative -> absolute index conversion
+}
+
+Kernel<void> RfanQueue::publish(Wave& w, WaveQueueState& st) {
+  const std::uint32_t total = st.total_new();
+  if (total == 0) co_return;
+
+  unsigned producers = 0;
+  for (auto k : st.n_new) producers += k > 0;
+  co_await w.lds_ops(producers + 1);
+
+  // One AFA reserves space for every newly discovered token in the wave.
+  w.bump(kQueueAtomics);
+  const simt::CasResult r = co_await w.atomic_add(layout_.rear_addr(), total);
+
+  std::array<std::uint64_t, kWaveWidth> lane_base{};
+  std::uint64_t offset = r.old_value;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    lane_base[lane] = offset;
+    offset += st.n_new[lane];
+  }
+  co_await write_tokens(w, st, lane_base);
+}
+
+Kernel<void> RfanQueue::report_complete(Wave& w, std::uint32_t count) {
+  if (count == 0) co_return;
+  co_await w.lds_ops(std::min<std::uint32_t>(count, kWaveWidth) + 1);
+  w.bump(kQueueAtomics);
+  co_await w.atomic_add(layout_.completed_addr(), count);
+}
+
+// ---- AN: arbitrary-n via proxy thread, but CAS-based (retries) ----
+
+Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
+  const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
+  if (n == 0) co_return;
+  co_await w.lds_ops(n + 1);
+
+  // One coalesced snapshot of (Front, Rear) — adjacent words — gates the
+  // queue-empty exception before any atomic is issued.
+  std::array<Addr, kWaveWidth> snap_addr{};
+  snap_addr[0] = layout_.front_addr();
+  snap_addr[1] = layout_.rear_addr();
+  std::array<std::uint64_t, kWaveWidth> snap{};
+  co_await w.load_lanes(LaneMask{0b11}, snap_addr, snap);
+  if (snap[0] >= snap[1]) {
+    // Queue-empty exception: every hungry lane must retry next cycle.
+    w.bump(kEmptyRetries, n);
+    co_return;
+  }
+
+  // The proxy runs a CAS loop claiming up to n entries bounded by the
+  // Rear it read; folded-in failed attempts surface as retries.
+  const simt::CasResult r =
+      co_await w.atomic_bounded_add(layout_.front_addr(), n, snap[1]);
+  // Every claim that landed between our snapshot and our service would
+  // have failed one CAS of this loop; pay those retries as round trips.
+  const std::uint64_t drift =
+      std::min<std::uint64_t>(r.old_value > snap[0] ? r.old_value - snap[0] : 0, 16);
+  if (drift > 0) {
+    co_await w.idle(drift * (2 * w.config().atomic_latency +
+                             w.config().atomic_service));
+  }
+  w.bump(kQueueAtomics, 1 + r.retries + drift);
+  w.bump(kQueueCasFailures, r.retries + drift);
+  const std::uint64_t claimed =
+      std::min<std::uint64_t>(n, snap[1] > r.old_value ? snap[1] - r.old_value : 0);
+  if (claimed == 0) {
+    w.bump(kEmptyRetries, n);
+    co_return;
+  }
+  std::uint64_t index = r.old_value;
+  std::uint64_t left = claimed;
+  LaneMask served = 0;
+  for_lanes(st.hungry, [&](unsigned lane) {
+    if (left == 0) return;
+    st.slot[lane] = index++;
+    served |= bit(lane);
+    --left;
+  });
+  st.assigned |= served;
+  st.hungry &= ~served;
+}
+
+Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
+  const std::uint32_t total = st.total_new();
+  if (total == 0) co_return;
+
+  unsigned producers = 0;
+  for (auto k : st.n_new) producers += k > 0;
+  co_await w.lds_ops(producers + 1);
+
+  // Proxy CAS loop reserving `total` slots, bounded by capacity. Claims
+  // racing in ahead of ours are failed attempts of this loop, paid as
+  // extra round trips.
+  const std::uint64_t rear_before = co_await w.load(layout_.rear_addr());
+  const simt::CasResult r = co_await w.atomic_bounded_add(
+      layout_.rear_addr(), total, layout_.capacity);
+  const std::uint64_t drift = std::min<std::uint64_t>(
+      r.old_value > rear_before ? r.old_value - rear_before : 0, 16);
+  if (drift > 0) {
+    co_await w.idle(drift * (2 * w.config().atomic_latency +
+                             w.config().atomic_service));
+  }
+  w.bump(kQueueAtomics, 1 + r.retries + drift);
+  w.bump(kQueueCasFailures, r.retries + drift);
+  if (r.old_value + total > layout_.capacity) {
+    co_await w.abort_kernel("queue full: AN enqueue beyond capacity");
+    co_return;
+  }
+
+  std::array<std::uint64_t, kWaveWidth> lane_base{};
+  std::uint64_t offset = r.old_value;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    lane_base[lane] = offset;
+    offset += st.n_new[lane];
+  }
+  co_await write_tokens(w, st, lane_base);
+}
+
+Kernel<void> AnQueue::report_complete(Wave& w, std::uint32_t count) {
+  if (count == 0) co_return;
+  co_await w.lds_ops(std::min<std::uint32_t>(count, kWaveWidth) + 1);
+  w.bump(kQueueAtomics);
+  co_await w.atomic_add(layout_.completed_addr(), count);
+}
+
+// ---- BASE: traditional lock-free queue, one CAS loop per thread ----
+
+Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
+  // Every hungry lane runs its own CAS loop on Front (one bounded claim
+  // per work cycle). Lock-step execution sends all of these loops to
+  // the atomic unit together, where they serialize and fail against one
+  // another — the Fig. 1 pathology. Lanes whose loop absorbed many
+  // failures back off a growing number of cycles (standard contention
+  // management; without it the storm grows quadratically).
+  if (!st.hungry) co_return;
+  LaneMask trying = 0;
+  for_lanes(st.hungry, [&](unsigned lane) {
+    if (st.backoff_wait[lane] == 0) {
+      trying |= bit(lane);
+    } else {
+      st.backoff_wait[lane] -= 1;
+    }
+  });
+  if (!trying) co_return;
+
+  // Coalesced (Front, Rear) snapshot for the queue-empty check.
+  std::array<Addr, kWaveWidth> snap_addr{};
+  snap_addr[0] = layout_.front_addr();
+  snap_addr[1] = layout_.rear_addr();
+  std::array<std::uint64_t, kWaveWidth> snap{};
+  co_await w.load_lanes(LaneMask{0b11}, snap_addr, snap);
+  const std::uint64_t rear = snap[1];
+  if (snap[0] >= rear) {
+    // Queue-empty exception: every hungry lane retries next work cycle.
+    w.bump(kEmptyRetries, static_cast<std::uint64_t>(std::popcount(trying)));
+    co_return;
+  }
+
+  std::array<Addr, kWaveWidth> addrs{};
+  std::array<std::uint64_t, kWaveWidth> ones{};
+  std::array<std::uint64_t, kWaveWidth> bound{};
+  std::array<std::uint64_t, kWaveWidth> old{};
+  std::array<std::uint64_t, kWaveWidth> retries{};
+  for_lanes(trying, [&](unsigned lane) {
+    addrs[lane] = layout_.front_addr();
+    ones[lane] = 1;
+    bound[lane] = rear;
+  });
+  const LaneMask claimed = co_await w.atomic_lanes(
+      simt::AtomicKind::kBoundedAdd, trying, addrs, ones, bound, old, retries);
+
+  std::uint64_t attempts = 0, failures = 0;
+  for_lanes(trying, [&](unsigned lane) {
+    attempts += 1 + retries[lane];
+    failures += retries[lane];
+  });
+  w.bump(kQueueAtomics, attempts);
+  w.bump(kQueueCasFailures, failures);
+  w.bump(kEmptyRetries,
+         static_cast<std::uint64_t>(std::popcount(trying & ~claimed)));
+
+  for_lanes(claimed, [&](unsigned lane) { st.slot[lane] = old[lane]; });
+  for_lanes(trying, [&](unsigned lane) {
+    // Contention-managed retry pacing: a loop that absorbed failures
+    // backs off whether or not it finally claimed.
+    constexpr std::uint64_t kThreshold = 2;
+    constexpr std::uint8_t kMaxExp = 4;
+    if (retries[lane] > kThreshold) {
+      st.backoff_exp[lane] =
+          std::min<std::uint8_t>(st.backoff_exp[lane] + 1, kMaxExp);
+      st.backoff_wait[lane] = static_cast<std::uint8_t>(
+          ((1u << st.backoff_exp[lane]) - 1) + (lane & 3u));
+    } else {
+      st.backoff_exp[lane] = 0;
+    }
+  });
+  st.assigned |= claimed;
+  st.hungry &= ~claimed;
+}
+
+Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
+  std::array<std::uint32_t, kWaveWidth> cursor{};
+  LaneMask pending = 0;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    if (st.n_new[lane] > 0) pending |= bit(lane);
+  }
+  if (!pending) co_return;
+
+  // Each producing lane CAS-loops one slot per token out of Rear; all
+  // pending lanes issue together in lock-step.
+  while (pending) {
+    std::array<Addr, kWaveWidth> addrs{};
+    std::array<std::uint64_t, kWaveWidth> ones{};
+    std::array<std::uint64_t, kWaveWidth> bound{};
+    std::array<std::uint64_t, kWaveWidth> old{};
+    std::array<std::uint64_t, kWaveWidth> retries{};
+    for_lanes(pending, [&](unsigned lane) {
+      addrs[lane] = layout_.rear_addr();
+      ones[lane] = 1;
+      bound[lane] = layout_.capacity;
+    });
+    const LaneMask claimed = co_await w.atomic_lanes(
+        simt::AtomicKind::kBoundedAdd, pending, addrs, ones, bound, old, retries);
+    std::uint64_t attempts = 0, failures = 0;
+    for_lanes(pending, [&](unsigned lane) {
+      attempts += 1 + retries[lane];
+      failures += retries[lane];
+    });
+    w.bump(kQueueAtomics, attempts);
+    w.bump(kQueueCasFailures, failures);
+    if (claimed != pending) {
+      co_await w.abort_kernel("queue full: BASE enqueue beyond capacity");
+      co_return;
+    }
+
+    // Winners store their token into the slot they reserved.
+    std::array<Addr, kWaveWidth> saddr{};
+    std::array<std::uint64_t, kWaveWidth> sval{};
+    for_lanes(claimed, [&](unsigned lane) {
+      saddr[lane] = layout_.slots.base + old[lane];
+      sval[lane] = st.new_tokens[lane][cursor[lane]];
+    });
+    co_await w.store_lanes(claimed, saddr, sval);
+    w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(claimed)));
+    for_lanes(claimed, [&](unsigned lane) {
+      if (++cursor[lane] == st.n_new[lane]) pending &= ~bit(lane);
+    });
+  }
+}
+
+Kernel<void> BaseQueue::report_complete(Wave& w, std::uint32_t count) {
+  if (count == 0) co_return;
+  // No proxy aggregation in the traditional design: each finishing lane
+  // issues its own AFA on the completion counter.
+  std::array<Addr, kWaveWidth> addrs{};
+  std::array<std::uint64_t, kWaveWidth> ones{};
+  const unsigned lanes = std::min<std::uint32_t>(count, kWaveWidth);
+  LaneMask mask = lanes >= kWaveWidth ? simt::kAllLanes : (bit(lanes) - 1);
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    addrs[lane] = layout_.completed_addr();
+    ones[lane] = 1;
+  }
+  // A lane can finish more than one token per cycle only with budget >
+  // out-degree; fold the remainder into lane 0.
+  if (count > kWaveWidth) ones[0] += count - kWaveWidth;
+  w.bump(kQueueAtomics, lanes);
+  co_await w.atomic_lanes(simt::AtomicKind::kAdd, mask, addrs, ones);
+}
+
+std::unique_ptr<DeviceQueue> make_queue_variant(QueueVariant variant,
+                                                QueueLayout layout) {
+  switch (variant) {
+    case QueueVariant::kBase:
+      return std::make_unique<BaseQueue>(layout);
+    case QueueVariant::kAn:
+      return std::make_unique<AnQueue>(layout);
+    case QueueVariant::kRfan:
+      return std::make_unique<RfanQueue>(layout);
+    default:
+      throw simt::SimError(
+          "make_queue_variant handles the paper's three variants; use "
+          "make_scheduler for the extension schedulers");
+  }
+}
+
+}  // namespace scq

@@ -1,0 +1,288 @@
+#include "core/ext_schedulers.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/counters.h"
+
+namespace scq {
+
+namespace {
+
+constexpr LaneMask bit(unsigned lane) { return LaneMask{1} << lane; }
+
+template <typename F>
+void for_lanes(LaneMask mask, F&& f) {
+  while (mask) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+    f(lane);
+    mask &= mask - 1;
+  }
+}
+
+constexpr int kMaxLockRounds = 1 << 20;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// LockedStack
+// ---------------------------------------------------------------------
+
+Kernel<void> LockedStack::acquire_slots(Wave& w, WaveQueueState& st) {
+  const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
+  if (n == 0) co_return;
+
+  // One lock attempt per work cycle; a busy lock is this design's
+  // "retry next cycle".
+  w.bump(kQueueAtomics);
+  const simt::CasResult got = co_await w.atomic_cas(lock_addr(), 0, 1);
+  if (!got.success) {
+    w.bump(kQueueCasFailures);
+    co_return;
+  }
+
+  const std::uint64_t top = co_await w.load(top_addr());
+  const std::uint64_t take = std::min<std::uint64_t>(n, top);
+  if (take == 0) {
+    w.bump(kEmptyRetries, n);
+  } else {
+    // Pop [top-take, top), highest index first, and deliver eagerly —
+    // under the lock the payloads are guaranteed present, and restoring
+    // the sentinels before release keeps index reuse race-free.
+    LaneMask served = 0;
+    std::array<Addr, kWaveWidth> addrs{};
+    std::uint64_t index = top;
+    for_lanes(st.hungry, [&](unsigned lane) {
+      if (index == top - take) return;
+      --index;
+      served |= bit(lane);
+      addrs[lane] = layout_.slots.base + index;
+    });
+    std::array<std::uint64_t, kWaveWidth> values{};
+    co_await w.load_lanes(served, addrs, values);
+    std::array<std::uint64_t, kWaveWidth> dna{};
+    dna.fill(kDna);
+    co_await w.store_lanes(served, addrs, dna);
+    co_await w.store(top_addr(), top - take);
+
+    for_lanes(served, [&](unsigned lane) { st.ready_tokens[lane] = values[lane]; });
+    st.ready |= served;
+    st.hungry &= ~served;
+  }
+  co_await w.store(lock_addr(), 0);
+}
+
+Kernel<void> LockedStack::publish(Wave& w, WaveQueueState& st) {
+  const std::uint32_t total = st.total_new();
+  if (total == 0) co_return;
+
+  // Producers must publish this cycle, so they spin for the lock. The
+  // holder always releases, so the wait is bounded in practice.
+  for (int round = 0;; ++round) {
+    w.bump(kQueueAtomics);
+    const simt::CasResult got = co_await w.atomic_cas(lock_addr(), 0, 1);
+    if (got.success) break;
+    w.bump(kQueueCasFailures);
+    if (round > kMaxLockRounds) {
+      co_await w.abort_kernel("locked stack: lock livelock (simulator bug?)");
+      co_return;
+    }
+    co_await w.idle(80);
+  }
+
+  const std::uint64_t top = co_await w.load(top_addr());
+  if (top + total > layout_.capacity) {
+    co_await w.store(lock_addr(), 0);
+    co_await w.abort_kernel("queue full: stack push beyond capacity");
+    co_return;
+  }
+  std::array<std::uint64_t, kWaveWidth> lane_base{};
+  std::uint64_t offset = top;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    lane_base[lane] = offset;
+    offset += st.n_new[lane];
+  }
+  co_await write_tokens(w, st, lane_base);
+  co_await w.atomic_add(pushed_addr(), total);
+  co_await w.store(top_addr(), top + total);
+  co_await w.store(lock_addr(), 0);
+}
+
+Kernel<void> LockedStack::report_complete(Wave& w, std::uint32_t count) {
+  if (count == 0) co_return;
+  co_await w.lds_ops(std::min<std::uint32_t>(count, kWaveWidth) + 1);
+  w.bump(kQueueAtomics);
+  co_await w.atomic_add(layout_.completed_addr(), count);
+}
+
+void LockedStack::seed(simt::Device& dev, std::span<const std::uint64_t> tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    dev.write_word(layout_.slot_addr(i), tokens[i]);
+  }
+  dev.write_word(top_addr(), tokens.size());
+  dev.write_word(pushed_addr(), tokens.size());
+}
+
+// ---------------------------------------------------------------------
+// DistributedQueue
+// ---------------------------------------------------------------------
+
+namespace {
+
+QueueLayout make_distributed_layout(simt::Device& dev, std::uint64_t capacity,
+                                    std::uint32_t num_queues) {
+  if (num_queues == 0 || num_queues >= kWaveWidth) {
+    throw simt::SimError("DistributedQueue: need 1..63 sub-queues");
+  }
+  QueueLayout layout;
+  layout.ctrl = dev.alloc(4);  // completed lives in the counter block instead
+  const std::uint64_t per = std::max<std::uint64_t>(capacity / num_queues, 1);
+  layout.slots = dev.alloc(per * num_queues);
+  layout.capacity = per * num_queues;
+  dev.fill(layout.slots, kDna);
+  return layout;
+}
+
+}  // namespace
+
+DistributedQueue::DistributedQueue(simt::Device& dev, std::uint64_t capacity,
+                                   std::uint32_t num_queues)
+    : DeviceQueue(make_distributed_layout(dev, capacity, num_queues)),
+      num_queues_(num_queues),
+      per_queue_(layout_.capacity / num_queues) {
+  // [fronts | rears | completed]: rears and completed are contiguous so
+  // all_done can snapshot them with a single vector load.
+  counters_ = dev.alloc(2ull * num_queues_ + 1);
+  dev.fill(counters_, 0);
+}
+
+Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
+                                                   std::uint32_t q) {
+  const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
+  // Snapshot this sub-queue's (Front, Rear).
+  std::array<Addr, kWaveWidth> sa{};
+  sa[0] = front_of(q);
+  sa[1] = rear_of(q);
+  std::array<std::uint64_t, kWaveWidth> snap{};
+  co_await w.load_lanes(LaneMask{0b11}, sa, snap);
+  if (snap[0] >= snap[1]) co_return std::uint64_t{0};
+
+  const simt::CasResult r = co_await w.atomic_bounded_add(front_of(q), n, snap[1]);
+  w.bump(kQueueAtomics, 1 + r.retries);
+  w.bump(kQueueCasFailures, r.retries);
+  const std::uint64_t claimed = std::min<std::uint64_t>(
+      n, snap[1] > r.old_value ? snap[1] - r.old_value : 0);
+  if (claimed == 0) co_return std::uint64_t{0};
+
+  std::uint64_t local = r.old_value;
+  std::uint64_t left = claimed;
+  LaneMask served = 0;
+  for_lanes(st.hungry, [&](unsigned lane) {
+    if (left == 0) return;
+    st.slot[lane] = std::uint64_t{q} * per_queue_ + local++;
+    served |= bit(lane);
+    --left;
+  });
+  st.assigned |= served;
+  st.hungry &= ~served;
+  co_return claimed;
+}
+
+Kernel<void> DistributedQueue::acquire_slots(Wave& w, WaveQueueState& st) {
+  const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
+  if (n == 0) co_return;
+  co_await w.lds_ops(n + 1);  // proxy aggregation, as in AN/RF-AN
+
+  const std::uint32_t own = w.cu_id() % num_queues_;
+  std::uint64_t got = co_await claim_from(w, st, own);
+
+  // Own queue dry: steal from one rotating victim per work cycle.
+  if (st.hungry && num_queues_ > 1) {
+    const std::uint32_t victim =
+        (own + 1 + steal_rotor_++ % (num_queues_ - 1)) % num_queues_;
+    got += co_await claim_from(w, st, victim);
+  }
+  if (got == 0) {
+    w.bump(kEmptyRetries, static_cast<std::uint64_t>(std::popcount(st.hungry)));
+  }
+}
+
+Kernel<void> DistributedQueue::publish(Wave& w, WaveQueueState& st) {
+  const std::uint32_t total = st.total_new();
+  if (total == 0) co_return;
+
+  unsigned producers = 0;
+  for (auto k : st.n_new) producers += k > 0;
+  co_await w.lds_ops(producers + 1);
+
+  const std::uint32_t own = w.cu_id() % num_queues_;
+  const simt::CasResult r =
+      co_await w.atomic_bounded_add(rear_of(own), total, per_queue_);
+  w.bump(kQueueAtomics, 1 + r.retries);
+  w.bump(kQueueCasFailures, r.retries);
+  if (r.old_value + total > per_queue_) {
+    co_await w.abort_kernel("queue full: distributed sub-queue overflow");
+    co_return;
+  }
+
+  std::array<std::uint64_t, kWaveWidth> lane_base{};
+  std::uint64_t offset = std::uint64_t{own} * per_queue_ + r.old_value;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    lane_base[lane] = offset;
+    offset += st.n_new[lane];
+  }
+  co_await write_tokens(w, st, lane_base);
+}
+
+Kernel<void> DistributedQueue::report_complete(Wave& w, std::uint32_t count) {
+  if (count == 0) co_return;
+  co_await w.lds_ops(std::min<std::uint32_t>(count, kWaveWidth) + 1);
+  w.bump(kQueueAtomics);
+  co_await w.atomic_add(completed_of(), count);
+}
+
+Kernel<bool> DistributedQueue::all_done(Wave& w) {
+  // One vector load over [rears..., completed]: K+1 contiguous words.
+  const unsigned lanes = num_queues_ + 1;
+  std::array<Addr, kWaveWidth> addrs{};
+  for (unsigned i = 0; i < lanes; ++i) addrs[i] = counters_.at(num_queues_ + i);
+  std::array<std::uint64_t, kWaveWidth> values{};
+  const LaneMask mask =
+      lanes >= kWaveWidth ? simt::kAllLanes : ((LaneMask{1} << lanes) - 1);
+  co_await w.load_lanes(mask, addrs, values);
+  std::uint64_t pushed = 0;
+  for (unsigned q = 0; q < num_queues_; ++q) pushed += values[q];
+  co_return values[num_queues_] == pushed;
+}
+
+void DistributedQueue::seed(simt::Device& dev,
+                            std::span<const std::uint64_t> tokens) {
+  if (tokens.size() > per_queue_) {
+    throw simt::SimError("DistributedQueue: seed exceeds sub-queue capacity");
+  }
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    dev.write_word(layout_.slot_addr(i), tokens[i]);  // sub-queue 0
+  }
+  dev.write_word(rear_of(0), tokens.size());
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<DeviceQueue> make_scheduler(simt::Device& dev,
+                                            QueueVariant variant,
+                                            std::uint64_t capacity) {
+  switch (variant) {
+    case QueueVariant::kBase:
+    case QueueVariant::kAn:
+    case QueueVariant::kRfan:
+      return make_queue_variant(variant, make_device_queue(dev, capacity));
+    case QueueVariant::kStack:
+      return std::make_unique<LockedStack>(make_device_queue(dev, capacity));
+    case QueueVariant::kDistrib:
+      return std::make_unique<DistributedQueue>(dev, capacity,
+                                                dev.config().num_cus);
+  }
+  return nullptr;
+}
+
+}  // namespace scq

@@ -1,0 +1,94 @@
+// Extension schedulers beyond the paper's three-way study, implementing
+// designs its related-work section discusses (§2.1, §2.3):
+//
+//   LockedStack — a bounded LIFO stack guarded by a device spinlock:
+//     the mutual-exclusion strawman concurrent-data-structure research
+//     moved away from. Push and pop compete for a single shared access
+//     location (the paper's argument against stacks), and every
+//     operation serializes on the lock. Tokens are consumed *under* the
+//     lock and delivered eagerly, so the LIFO index reuse cannot race
+//     with the sentinel protocol.
+//
+//   DistributedQueue — per-CU RF/AN-style sub-queues with work stealing
+//     (Tzeng et al.'s distributed queuing): a wave publishes to its own
+//     CU's queue and, when that runs dry, claims from a rotating victim.
+//     Claims are bounded (no cross-queue monitors), so hungry waves poll
+//     like AN; termination snapshots every sub-queue tail at once.
+//
+// `make_scheduler` builds any of the five variants against one device.
+#pragma once
+
+#include <memory>
+
+#include "core/queue.h"
+
+namespace scq {
+
+class LockedStack final : public DeviceQueue {
+ public:
+  // Layout reinterpretation: ctrl[0] = Top (next free slot), ctrl[1] =
+  // total pushed (monotone; pairs with ctrl[2] Completed for the
+  // inherited all_done), ctrl[3] = spinlock word.
+  using DeviceQueue::DeviceQueue;
+
+  [[nodiscard]] QueueVariant variant() const override {
+    return QueueVariant::kStack;
+  }
+  Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) override;
+  Kernel<void> publish(Wave& w, WaveQueueState& st) override;
+  Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
+  void seed(simt::Device& dev, std::span<const std::uint64_t> tokens) override;
+
+ private:
+  [[nodiscard]] Addr top_addr() const { return layout_.ctrl.at(0); }
+  [[nodiscard]] Addr pushed_addr() const { return layout_.ctrl.at(1); }
+  [[nodiscard]] Addr lock_addr() const { return layout_.ctrl.at(3); }
+};
+
+class DistributedQueue final : public DeviceQueue {
+ public:
+  // Builds `num_queues` sub-queues of capacity/num_queues slots each.
+  // Sub-queue q owns slots [q*per, (q+1)*per) of the shared slot array;
+  // its Front/Rear live in a dedicated counter block laid out as
+  // [fronts(0..K) | rears(0..K) | completed] so that termination can
+  // snapshot every Rear plus Completed with one vector load.
+  DistributedQueue(simt::Device& dev, std::uint64_t capacity,
+                   std::uint32_t num_queues);
+
+  [[nodiscard]] QueueVariant variant() const override {
+    return QueueVariant::kDistrib;
+  }
+  Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) override;
+  Kernel<void> publish(Wave& w, WaveQueueState& st) override;
+  Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
+  Kernel<bool> all_done(Wave& w) override;
+  void seed(simt::Device& dev, std::span<const std::uint64_t> tokens) override;
+
+  [[nodiscard]] std::uint32_t num_queues() const { return num_queues_; }
+  [[nodiscard]] std::uint64_t per_queue_capacity() const { return per_queue_; }
+
+ private:
+  [[nodiscard]] Addr front_of(std::uint32_t q) const { return counters_.at(q); }
+  [[nodiscard]] Addr rear_of(std::uint32_t q) const {
+    return counters_.at(num_queues_ + q);
+  }
+  [[nodiscard]] Addr completed_of() const {
+    return counters_.at(2ull * num_queues_);
+  }
+  // Claim up to popcount(st.hungry) entries from sub-queue q; assigns
+  // monitors on success. Returns claimed count.
+  Kernel<std::uint64_t> claim_from(Wave& w, WaveQueueState& st, std::uint32_t q);
+
+  std::uint32_t num_queues_;
+  std::uint64_t per_queue_;
+  simt::Buffer counters_;
+  // Host-side rotor decorrelating steal victims (deterministic).
+  std::uint64_t steal_rotor_ = 0;
+};
+
+// Builds any scheduler variant with its buffers allocated on `dev`.
+std::unique_ptr<DeviceQueue> make_scheduler(simt::Device& dev,
+                                            QueueVariant variant,
+                                            std::uint64_t capacity);
+
+}  // namespace scq

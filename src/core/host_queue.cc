@@ -1,0 +1,12 @@
+// HostBrokerQueue / HostCasQueue are header-only templates (host_queue.h).
+// This TU exists to give the templates a home for explicit instantiation
+// checks: if the header stops compiling standalone, the library build
+// fails here rather than in a downstream user.
+#include "core/host_queue.h"
+
+namespace scq {
+
+template class HostBrokerQueue<std::uint64_t>;
+template class HostCasQueue<std::uint64_t>;
+
+}  // namespace scq

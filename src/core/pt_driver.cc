@@ -1,0 +1,79 @@
+#include "core/pt_driver.h"
+
+#include <array>
+#include <bit>
+
+#include "core/counters.h"
+
+namespace scq {
+
+namespace {
+
+Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
+                     const PtDriverOptions& options) {
+  WaveQueueState st{};
+  std::array<std::uint64_t, kWaveWidth> tokens{};
+
+  for (;;) {  // Algorithm 1: while WorkRemains()
+    w.bump(kWorkCycles);
+    if (co_await queue.all_done(w)) break;
+
+    // Dequeue phase 1: every lane that is neither working nor already
+    // monitoring a slot asks for one.
+    st.hungry = ~st.assigned;
+    co_await queue.acquire_slots(w, st);
+
+    // Dequeue phase 2: non-atomic arrival check.
+    const LaneMask arrived = co_await queue.check_arrival(w, st, tokens);
+    if (arrived == 0) {
+      co_await w.idle(options.poll_interval);
+      continue;
+    }
+
+    // DoWorkUnit() for every lane whose data arrived.
+    st.clear_produce();
+    std::uint32_t finished = 0;
+    LaneMask remaining = arrived;
+    while (remaining) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(remaining));
+      remaining &= remaining - 1;
+      std::uint32_t emitted = 0;
+      task(tokens[lane], [&](std::uint64_t child) {
+        if (emitted >= kMaxWorkBudget) {
+          throw simt::SimError(
+              "run_persistent_tasks: task emitted more than kMaxWorkBudget children");
+        }
+        st.push_token(lane, child);
+        ++emitted;
+      });
+      ++finished;
+    }
+    w.bump(kTasksProcessed, finished);
+    co_await w.compute(options.task_compute);
+
+    // ScheduleNewlyDiscoveredWorkTokens().
+    co_await queue.publish(w, st);
+    co_await queue.report_complete(w, finished);
+  }
+}
+
+}  // namespace
+
+simt::RunResult run_persistent_tasks(simt::Device& dev, DeviceQueue& queue,
+                                     std::span<const std::uint64_t> seeds,
+                                     const TaskFn& task,
+                                     const PtDriverOptions& options) {
+  if (seeds.size() > queue.layout().capacity) {
+    throw simt::SimError("run_persistent_tasks: more seeds than queue capacity");
+  }
+  queue.seed(dev, seeds);
+
+  const std::uint32_t workgroups = options.num_workgroups != 0
+                                       ? options.num_workgroups
+                                       : dev.config().resident_waves();
+  return dev.launch(workgroups, [&](Wave& w) -> Kernel<void> {
+    return pt_loop(w, queue, task, options);
+  });
+}
+
+}  // namespace scq

@@ -1,0 +1,47 @@
+// Generic persistent-thread task scheduler (paper Algorithm 1).
+//
+// Launches persistent waves that loop work cycles: request task tokens
+// from the shared concurrent queue, run the task, publish any newly
+// discovered tasks, and report completion — until every token ever
+// enqueued has been processed. The queue variant is pluggable, which is
+// exactly how the paper isolates the retry-free / arbitrary-n effects.
+//
+// This is the simple, application-agnostic entry point (tasks are host
+// callbacks). Performance-critical drivers (the BFS kernels in src/bfs)
+// write their own wave kernels against DeviceQueue directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/queue.h"
+#include "sim/device.h"
+
+namespace scq {
+
+struct PtDriverOptions {
+  // 0 = use every resident wave slot (the persistent-thread setup).
+  std::uint32_t num_workgroups = 0;
+  // Wait between polls when a work cycle makes no progress.
+  simt::Cycle poll_interval = 200;
+  // Modeled ALU cost of one task.
+  simt::Cycle task_compute = 16;
+};
+
+// Called once per dequeued token. `emit` schedules a newly discovered
+// task (at most kMaxWorkBudget per invocation). Runs on the (single-
+// threaded) simulation loop, so host-side state needs no locking.
+using TaskFn =
+    std::function<void(std::uint64_t token,
+                       const std::function<void(std::uint64_t)>& emit)>;
+
+// Seeds the queue, runs the persistent-thread loop to termination, and
+// returns the launch result. Throws SimError on malformed usage (e.g. a
+// task emitting more than kMaxWorkBudget children).
+simt::RunResult run_persistent_tasks(simt::Device& dev, DeviceQueue& queue,
+                                     std::span<const std::uint64_t> seeds,
+                                     const TaskFn& task,
+                                     const PtDriverOptions& options = {});
+
+}  // namespace scq

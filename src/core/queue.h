@@ -1,0 +1,202 @@
+// Device-side concurrent queues for persistent-thread task scheduling.
+//
+// Three variants, mirroring the paper's §5.3 study:
+//
+//   BaseQueue (BASE) — a traditional lock-free array queue: every hungry
+//     thread runs its own CAS loop on Front (and every producing thread
+//     on Rear). Suffers both retry sources: CAS failure and queue-empty
+//     exceptions.
+//   AnQueue (AN)     — adds the arbitrary-n property: a per-wavefront
+//     proxy thread aggregates demand with local (LDS) atomics and issues
+//     one CAS for n slots. Still retries on CAS failure and on empty.
+//   RfanQueue (RF/AN) — the paper's proposed queue: the proxy issues a
+//     single non-failing Atomic Fetch-Add, and the queue-empty exception
+//     is refactored into a non-atomic "data-not-arrived" (dna) sentinel
+//     check on a slot each hungry thread uniquely monitors (§4).
+//
+// All variants share one bounded token array whose empty slots hold the
+// dna sentinel, so correctness is identical and the measured differences
+// isolate the retry-free and arbitrary-n properties.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "sim/device.h"
+
+namespace scq {
+
+using simt::Addr;
+using simt::Kernel;
+using simt::LaneMask;
+using simt::Wave;
+using simt::kWaveWidth;
+
+// Sentinel stored in every slot where valid data has not yet arrived.
+inline constexpr std::uint64_t kDna = ~std::uint64_t{0};
+
+// Upper bound on tokens a single lane may publish per work cycle (the
+// paper uses work cycles of 4 uniform sub-tasks; we allow sweeping the
+// budget for the ablation bench).
+inline constexpr unsigned kMaxWorkBudget = 32;
+
+// Queue control block + slot array in device global memory.
+struct QueueLayout {
+  simt::Buffer ctrl;   // [0]=Front  [1]=Rear  [2]=Completed
+  simt::Buffer slots;  // capacity words, initialized to kDna
+  std::uint64_t capacity = 0;
+
+  [[nodiscard]] Addr front_addr() const { return ctrl.at(0); }
+  [[nodiscard]] Addr rear_addr() const { return ctrl.at(1); }
+  [[nodiscard]] Addr completed_addr() const { return ctrl.at(2); }
+  [[nodiscard]] Addr slot_addr(std::uint64_t i) const { return slots.at(i); }
+};
+
+// Allocates and initializes a device queue (host side, pre-launch §3.1).
+QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity);
+
+// Re-initializes an existing queue (all slots dna, counters zero).
+void reset_device_queue(simt::Device& dev, const QueueLayout& q);
+
+// Seeds initial task tokens (slot i = tokens[i], Rear = tokens.size()).
+void seed_device_queue(simt::Device& dev, const QueueLayout& q,
+                       std::span<const std::uint64_t> tokens);
+
+// Per-wave queue registers, kept in the kernel coroutine frame.
+struct WaveQueueState {
+  // Dequeue side.
+  LaneMask hungry = 0;    // lanes that want a slot assignment
+  LaneMask assigned = 0;  // lanes monitoring a slot for data arrival
+  std::array<std::uint64_t, kWaveWidth> slot{};  // absolute slot index per lane
+
+  // Eager delivery: schedulers that read payloads during acquisition
+  // (e.g. the locked stack, which consumes under its lock) park tokens
+  // here; check_arrival() drains them first.
+  LaneMask ready = 0;
+  std::array<std::uint64_t, kWaveWidth> ready_tokens{};
+
+  // Enqueue side: lane i publishes n_new[i] tokens this cycle.
+  std::array<std::uint32_t, kWaveWidth> n_new{};
+  std::array<std::array<std::uint64_t, kMaxWorkBudget>, kWaveWidth> new_tokens{};
+
+  // CAS-retry state (BASE variant). A failing CAS returns the current
+  // counter value; the retry uses that observation as its next expected
+  // value instead of reloading (standard CAS-loop structure). Across
+  // lanes and waves the observations scatter over recent values, so the
+  // atomic unit can satisfy several of them as the counter advances —
+  // without this, one retry round-trip bounds global throughput.
+  LaneMask has_observation = 0;
+  std::array<std::uint64_t, kWaveWidth> observed{};
+  // Bounded exponential backoff (in work cycles) after a failed CAS.
+  std::array<std::uint8_t, kWaveWidth> backoff_exp{};
+  std::array<std::uint8_t, kWaveWidth> backoff_wait{};
+
+  void clear_produce() { n_new.fill(0); }
+  void push_token(unsigned lane, std::uint64_t token) {
+    new_tokens[lane][n_new[lane]++] = token;
+  }
+  [[nodiscard]] std::uint32_t total_new() const {
+    std::uint32_t n = 0;
+    for (auto k : n_new) n += k;
+    return n;
+  }
+};
+
+enum class QueueVariant {
+  kBase,   // traditional per-thread CAS queue
+  kAn,     // proxy-aggregated CAS queue
+  kRfan,   // the paper's retry-free / arbitrary-n queue
+  // Extensions beyond the paper's three-way study (§2 related work):
+  kStack,  // spinlock-guarded LIFO stack (mutual-exclusion strawman)
+  kDistrib // per-CU queues with work stealing (Tzeng-style)
+};
+[[nodiscard]] std::string_view to_string(QueueVariant v);
+
+// Interface shared by the three variants so driver kernels (BFS) are
+// variant-agnostic.
+class DeviceQueue {
+ public:
+  explicit DeviceQueue(QueueLayout layout) : layout_(layout) {}
+  virtual ~DeviceQueue() = default;
+  DeviceQueue(const DeviceQueue&) = delete;
+  DeviceQueue& operator=(const DeviceQueue&) = delete;
+
+  [[nodiscard]] virtual QueueVariant variant() const = 0;
+
+  // Dequeue, phase 1: assign queue slot indices to st.hungry lanes.
+  // RF/AN assigns every hungry lane unconditionally (one AFA); BASE/AN
+  // claim at most the published Front..Rear backlog and leave the rest
+  // hungry (queue-empty exception -> retry next cycle).
+  virtual Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) = 0;
+
+  // Enqueue: publish all st.n_new tokens (arbitrary-n variants reserve
+  // the whole wave's batch with one atomic; BASE loops per token).
+  virtual Kernel<void> publish(Wave& w, WaveQueueState& st) = 0;
+
+  // Reports `count` tasks finished (drives termination detection).
+  virtual Kernel<void> report_complete(Wave& w, std::uint32_t count) = 0;
+
+  // Dequeue, phase 2 (shared): non-atomic data-arrival check on every
+  // monitored slot. Arrived lanes receive their token (the slot is
+  // refilled with the sentinel) and leave st.assigned. Returns the mask
+  // of lanes whose data arrived.
+  Kernel<LaneMask> check_arrival(Wave& w, WaveQueueState& st,
+                                 std::span<std::uint64_t> tokens);
+
+  // True once every enqueued token has been fully processed (Completed
+  // == Rear read in one coalesced snapshot). Virtual: distributed
+  // schedulers snapshot several tails.
+  virtual Kernel<bool> all_done(Wave& w);
+
+  // Host-side seeding of initial task tokens (default: contiguous slots
+  // from index 0 with Rear = count).
+  virtual void seed(simt::Device& dev, std::span<const std::uint64_t> tokens);
+
+  [[nodiscard]] const QueueLayout& layout() const { return layout_; }
+
+ protected:
+  // Shared enqueue tail for the arbitrary-n variants: lane i writes its
+  // tokens to slots [base_for_lane[i], +n_new[i]), verifying the dna
+  // sentinel (queue-full aborts the kernel, §4.4).
+  Kernel<void> write_tokens(Wave& w, WaveQueueState& st,
+                            const std::array<std::uint64_t, kWaveWidth>& lane_base);
+
+  QueueLayout layout_;
+};
+
+// ---- Variants ----
+
+class RfanQueue final : public DeviceQueue {
+ public:
+  using DeviceQueue::DeviceQueue;
+  [[nodiscard]] QueueVariant variant() const override { return QueueVariant::kRfan; }
+  Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) override;
+  Kernel<void> publish(Wave& w, WaveQueueState& st) override;
+  Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
+};
+
+class AnQueue final : public DeviceQueue {
+ public:
+  using DeviceQueue::DeviceQueue;
+  [[nodiscard]] QueueVariant variant() const override { return QueueVariant::kAn; }
+  Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) override;
+  Kernel<void> publish(Wave& w, WaveQueueState& st) override;
+  Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
+};
+
+class BaseQueue final : public DeviceQueue {
+ public:
+  using DeviceQueue::DeviceQueue;
+  [[nodiscard]] QueueVariant variant() const override { return QueueVariant::kBase; }
+  Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) override;
+  Kernel<void> publish(Wave& w, WaveQueueState& st) override;
+  Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
+};
+
+std::unique_ptr<DeviceQueue> make_queue_variant(QueueVariant variant,
+                                                QueueLayout layout);
+
+}  // namespace scq

@@ -1,0 +1,52 @@
+#include "graph/bfs_ref.h"
+
+#include <stdexcept>
+
+namespace scq::graph {
+
+std::vector<std::uint32_t> bfs_levels(const Graph& g, Vertex source) {
+  if (source >= g.num_vertices()) {
+    throw std::invalid_argument("bfs_levels: source out of range");
+  }
+  std::vector<std::uint32_t> level(g.num_vertices(), kUnreached);
+  std::vector<Vertex> frontier{source};
+  std::vector<Vertex> next;
+  level[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const Vertex v : frontier) {
+      for (const Vertex u : g.neighbors(v)) {
+        if (level[u] == kUnreached) {
+          level[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+std::vector<std::uint64_t> frontier_profile(const Graph& g, Vertex source) {
+  const auto level = bfs_levels(g, source);
+  std::uint32_t max_level = 0;
+  for (const auto l : level) {
+    if (l != kUnreached) max_level = std::max(max_level, l);
+  }
+  std::vector<std::uint64_t> profile(static_cast<std::size_t>(max_level) + 1, 0);
+  for (const auto l : level) {
+    if (l != kUnreached) profile[l] += 1;
+  }
+  return profile;
+}
+
+std::uint64_t reachable_count(const Graph& g, Vertex source) {
+  const auto level = bfs_levels(g, source);
+  std::uint64_t n = 0;
+  for (const auto l : level) n += l != kUnreached;
+  return n;
+}
+
+}  // namespace scq::graph

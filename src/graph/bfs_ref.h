@@ -1,0 +1,25 @@
+// Serial reference BFS: ground truth for validating every parallel BFS
+// run, and the source of the per-level dynamic-parallelism profiles
+// (paper Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+inline constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+// Levels (hop counts) from `source`; kUnreached for unreachable vertices.
+std::vector<std::uint32_t> bfs_levels(const Graph& g, Vertex source);
+
+// frontier[i] = number of vertices at BFS level i — "vertices available
+// for thread assignment at each level" (Fig. 3).
+std::vector<std::uint64_t> frontier_profile(const Graph& g, Vertex source);
+
+// Vertices reachable from source (including source itself).
+std::uint64_t reachable_count(const Graph& g, Vertex source);
+
+}  // namespace scq::graph

@@ -1,0 +1,106 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace scq::graph {
+
+using util::Xoshiro256;
+
+Graph synthetic_kary(Vertex n_vertices, unsigned fanout) {
+  if (fanout == 0) throw std::invalid_argument("synthetic_kary: fanout 0");
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n_vertices) + 1, 0);
+  std::vector<Vertex> cols;
+  // Children of v are fanout*v + 1 .. fanout*v + fanout (when in range).
+  for (Vertex v = 0; v < n_vertices; ++v) {
+    offsets[v] = cols.size();
+    const std::uint64_t first = std::uint64_t{fanout} * v + 1;
+    for (unsigned k = 0; k < fanout; ++k) {
+      const std::uint64_t child = first + k;
+      if (child < n_vertices) cols.push_back(static_cast<Vertex>(child));
+    }
+  }
+  offsets[n_vertices] = cols.size();
+  return Graph::from_csr(std::move(offsets), std::move(cols));
+}
+
+Graph rmat(const RmatParams& params) {
+  if (params.n_vertices == 0) throw std::invalid_argument("rmat: empty graph");
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must be non-negative");
+  }
+  // Number of recursion levels: smallest power of two covering V.
+  unsigned levels = 0;
+  while ((Vertex{1} << levels) < params.n_vertices) ++levels;
+
+  Xoshiro256 rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(params.n_edges);
+  while (edges.size() < params.n_edges) {
+    Vertex u = 0, v = 0;
+    for (unsigned bit = 0; bit < levels; ++bit) {
+      const double r = rng.uniform();
+      if (r < params.a) {
+        // top-left: nothing to add
+      } else if (r < params.a + params.b) {
+        v |= Vertex{1} << bit;
+      } else if (r < params.a + params.b + params.c) {
+        u |= Vertex{1} << bit;
+      } else {
+        u |= Vertex{1} << bit;
+        v |= Vertex{1} << bit;
+      }
+    }
+    if (u < params.n_vertices && v < params.n_vertices) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(params.n_vertices, edges, /*symmetrize=*/false,
+                           params.dedup);
+}
+
+Graph road_network(const RoadParams& params) {
+  if (params.n_vertices == 0) throw std::invalid_argument("road: empty graph");
+  const auto side = static_cast<Vertex>(
+      std::max<double>(1.0, std::floor(std::sqrt(double(params.n_vertices)))));
+  const Vertex n = params.n_vertices;
+  Xoshiro256 rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 3 / 2);
+
+  // Serpentine spanning path keeps the network connected and deep.
+  for (Vertex v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+
+  // Lattice cross-links: vertex (r, c) to (r+1, c) with probability
+  // `connectivity`; occasional diagonal shortcuts mimic highway ramps.
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex down = v + side;
+    if (down < n && rng.chance(params.connectivity * 0.55)) {
+      edges.emplace_back(v, down);
+    }
+    if (down + 1 < n && rng.chance(params.connectivity * 0.04)) {
+      edges.emplace_back(v, down + 1);
+    }
+  }
+  return Graph::from_edges(n, edges, /*symmetrize=*/true, /*dedup=*/true);
+}
+
+Graph rodinia_random(const RodiniaParams& params) {
+  if (params.n_vertices == 0) throw std::invalid_argument("rodinia: empty graph");
+  Xoshiro256 rng(params.seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(params.n_vertices) * params.avg_degree);
+  const std::uint64_t max_degree = 2ull * params.avg_degree - 1;
+  for (Vertex v = 0; v < params.n_vertices; ++v) {
+    const std::uint64_t degree = 1 + rng.below(max_degree);
+    for (std::uint64_t k = 0; k < degree; ++k) {
+      edges.emplace_back(v, static_cast<Vertex>(rng.below(params.n_vertices)));
+    }
+  }
+  return Graph::from_edges(params.n_vertices, edges, /*symmetrize=*/true,
+                           /*dedup=*/true);
+}
+
+}  // namespace scq::graph

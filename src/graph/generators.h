@@ -1,0 +1,55 @@
+// Synthetic graph generators standing in for the paper's datasets
+// (§5.2). Each generator is deterministic for a given seed and is
+// parameterized to match the published vertex/edge/fan-out statistics
+// of the dataset it substitutes (Tables 1 and 2); DESIGN.md explains
+// why matching those statistics preserves the queue-pressure profile.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+// The paper's synthetic saturator: a complete `fanout`-ary tree with
+// exactly `n_vertices` vertices (vertex v's children are f*v+1 ...
+// f*v+f). Frontier width grows by `fanout` per level until the machine
+// saturates — Fig. 3a.
+Graph synthetic_kary(Vertex n_vertices, unsigned fanout = 4);
+
+// R-MAT power-law generator (social-media stand-in: gplus_combined,
+// soc-LiveJournal1). Directed; `n_edges` samples with the classic
+// (a,b,c,d) recursion. High-degree skew yields wide, shallow BFS.
+struct RmatParams {
+  Vertex n_vertices = 1 << 16;
+  std::uint64_t n_edges = 1 << 20;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+  bool dedup = false;  // social graphs keep parallel edges (paper min deg 0)
+};
+Graph rmat(const RmatParams& params);
+
+// Road-network stand-in (USA-road-d.*): vertices on a sqrt(n) x sqrt(n)
+// grid, each connected to its lattice neighbours with probability
+// `connectivity`, plus a guaranteed spanning path so BFS reaches almost
+// everything. Undirected, degree ~2-3, diameter ~2*sqrt(n) (deep,
+// narrow BFS — Fig. 3d-f).
+struct RoadParams {
+  Vertex n_vertices = 1 << 16;
+  double connectivity = 0.62;  // tuned to hit avg degree ~2.4-2.8
+  std::uint64_t seed = 7;
+};
+Graph road_network(const RoadParams& params);
+
+// Rodinia BFS's input generator: each vertex gets a uniform-random
+// number of edges in [1, 2*avg_degree-1] to uniform-random targets
+// (graph4096 / graph65536 / graph1MW_6 use avg degree 6). Undirected in
+// Rodinia's files; we symmetrize to match.
+struct RodiniaParams {
+  Vertex n_vertices = 4096;
+  unsigned avg_degree = 6;
+  std::uint64_t seed = 3;
+};
+Graph rodinia_random(const RodiniaParams& params);
+
+}  // namespace scq::graph

@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <tuple>
+#include <stdexcept>
+#include <string>
+
+namespace scq::graph {
+
+Graph Graph::from_edges(Vertex n_vertices, std::span<const Edge> edges,
+                        bool symmetrize, bool dedup) {
+  std::vector<Edge> all;
+  all.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (const Edge& e : edges) {
+    if (e.first >= n_vertices || e.second >= n_vertices) {
+      throw std::invalid_argument("from_edges: endpoint out of range");
+    }
+    all.push_back(e);
+    if (symmetrize && e.first != e.second) all.emplace_back(e.second, e.first);
+  }
+  std::sort(all.begin(), all.end());
+  if (dedup) all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  Graph g;
+  g.row_offsets_.assign(static_cast<std::size_t>(n_vertices) + 1, 0);
+  for (const Edge& e : all) g.row_offsets_[e.first + 1] += 1;
+  for (std::size_t v = 1; v <= n_vertices; ++v) {
+    g.row_offsets_[v] += g.row_offsets_[v - 1];
+  }
+  g.cols_.reserve(all.size());
+  for (const Edge& e : all) g.cols_.push_back(e.second);
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<std::uint64_t> row_offsets,
+                      std::vector<Vertex> cols) {
+  Graph g;
+  g.row_offsets_ = std::move(row_offsets);
+  g.cols_ = std::move(cols);
+  g.validate();
+  return g;
+}
+
+Graph Graph::from_weighted_edges(Vertex n_vertices,
+                                 std::span<const WeightedEdge> edges,
+                                 bool symmetrize) {
+  struct Entry {
+    Vertex from, to;
+    Weight weight;
+    bool operator<(const Entry& rhs) const {
+      return std::tie(from, to, weight) < std::tie(rhs.from, rhs.to, rhs.weight);
+    }
+  };
+  std::vector<Entry> all;
+  all.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (const WeightedEdge& e : edges) {
+    if (e.from >= n_vertices || e.to >= n_vertices) {
+      throw std::invalid_argument("from_weighted_edges: endpoint out of range");
+    }
+    all.push_back({e.from, e.to, e.weight});
+    if (symmetrize && e.from != e.to) all.push_back({e.to, e.from, e.weight});
+  }
+  std::sort(all.begin(), all.end());
+
+  Graph g;
+  g.row_offsets_.assign(static_cast<std::size_t>(n_vertices) + 1, 0);
+  for (const Entry& e : all) g.row_offsets_[e.from + 1] += 1;
+  for (std::size_t v = 1; v <= n_vertices; ++v) {
+    g.row_offsets_[v] += g.row_offsets_[v - 1];
+  }
+  g.cols_.reserve(all.size());
+  g.weights_.reserve(all.size());
+  for (const Entry& e : all) {
+    g.cols_.push_back(e.to);
+    g.weights_.push_back(e.weight);
+  }
+  return g;
+}
+
+void Graph::set_weights(std::vector<Weight> weights) {
+  if (weights.size() != cols_.size()) {
+    throw std::invalid_argument("set_weights: size must equal num_edges");
+  }
+  weights_ = std::move(weights);
+}
+
+void Graph::validate() const {
+  if (row_offsets_.empty()) {
+    if (!cols_.empty()) throw std::invalid_argument("CSR: cols without offsets");
+    return;
+  }
+  if (row_offsets_.front() != 0) {
+    throw std::invalid_argument("CSR: row_offsets[0] != 0");
+  }
+  if (row_offsets_.back() != cols_.size()) {
+    throw std::invalid_argument("CSR: row_offsets back != num edges");
+  }
+  for (std::size_t v = 1; v < row_offsets_.size(); ++v) {
+    if (row_offsets_[v] < row_offsets_[v - 1]) {
+      throw std::invalid_argument("CSR: row_offsets not monotone at " +
+                                  std::to_string(v));
+    }
+  }
+  const Vertex n = num_vertices();
+  for (const Vertex c : cols_) {
+    if (c >= n) throw std::invalid_argument("CSR: column out of range");
+  }
+  if (!weights_.empty() && weights_.size() != cols_.size()) {
+    throw std::invalid_argument("CSR: weights/cols size mismatch");
+  }
+}
+
+}  // namespace scq::graph

@@ -1,0 +1,81 @@
+// Immutable CSR (compressed sparse row) directed graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace scq::graph {
+
+using Vertex = std::uint32_t;
+inline constexpr Vertex kInvalidVertex = ~Vertex{0};
+
+using Edge = std::pair<Vertex, Vertex>;
+using Weight = std::uint32_t;
+
+struct WeightedEdge {
+  Vertex from;
+  Vertex to;
+  Weight weight;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds CSR from an edge list. If `symmetrize` is set every edge is
+  // also inserted reversed (undirected graphs, e.g. roadmaps). Parallel
+  // edges are kept unless `dedup` is set; self-loops are always kept
+  // (BFS is insensitive to them).
+  static Graph from_edges(Vertex n_vertices, std::span<const Edge> edges,
+                          bool symmetrize = false, bool dedup = false);
+
+  // Takes ownership of prebuilt CSR arrays (validated).
+  static Graph from_csr(std::vector<std::uint64_t> row_offsets,
+                        std::vector<Vertex> cols);
+
+  // Weighted construction (weights parallel the cols array). If
+  // `symmetrize` is set, each reverse edge carries the same weight.
+  static Graph from_weighted_edges(Vertex n_vertices,
+                                   std::span<const WeightedEdge> edges,
+                                   bool symmetrize = false);
+
+  // Attaches weights to an unweighted graph (size must equal num_edges).
+  void set_weights(std::vector<Weight> weights);
+
+  [[nodiscard]] bool has_weights() const { return !weights_.empty(); }
+  [[nodiscard]] Weight weight(std::uint64_t edge_index) const {
+    return weights_.empty() ? Weight{1} : weights_[edge_index];
+  }
+  [[nodiscard]] const std::vector<Weight>& weights() const { return weights_; }
+
+  [[nodiscard]] Vertex num_vertices() const {
+    return row_offsets_.empty() ? 0 : static_cast<Vertex>(row_offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t num_edges() const { return cols_.size(); }
+
+  [[nodiscard]] std::uint64_t out_degree(Vertex v) const {
+    return row_offsets_[v + 1] - row_offsets_[v];
+  }
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return {cols_.data() + row_offsets_[v],
+            cols_.data() + row_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& row_offsets() const {
+    return row_offsets_;
+  }
+  [[nodiscard]] const std::vector<Vertex>& cols() const { return cols_; }
+
+  // Checks CSR invariants (monotone offsets, column bounds); throws
+  // std::invalid_argument on violation.
+  void validate() const;
+
+ private:
+  std::vector<std::uint64_t> row_offsets_;  // size V+1
+  std::vector<Vertex> cols_;                // size E
+  std::vector<Weight> weights_;             // size E or empty (unweighted)
+};
+
+}  // namespace scq::graph

@@ -1,0 +1,38 @@
+// Text-format loaders/writers for the datasets the paper evaluates on:
+//   - 9th DIMACS implementation challenge ".gr" roadmaps (USA-road-d.*)
+//   - SNAP edge lists (gplus_combined, soc-LiveJournal1)
+//   - Rodinia BFS graph files (graph4096 / graph65536 / graph1MW_6)
+// Writers exist so generated stand-ins can be exported and so loaders
+// are round-trip tested without fixture files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+// DIMACS shortest-path format: "c" comments, "p sp <n> <m>", and one
+// "a <u> <v> <w>" arc line per edge (1-indexed; weights ignored).
+Graph load_dimacs(std::istream& in);
+void write_dimacs(std::ostream& out, const Graph& g);
+
+// SNAP edge list: "#" comments, one "<u><ws><v>" pair per line. Vertex
+// ids may be sparse; they are remapped densely in first-seen order.
+Graph load_snap(std::istream& in);
+void write_snap(std::ostream& out, const Graph& g);
+
+// Rodinia BFS format: <n>, then n "<edge_start> <degree>" pairs, then
+// the source vertex, then <m>, then m "<dest> <cost>" pairs.
+struct RodiniaFile {
+  Graph graph;
+  Vertex source = 0;
+};
+RodiniaFile load_rodinia(std::istream& in);
+void write_rodinia(std::ostream& out, const Graph& g, Vertex source);
+
+// Convenience: dispatch on extension (.gr / .txt|.snap / .rodinia).
+Graph load_file(const std::string& path);
+
+}  // namespace scq::graph

@@ -1,0 +1,46 @@
+#include "graph/sssp_ref.h"
+
+#include <queue>
+#include <stdexcept>
+
+#include "util/prng.h"
+
+namespace scq::graph {
+
+std::vector<std::uint64_t> dijkstra(const Graph& g, Vertex source) {
+  if (source >= g.num_vertices()) {
+    throw std::invalid_argument("dijkstra: source out of range");
+  }
+  std::vector<std::uint64_t> dist(g.num_vertices(), kUnreachableDist);
+  using Item = std::pair<std::uint64_t, Vertex>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;  // stale entry
+    const std::uint64_t begin = g.row_offsets()[v];
+    const std::uint64_t end = g.row_offsets()[v + 1];
+    for (std::uint64_t e = begin; e < end; ++e) {
+      const Vertex u = g.cols()[e];
+      const std::uint64_t nd = d + g.weight(e);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+Graph with_random_weights(Graph g, std::uint64_t seed, Weight max_weight) {
+  if (max_weight == 0) throw std::invalid_argument("with_random_weights: max 0");
+  util::Xoshiro256 rng(seed);
+  std::vector<Weight> weights(g.num_edges());
+  for (auto& w : weights) w = 1 + static_cast<Weight>(rng.below(max_weight));
+  g.set_weights(std::move(weights));
+  return g;
+}
+
+}  // namespace scq::graph

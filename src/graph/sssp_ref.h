@@ -1,0 +1,24 @@
+// Serial Dijkstra reference for validating the parallel SSSP driver,
+// plus a helper for attaching deterministic random weights to generated
+// graphs (the DIMACS files carry real travel-time weights; our stand-in
+// generators produce topology only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+inline constexpr std::uint64_t kUnreachableDist = ~std::uint64_t{0};
+
+// Shortest-path distances from `source` using edge weights (weight 1
+// when the graph is unweighted). kUnreachableDist marks unreachable
+// vertices.
+std::vector<std::uint64_t> dijkstra(const Graph& g, Vertex source);
+
+// Returns `g` with deterministic pseudo-random weights in [1, max_weight].
+Graph with_random_weights(Graph g, std::uint64_t seed, Weight max_weight = 10);
+
+}  // namespace scq::graph

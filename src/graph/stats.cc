@@ -1,0 +1,43 @@
+#include "graph/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace scq::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  s.n_vertices = g.num_vertices();
+  s.n_edges = g.num_edges();
+  if (s.n_vertices == 0) return s;
+
+  s.min_degree = std::numeric_limits<std::uint64_t>::max();
+  double sum = 0.0, sum_sq = 0.0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.out_degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  const double n = static_cast<double>(s.n_vertices);
+  s.avg_degree = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - s.avg_degree * s.avg_degree);
+  s.std_degree = std::sqrt(variance);
+  return s;
+}
+
+std::string to_string(const DegreeStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "V=%llu E=%llu deg[min=%llu max=%llu avg=%.1f std=%.2f]",
+                static_cast<unsigned long long>(s.n_vertices),
+                static_cast<unsigned long long>(s.n_edges),
+                static_cast<unsigned long long>(s.min_degree),
+                static_cast<unsigned long long>(s.max_degree), s.avg_degree,
+                s.std_degree);
+  return buf;
+}
+
+}  // namespace scq::graph

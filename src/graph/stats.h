@@ -1,0 +1,26 @@
+// Degree statistics matching the columns of the paper's Tables 1 and 2
+// (edges per vertex: min / max / avg / std).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+struct DegreeStats {
+  std::uint64_t n_vertices = 0;
+  std::uint64_t n_edges = 0;
+  std::uint64_t min_degree = 0;
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  double std_degree = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+// "V=..., E=..., deg min/max/avg/std" one-liner for harness output.
+std::string to_string(const DegreeStats& s);
+
+}  // namespace scq::graph

@@ -1,0 +1,134 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+namespace simt {
+
+Device::Device(DeviceConfig config)
+    : config_(std::move(config)), atomic_unit_(config_.atomic_service) {
+  cus_.resize(config_.num_cus);
+  for (std::uint32_t i = 0; i < config_.num_cus; ++i) cus_[i].id = i;
+  const std::uint32_t resident = config_.resident_waves();
+  waves_.reserve(resident);
+  for (std::uint32_t s = 0; s < resident; ++s) {
+    // Slot s -> CU s % num_cus: consecutive workgroups spread across CUs
+    // first, matching how a GPU fills CUs before stacking occupancy.
+    waves_.push_back(std::make_unique<Wave>(*this, cus_[s % config_.num_cus], s));
+  }
+}
+
+Device::~Device() = default;
+
+void Device::schedule(Cycle t, std::coroutine_handle<> h) {
+  events_.push(Event{t, next_seq_++, h});
+}
+
+void Device::request_abort(std::string reason) {
+  if (!abort_) {
+    abort_ = true;
+    abort_reason_ = std::move(reason);
+  }
+}
+
+void Device::on_wave_complete(Wave& wave) {
+  finished_waves_.push_back(&wave);
+}
+
+void Device::reset_clock_and_stats() {
+  now_ = 0;
+  stats_ = DeviceStats{};
+  atomic_unit_ = AtomicUnit(config_.atomic_service);
+  for (auto& cu : cus_) cu.port_free = 0;
+}
+
+RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& factory) {
+  stats_.kernel_launches += 1;
+  const DeviceStats before = stats_;
+  const Cycle begin = now_;
+
+  RunResult result;
+  if (num_workgroups == 0) {
+    result.stats = stats_ - before;
+    return result;
+  }
+
+  abort_ = false;
+  abort_reason_.clear();
+  factory_ = &factory;
+  total_workgroups_ = num_workgroups;
+  next_workgroup_ = 0;
+  completed_workgroups_ = 0;
+  finished_waves_.clear();
+  atomic_unit_.prune(begin);
+
+  const Cycle start = begin + config_.kernel_launch_overhead;
+  for (auto& cu : cus_) cu.port_free = std::max(cu.port_free, start);
+
+  auto dispatch = [&](Wave& wave, Cycle at) {
+    const std::uint32_t wg = next_workgroup_++;
+    wave.workgroup_id_ = wg;  // visible to the factory
+    wave.bind(wg, factory(wave), at);
+  };
+
+  const std::uint32_t initial =
+      std::min(num_workgroups, config_.resident_waves());
+  for (std::uint32_t s = 0; s < initial; ++s) dispatch(*waves_[s], start);
+
+  Cycle end_time = start;
+  std::uint64_t events_processed = 0;
+  std::exception_ptr kernel_error{};
+
+  while (!events_.empty() && !abort_ && !kernel_error) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.t > start + config_.max_cycles_per_launch) {
+      throw SimError("kernel exceeded max_cycles_per_launch on device " +
+                     config_.name);
+    }
+    now_ = std::max(now_, ev.t);
+    ev.h.resume();
+
+    if ((++events_processed & ((1u << 22) - 1)) == 0) atomic_unit_.prune(now_);
+
+    // Handle waves whose top-level kernel just finished.
+    for (Wave* w : finished_waves_) {
+      end_time = std::max(end_time, w->now_);
+      stats_.waves_completed += 1;
+      completed_workgroups_ += 1;
+      if (w->top_.promise().error && !kernel_error) {
+        kernel_error = w->top_.promise().error;
+      }
+      w->release_kernel();
+      if (!kernel_error && next_workgroup_ < total_workgroups_) {
+        dispatch(*w, w->now_);
+      }
+    }
+    finished_waves_.clear();
+  }
+
+  factory_ = nullptr;
+
+  if (abort_ || kernel_error) {
+    // Stop the machine: drop pending events, then tear down every
+    // still-suspended kernel frame.
+    events_ = {};
+    for (auto& w : waves_) w->release_kernel();
+    if (kernel_error) std::rethrow_exception(kernel_error);
+    end_time = std::max(end_time, now_);
+  } else if (completed_workgroups_ != total_workgroups_) {
+    throw SimError("simulation deadlock: event queue drained with " +
+                   std::to_string(total_workgroups_ - completed_workgroups_) +
+                   " workgroups outstanding");
+  }
+
+  now_ = std::max(now_, end_time);
+  result.cycles = now_ - begin;
+  result.seconds = config_.seconds(result.cycles);
+  result.stats = stats_ - before;
+  result.aborted = abort_;
+  result.abort_reason = abort_reason_;
+  abort_ = false;
+  return result;
+}
+
+}  // namespace simt

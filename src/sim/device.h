@@ -1,0 +1,112 @@
+// The simulated device: memory, compute units, resident waves, and the
+// discrete-event engine that drives kernel coroutines.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "sim/wave.h"
+
+namespace simt {
+
+// Result of one kernel launch.
+struct RunResult {
+  Cycle cycles = 0;           // launch begin -> last wave completion
+  double seconds = 0.0;       // cycles / clock
+  DeviceStats stats{};        // stats delta for this launch only
+  bool aborted = false;       // kernel called abort_kernel()
+  std::string abort_reason;
+};
+
+// Builds the kernel coroutine for one workgroup. Called once per
+// workgroup as it is bound to a resident wave slot; the wave's
+// workgroup_id() is already set.
+using KernelFactory = std::function<Kernel<void>(Wave&)>;
+
+class Device {
+ public:
+  explicit Device(DeviceConfig config);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // ---- Host-side memory management (pre-launch, §3.1) ----
+  Buffer alloc(std::uint64_t words) { return mem_.alloc(words); }
+  void fill(Buffer b, std::uint64_t v) { mem_.fill(b, v); }
+  void write(Buffer b, std::span<const std::uint64_t> vals) { mem_.write(b, vals); }
+  [[nodiscard]] std::vector<std::uint64_t> read(Buffer b) const { return mem_.read(b); }
+  [[nodiscard]] std::uint64_t read_word(Addr a) const { return mem_.load(a); }
+  void write_word(Addr a, std::uint64_t v) { mem_.store(a, v); }
+
+  // ---- Execution ----
+  // Launches `num_workgroups` workgroups (one wave each). Workgroups
+  // beyond the resident capacity queue and dispatch as slots free (this
+  // is how grid-sized, non-persistent launches like Rodinia's work).
+  RunResult launch(std::uint32_t num_workgroups, const KernelFactory& factory);
+
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  [[nodiscard]] GlobalMemory& mem() { return mem_; }
+  [[nodiscard]] DeviceStats& stats() { return stats_; }
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  // Clears device clock and stats (memory contents are kept).
+  void reset_clock_and_stats();
+
+  // ---- Engine internals (used by Wave awaitables) ----
+  void schedule(Cycle t, std::coroutine_handle<> h);
+  Cycle atomic_unit_service(Addr addr, Cycle arrival) {
+    return atomic_unit_.service(addr, arrival);
+  }
+  [[nodiscard]] AtomicUnit& atomic_unit() { return atomic_unit_; }
+  // Optional execution tracing (not owned; nullptr disables).
+  void attach_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  [[nodiscard]] TraceRecorder* tracer() { return tracer_; }
+  void request_abort(std::string reason);
+  [[nodiscard]] bool abort_requested() const { return abort_; }
+
+ private:
+  friend void detail::notify_wave_complete(Wave& wave);
+  void on_wave_complete(Wave& wave);
+
+  struct Event {
+    Cycle t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& rhs) const {
+      return t != rhs.t ? t > rhs.t : seq > rhs.seq;
+    }
+  };
+
+  DeviceConfig config_;
+  GlobalMemory mem_;
+  AtomicUnit atomic_unit_;
+  DeviceStats stats_{};
+  Cycle now_ = 0;
+  TraceRecorder* tracer_ = nullptr;
+
+  std::vector<ComputeUnit> cus_;
+  std::vector<std::unique_ptr<Wave>> waves_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+
+  // Launch-scoped state.
+  std::uint32_t next_workgroup_ = 0;
+  std::uint32_t total_workgroups_ = 0;
+  std::uint32_t completed_workgroups_ = 0;
+  std::vector<Wave*> finished_waves_;  // drained after each resume
+  const KernelFactory* factory_ = nullptr;
+  bool abort_ = false;
+  std::string abort_reason_;
+};
+
+}  // namespace simt

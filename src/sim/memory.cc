@@ -1,0 +1,37 @@
+#include "sim/memory.h"
+
+namespace simt {
+
+void GlobalMemory::fill(Buffer buffer, std::uint64_t value) {
+  if (buffer.base + buffer.size > words_.size()) {
+    throw SimError("GlobalMemory::fill out of bounds");
+  }
+  for (std::uint64_t i = 0; i < buffer.size; ++i) words_[buffer.base + i] = value;
+}
+
+void GlobalMemory::write(Buffer buffer, std::span<const std::uint64_t> values) {
+  if (values.size() > buffer.size || buffer.base + buffer.size > words_.size()) {
+    throw SimError("GlobalMemory::write out of bounds");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) words_[buffer.base + i] = values[i];
+}
+
+std::vector<std::uint64_t> GlobalMemory::read(Buffer buffer) const {
+  if (buffer.base + buffer.size > words_.size()) {
+    throw SimError("GlobalMemory::read out of bounds");
+  }
+  return {words_.begin() + static_cast<std::ptrdiff_t>(buffer.base),
+          words_.begin() + static_cast<std::ptrdiff_t>(buffer.base + buffer.size)};
+}
+
+void AtomicUnit::prune(Cycle horizon) {
+  for (auto it = free_at_.begin(); it != free_at_.end();) {
+    if (it->second < horizon) {
+      it = free_at_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace simt

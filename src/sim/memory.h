@@ -1,0 +1,130 @@
+// Global memory and the serializing atomic unit.
+//
+// Memory is an array of 64-bit words, bounds-checked on every access so
+// that kernel bugs surface as SimError rather than silent corruption.
+// The atomic unit models per-address FIFO serialization: every atomic
+// request occupies its target address for `atomic_service` cycles, so
+// contended addresses (the queue's Front/Rear) back up — the precise
+// effect the paper's proxy-thread aggregation attacks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace simt {
+
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A host handle to a contiguous device allocation (in words).
+struct Buffer {
+  Addr base = 0;
+  std::uint64_t size = 0;  // in 64-bit words
+
+  [[nodiscard]] Addr at(std::uint64_t index) const {
+    if (index >= size) throw SimError("Buffer::at out of range");
+    return base + index;
+  }
+  [[nodiscard]] Addr end() const { return base + size; }
+};
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::uint64_t capacity_words = 0) { reserve(capacity_words); }
+
+  void reserve(std::uint64_t capacity_words) { words_.reserve(capacity_words); }
+
+  // Bump allocation, like clCreateBuffer before kernel launch (§3.1: all
+  // device allocations are static, made by the host up front).
+  Buffer alloc(std::uint64_t size_words) {
+    Buffer buffer{static_cast<Addr>(words_.size()), size_words};
+    words_.resize(words_.size() + size_words, 0);
+    return buffer;
+  }
+
+  [[nodiscard]] std::uint64_t load(Addr addr) const {
+    check(addr);
+    return words_[addr];
+  }
+  void store(Addr addr, std::uint64_t value) {
+    check(addr);
+    words_[addr] = value;
+  }
+
+  [[nodiscard]] std::uint64_t size_words() const { return words_.size(); }
+
+  // Host-side bulk access (outside simulated time).
+  void fill(Buffer buffer, std::uint64_t value);
+  void write(Buffer buffer, std::span<const std::uint64_t> values);
+  [[nodiscard]] std::vector<std::uint64_t> read(Buffer buffer) const;
+
+ private:
+  void check(Addr addr) const {
+    if (addr >= words_.size()) {
+      throw SimError("global memory access out of bounds: addr=" +
+                     std::to_string(addr) + " size=" + std::to_string(words_.size()));
+    }
+  }
+  std::vector<std::uint64_t> words_;
+};
+
+// Per-address FIFO occupancy tracking for the atomic unit. Stale entries
+// (addresses whose FIFO drained long ago) are pruned lazily.
+class AtomicUnit {
+ public:
+  explicit AtomicUnit(Cycle service_cycles) : service_(service_cycles) {}
+
+  struct Reservation {
+    Cycle start = 0;   // when the request reaches the head of the FIFO
+    Cycle done = 0;    // when its occupancy ends
+    Cycle waited = 0;  // start - arrival (backlog depth in cycles)
+  };
+
+  // Reserves `occupancy` cycles of the per-address FIFO for a request
+  // arriving at `arrival`.
+  Reservation reserve(Addr addr, Cycle arrival, Cycle occupancy) {
+    Cycle& free_at = free_at_[addr];
+    const Cycle start = free_at > arrival ? free_at : arrival;
+    free_at = start + occupancy;
+    return {start, free_at, start - arrival};
+  }
+
+  // Registers one request arriving at `arrival`; returns the cycle at
+  // which the request's *service completes* (FIFO per address).
+  Cycle service(Addr addr, Cycle arrival) {
+    return reserve(addr, arrival, service_).done;
+  }
+
+  // How long a request arriving now would wait (no state change).
+  [[nodiscard]] Cycle backlog(Addr addr, Cycle arrival) const {
+    const auto it = free_at_.find(addr);
+    if (it == free_at_.end() || it->second <= arrival) return 0;
+    return it->second - arrival;
+  }
+
+  [[nodiscard]] Cycle service_cycles() const { return service_; }
+
+  // Cycle at which `addr`'s FIFO next drains (for tests).
+  [[nodiscard]] Cycle free_at(Addr addr) const {
+    auto it = free_at_.find(addr);
+    return it == free_at_.end() ? 0 : it->second;
+  }
+
+  // Drops tracking entries older than `horizon` (bounded memory for
+  // long-running simulations touching many distinct addresses).
+  void prune(Cycle horizon);
+
+ private:
+  Cycle service_;
+  std::unordered_map<Addr, Cycle> free_at_;
+};
+
+}  // namespace simt

@@ -1,0 +1,41 @@
+#include "sim/config.h"
+
+namespace simt {
+
+// Calibration notes (see EXPERIMENTS.md): latencies are representative
+// GCN-era values. Fiji is a discrete part — higher clock, many CUs, fast
+// GDDR5/HBM path. Spectre is an APU — fewer CUs, lower clock, and global
+// traffic crossing the shared CPU/GPU memory controller (higher latency).
+DeviceConfig fiji_config() {
+  DeviceConfig cfg;
+  cfg.name = "Fiji";
+  cfg.num_cus = 56;
+  cfg.waves_per_cu = 4;
+  cfg.clock_ghz = 1.05;
+  cfg.mem_latency = 400;
+  cfg.line_extra = 4;
+  cfg.atomic_latency = 60;
+  cfg.atomic_service = 2;
+  cfg.lds_latency = 24;
+  cfg.issue_cost = 4;
+  cfg.kernel_launch_overhead = 200'000;
+  return cfg;
+}
+
+DeviceConfig spectre_config() {
+  DeviceConfig cfg;
+  cfg.name = "Spectre";
+  cfg.num_cus = 8;
+  cfg.waves_per_cu = 4;
+  cfg.clock_ghz = 0.72;
+  cfg.mem_latency = 520;
+  cfg.line_extra = 6;
+  cfg.atomic_latency = 90;
+  cfg.atomic_service = 3;
+  cfg.lds_latency = 24;
+  cfg.issue_cost = 4;
+  cfg.kernel_launch_overhead = 140'000;
+  return cfg;
+}
+
+}  // namespace simt

@@ -1,0 +1,41 @@
+#include "sim/stats.h"
+
+#include <cstdio>
+
+namespace simt {
+
+DeviceStats& DeviceStats::operator-=(const DeviceStats& rhs) {
+  global_loads -= rhs.global_loads;
+  global_stores -= rhs.global_stores;
+  lines_touched -= rhs.lines_touched;
+  afa_ops -= rhs.afa_ops;
+  cas_attempts -= rhs.cas_attempts;
+  cas_failures -= rhs.cas_failures;
+  xchg_ops -= rhs.xchg_ops;
+  lds_ops -= rhs.lds_ops;
+  compute_cycles -= rhs.compute_cycles;
+  idle_cycles -= rhs.idle_cycles;
+  waves_completed -= rhs.waves_completed;
+  kernel_launches -= rhs.kernel_launches;
+  for (std::size_t i = 0; i < user.size(); ++i) user[i] -= rhs.user[i];
+  return *this;
+}
+
+std::string DeviceStats::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "loads=%llu stores=%llu afa=%llu cas=%llu casfail=%llu "
+                "xchg=%llu lds=%llu waves=%llu launches=%llu",
+                static_cast<unsigned long long>(global_loads),
+                static_cast<unsigned long long>(global_stores),
+                static_cast<unsigned long long>(afa_ops),
+                static_cast<unsigned long long>(cas_attempts),
+                static_cast<unsigned long long>(cas_failures),
+                static_cast<unsigned long long>(xchg_ops),
+                static_cast<unsigned long long>(lds_ops),
+                static_cast<unsigned long long>(waves_completed),
+                static_cast<unsigned long long>(kernel_launches));
+  return buf;
+}
+
+}  // namespace simt

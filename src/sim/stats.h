@@ -1,0 +1,51 @@
+// Execution statistics collected by the simulator. The retry-focused
+// counters (CAS attempts/failures, atomic op counts) regenerate Fig. 1
+// and Fig. 5 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace simt {
+
+struct DeviceStats {
+  // Memory traffic.
+  std::uint64_t global_loads = 0;    // wave-level load instructions
+  std::uint64_t global_stores = 0;   // wave-level store instructions
+  std::uint64_t lines_touched = 0;   // 64B lines moved (coalescing metric)
+
+  // Atomics, by kind. cas_attempts counts every CAS issued; cas_failures
+  // counts those whose compare failed at service time (the retry driver).
+  std::uint64_t afa_ops = 0;
+  std::uint64_t cas_attempts = 0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t xchg_ops = 0;
+  std::uint64_t lds_ops = 0;
+
+  // Execution.
+  std::uint64_t compute_cycles = 0;  // port-occupying cycles
+  std::uint64_t idle_cycles = 0;     // wave-requested waits (poll backoff)
+  std::uint64_t waves_completed = 0;
+  std::uint64_t kernel_launches = 0;
+
+  // Application-defined counters (e.g. work cycles, poll checks, queue
+  // empty retries). Apps document their own indices.
+  std::array<std::uint64_t, 12> user{};
+
+  // Total global atomic operations of any kind (Fig. 5's numerator /
+  // denominator).
+  [[nodiscard]] std::uint64_t total_global_atomics() const {
+    return afa_ops + cas_attempts + xchg_ops;
+  }
+
+  DeviceStats& operator-=(const DeviceStats& rhs);
+  friend DeviceStats operator-(DeviceStats lhs, const DeviceStats& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace simt

@@ -1,0 +1,52 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace simt {
+
+const char* to_string(TraceOp op) {
+  switch (op) {
+    case TraceOp::kCompute: return "compute";
+    case TraceOp::kIdle: return "idle";
+    case TraceOp::kLoad: return "load";
+    case TraceOp::kStore: return "store";
+    case TraceOp::kVecLoad: return "vload";
+    case TraceOp::kVecStore: return "vstore";
+    case TraceOp::kAtomic: return "atomic";
+    case TraceOp::kVecAtomic: return "vatomic";
+    case TraceOp::kLds: return "lds";
+  }
+  return "?";
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"wg%u\",\"ph\":\"X\",\"ts\":%llu,"
+                  "\"dur\":%llu,\"pid\":%u,\"tid\":%u}",
+                  to_string(e.op), e.workgroup,
+                  static_cast<unsigned long long>(e.begin),
+                  static_cast<unsigned long long>(e.end > e.begin ? e.end - e.begin
+                                                                  : 0),
+                  e.cu, e.slot);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = to_chrome_json();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace simt

@@ -1,0 +1,76 @@
+// Execution tracing: records per-wave operation segments and exports
+// them in Chrome trace-event JSON (open chrome://tracing or Perfetto
+// and drop the file in). Each compute unit is a "process", each
+// resident wave slot a "thread", each device operation a duration
+// slice — making zero-cost wave switching, atomic-unit pileups, and
+// poll storms directly visible.
+//
+// Tracing is opt-in (Device::attach_tracer) and bounded: recording
+// stops silently after `capacity` events so tracing a long run cannot
+// exhaust memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace simt {
+
+enum class TraceOp : std::uint8_t {
+  kCompute,
+  kIdle,
+  kLoad,
+  kStore,
+  kVecLoad,
+  kVecStore,
+  kAtomic,
+  kVecAtomic,
+  kLds,
+};
+
+[[nodiscard]] const char* to_string(TraceOp op);
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 20) : capacity_(capacity) {
+    events_.reserve(std::min<std::size_t>(capacity, 1 << 16));
+  }
+
+  struct Event {
+    Cycle begin;
+    Cycle end;
+    std::uint32_t cu;
+    std::uint32_t slot;
+    std::uint32_t workgroup;
+    TraceOp op;
+  };
+
+  void record(const Event& e) {
+    if (events_.size() < capacity_) {
+      events_.push_back(e);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // Chrome trace-event JSON ("traceEvents" array of X-phase slices).
+  // Timestamps are simulated cycles reported as microseconds.
+  [[nodiscard]] std::string to_chrome_json() const;
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace simt

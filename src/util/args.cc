@@ -1,0 +1,174 @@
+#include "util/args.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace scq::util {
+
+void ArgParser::add_flag(std::string name, std::string help, bool default_value) {
+  Spec spec;
+  spec.kind = Kind::kBool;
+  spec.help = std::move(help);
+  spec.bool_value = default_value;
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+void ArgParser::add_int(std::string name, std::string help, std::int64_t default_value) {
+  Spec spec;
+  spec.kind = Kind::kInt;
+  spec.help = std::move(help);
+  spec.int_value = default_value;
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+void ArgParser::add_double(std::string name, std::string help, double default_value) {
+  Spec spec;
+  spec.kind = Kind::kDouble;
+  spec.help = std::move(help);
+  spec.double_value = default_value;
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+void ArgParser::add_string(std::string name, std::string help, std::string default_value) {
+  Spec spec;
+  spec.kind = Kind::kString;
+  spec.help = std::move(help);
+  spec.string_value = std::move(default_value);
+  specs_.emplace(std::move(name), std::move(spec));
+}
+
+bool ArgParser::assign(Spec& spec, std::string_view name, std::string_view value) {
+  switch (spec.kind) {
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        spec.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        spec.bool_value = false;
+      } else {
+        std::fprintf(stderr, "error: flag --%.*s expects true/false, got '%.*s'\n",
+                     static_cast<int>(name.size()), name.data(),
+                     static_cast<int>(value.size()), value.data());
+        return false;
+      }
+      return true;
+    case Kind::kInt: {
+      std::int64_t parsed = 0;
+      auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        std::fprintf(stderr, "error: flag --%.*s expects an integer, got '%.*s'\n",
+                     static_cast<int>(name.size()), name.data(),
+                     static_cast<int>(value.size()), value.data());
+        return false;
+      }
+      spec.int_value = parsed;
+      return true;
+    }
+    case Kind::kDouble: {
+      try {
+        spec.double_value = std::stod(std::string(value));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: flag --%.*s expects a number, got '%.*s'\n",
+                     static_cast<int>(name.size()), name.data(),
+                     static_cast<int>(value.size()), value.data());
+        return false;
+      }
+      return true;
+    }
+    case Kind::kString:
+      spec.string_value = std::string(value);
+      return true;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::optional<std::string_view> value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "error: unknown flag --%.*s (see --help)\n",
+                   static_cast<int>(name.size()), name.data());
+      return false;
+    }
+    Spec& spec = it->second;
+    if (!value) {
+      if (spec.kind == Kind::kBool) {
+        spec.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: flag --%.*s requires a value\n",
+                     static_cast<int>(name.size()), name.data());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(spec, name, *value)) return false;
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::find(std::string_view name, Kind kind) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end() || it->second.kind != kind) {
+    throw std::logic_error("flag not declared with this type: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool ArgParser::get_flag(std::string_view name) const {
+  return find(name, Kind::kBool).bool_value;
+}
+
+std::int64_t ArgParser::get_int(std::string_view name) const {
+  return find(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(std::string_view name) const {
+  return find(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::get_string(std::string_view name) const {
+  return find(name, Kind::kString).string_value;
+}
+
+void ArgParser::print_usage() const {
+  std::printf("%s — %s\n\nFlags:\n", program_.c_str(), description_.c_str());
+  for (const auto& [name, spec] : specs_) {
+    std::string default_repr;
+    switch (spec.kind) {
+      case Kind::kBool:
+        default_repr = spec.bool_value ? "true" : "false";
+        break;
+      case Kind::kInt:
+        default_repr = std::to_string(spec.int_value);
+        break;
+      case Kind::kDouble:
+        default_repr = std::to_string(spec.double_value);
+        break;
+      case Kind::kString:
+        default_repr = spec.string_value.empty() ? "\"\"" : spec.string_value;
+        break;
+    }
+    std::printf("  --%-22s %s (default: %s)\n", name.c_str(), spec.help.c_str(),
+                default_repr.c_str());
+  }
+}
+
+}  // namespace scq::util

@@ -1,0 +1,62 @@
+// Minimal command-line flag parser shared by all benchmark harnesses and
+// examples. Flags are of the form --name=value or --name value; bare
+// --name sets a boolean flag to true. Unknown flags are an error so that
+// sweep scripts fail loudly on typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scq::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  // Declare flags before Parse(). `help` is shown by --help.
+  void add_flag(std::string name, std::string help, bool default_value);
+  void add_int(std::string name, std::string help, std::int64_t default_value);
+  void add_double(std::string name, std::string help, double default_value);
+  void add_string(std::string name, std::string help, std::string default_value);
+
+  // Parses argv. Returns false (after printing usage) on --help or error.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] const std::string& get_string(std::string_view name) const;
+
+  // Positional arguments left over after flag parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage() const;
+
+ private:
+  enum class Kind { kBool, kInt, kDouble, kString };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    bool bool_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Spec& find(std::string_view name, Kind kind) const;
+  bool assign(Spec& spec, std::string_view name, std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec, std::less<>> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace scq::util

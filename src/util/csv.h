@@ -1,0 +1,26 @@
+// CSV emission for figure series (Fig. 1/3/4/5). Each benchmark can dump
+// the raw series to a file so plots can be regenerated externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scq::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Writes to `path`; returns false (with message on stderr) on failure.
+  bool write(const std::string& path) const;
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scq::util

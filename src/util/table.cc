@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scq::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_ms(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, seconds * 1e3);
+  return buf;
+}
+
+std::string Table::fmt_percent(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+  return buf;
+}
+
+std::string Table::fmt_speedup(double ratio, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, ratio);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace scq::util

@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer used by every benchmark harness to
+// emit paper-style tables (Table 3..6) on stdout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scq::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells are strings; helpers format common cell types.
+  void add_row(std::vector<std::string> cells);
+
+  static std::string fmt_double(double v, int precision = 5);
+  static std::string fmt_ms(double seconds, int precision = 4);
+  static std::string fmt_percent(double ratio, int precision = 2);
+  static std::string fmt_speedup(double ratio, int precision = 2);
+
+  // Renders with a header rule and column alignment.
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scq::util

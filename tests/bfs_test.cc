@@ -1,0 +1,305 @@
+// Integration tests: every BFS driver (persistent-thread with each
+// queue variant, Rodinia-style level-sync, CHAI-style collaborative)
+// validated against the serial reference across graph families and
+// device shapes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "bfs/chai_bfs.h"
+#include "bfs/common.h"
+#include "bfs/datasets.h"
+#include "bfs/pt_bfs.h"
+#include "bfs/rodinia_bfs.h"
+#include "core/counters.h"
+#include "graph/generators.h"
+
+namespace scq::bfs {
+namespace {
+
+simt::DeviceConfig small_device() {
+  simt::DeviceConfig cfg = simt::spectre_config();
+  cfg.name = "small";
+  cfg.num_cus = 4;
+  cfg.waves_per_cu = 2;
+  return cfg;
+}
+
+// ---- Persistent-thread BFS across variants and graph families ----
+
+struct PtCase {
+  QueueVariant variant;
+  std::string family;
+};
+
+class PtBfsCorrectness
+    : public ::testing::TestWithParam<std::tuple<QueueVariant, std::string>> {
+ protected:
+  static graph::Graph make(const std::string& family) {
+    if (family == "kary") return graph::synthetic_kary(5000, 4);
+    if (family == "rmat") {
+      graph::RmatParams p;
+      p.n_vertices = 2048;
+      p.n_edges = 16384;
+      return graph::rmat(p);
+    }
+    if (family == "road") {
+      graph::RoadParams p;
+      p.n_vertices = 3000;
+      return graph::road_network(p);
+    }
+    if (family == "rodinia") {
+      graph::RodiniaParams p;
+      p.n_vertices = 2048;
+      return graph::rodinia_random(p);
+    }
+    if (family == "star") {
+      // One hub with every other vertex as a child: max divergence.
+      std::vector<graph::Edge> edges;
+      for (graph::Vertex v = 1; v < 500; ++v) edges.emplace_back(0, v);
+      return graph::Graph::from_edges(500, edges);
+    }
+    if (family == "line") {
+      // Maximum depth, frontier of one: worst-case starvation.
+      std::vector<graph::Edge> edges;
+      for (graph::Vertex v = 0; v + 1 < 400; ++v) edges.emplace_back(v, v + 1);
+      return graph::Graph::from_edges(400, edges);
+    }
+    throw std::invalid_argument("unknown family " + family);
+  }
+};
+
+TEST_P(PtBfsCorrectness, MatchesSerialReference) {
+  const auto& [variant, family] = GetParam();
+  const graph::Graph g = make(family);
+  const auto ref = graph::bfs_levels(g, 0);
+
+  PtBfsOptions opt;
+  opt.variant = variant;
+  const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
+
+  ASSERT_FALSE(result.run.aborted) << result.run.abort_reason;
+  EXPECT_TRUE(matches_reference(result.levels, ref))
+      << first_mismatch(result.levels, ref);
+  EXPECT_GT(result.run.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PtBfsCorrectness,
+    ::testing::Combine(::testing::Values(QueueVariant::kBase, QueueVariant::kAn,
+                                         QueueVariant::kRfan),
+                       ::testing::Values("kary", "rmat", "road", "rodinia",
+                                         "star", "line")),
+    [](const auto& i) {
+      std::string name;
+      switch (std::get<0>(i.param)) {
+        case QueueVariant::kBase: name = "BASE"; break;
+        case QueueVariant::kAn: name = "AN"; break;
+        default: name = "RFAN"; break;
+      }
+      return name + "_" + std::get<1>(i.param);
+    });
+
+TEST(PtBfsTest, WorksWithOneWorkgroup) {
+  const graph::Graph g = graph::synthetic_kary(2000, 4);
+  const auto ref = graph::bfs_levels(g, 0);
+  PtBfsOptions opt;
+  opt.num_workgroups = 1;
+  const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
+  EXPECT_TRUE(matches_reference(result.levels, ref));
+}
+
+TEST(PtBfsTest, NonZeroSource) {
+  const graph::Graph g = graph::road_network({.n_vertices = 1000, .seed = 3});
+  const auto ref = graph::bfs_levels(g, 123);
+  const BfsResult result = run_pt_bfs(small_device(), g, 123, PtBfsOptions{});
+  EXPECT_TRUE(matches_reference(result.levels, ref));
+}
+
+TEST(PtBfsTest, SourceOutOfRangeThrows) {
+  const graph::Graph g = graph::synthetic_kary(10, 4);
+  EXPECT_THROW((void)run_pt_bfs(small_device(), g, 99, PtBfsOptions{}),
+               simt::SimError);
+}
+
+TEST(PtBfsTest, BadWorkBudgetThrows) {
+  const graph::Graph g = graph::synthetic_kary(10, 4);
+  PtBfsOptions opt;
+  opt.work_budget = 0;
+  EXPECT_THROW((void)run_pt_bfs(small_device(), g, 0, opt), simt::SimError);
+  opt.work_budget = kMaxWorkBudget + 1;
+  EXPECT_THROW((void)run_pt_bfs(small_device(), g, 0, opt), simt::SimError);
+}
+
+TEST(PtBfsTest, TinyQueueRetriesWithLargerCapacity) {
+  // Headroom so small the first attempt must abort queue-full; §4.4:
+  // retry with a larger queue.
+  const graph::Graph g = graph::synthetic_kary(4000, 4);
+  const auto ref = graph::bfs_levels(g, 0);
+  PtBfsOptions opt;
+  opt.queue_headroom = 0.1;
+  const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
+  EXPECT_GT(result.attempts, 1u);
+  EXPECT_FALSE(result.run.aborted);
+  EXPECT_TRUE(matches_reference(result.levels, ref));
+}
+
+TEST(PtBfsTest, RetryFreePropertyOnDevice) {
+  const graph::Graph g = graph::synthetic_kary(5000, 4);
+  PtBfsOptions opt;
+  opt.variant = QueueVariant::kRfan;
+  const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
+  EXPECT_EQ(result.run.stats.cas_attempts, 0u)
+      << "RF/AN BFS must not issue a single CAS";
+  EXPECT_EQ(result.run.stats.user[kQueueCasFailures], 0u);
+}
+
+TEST(PtBfsTest, BaseIssuesManyMoreSchedulerAtomics) {
+  const graph::Graph g = graph::synthetic_kary(20000, 4);
+  PtBfsOptions opt;
+  opt.variant = QueueVariant::kBase;
+  const auto base = run_pt_bfs(small_device(), g, 0, opt);
+  opt.variant = QueueVariant::kRfan;
+  const auto rfan = run_pt_bfs(small_device(), g, 0, opt);
+  EXPECT_GT(base.run.stats.user[kQueueAtomics],
+            10 * rfan.run.stats.user[kQueueAtomics]);
+  EXPECT_LT(rfan.run.cycles, base.run.cycles);
+}
+
+TEST(PtBfsTest, WorkBudgetSweepStaysCorrect) {
+  const graph::Graph g = graph::rodinia_random({.n_vertices = 1500, .seed = 11});
+  const auto ref = graph::bfs_levels(g, 0);
+  for (unsigned budget : {1u, 2u, 8u, 32u}) {
+    PtBfsOptions opt;
+    opt.work_budget = budget;
+    const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
+    EXPECT_TRUE(matches_reference(result.levels, ref)) << "budget " << budget;
+  }
+}
+
+TEST(PtBfsTest, BenignRaceModePlausible) {
+  const graph::Graph g = graph::road_network({.n_vertices = 2000, .seed = 21});
+  const auto ref = graph::bfs_levels(g, 0);
+  PtBfsOptions opt;
+  opt.atomic_discovery = false;
+  const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
+  EXPECT_TRUE(plausible_levels(result.levels, ref));
+}
+
+TEST(PtBfsTest, DeterministicRuns) {
+  const graph::Graph g = graph::rodinia_random({.n_vertices = 1000, .seed = 2});
+  const auto a = run_pt_bfs(small_device(), g, 0, PtBfsOptions{});
+  const auto b = run_pt_bfs(small_device(), g, 0, PtBfsOptions{});
+  EXPECT_EQ(a.run.cycles, b.run.cycles);
+  EXPECT_EQ(a.levels, b.levels);
+}
+
+TEST(PtBfsTest, MoreWorkgroupsFasterOnSaturatedGraph) {
+  const graph::Graph g = graph::synthetic_kary(60000, 4);
+  PtBfsOptions opt;
+  opt.num_workgroups = 1;
+  const auto one = run_pt_bfs(small_device(), g, 0, opt);
+  opt.num_workgroups = 8;
+  const auto eight = run_pt_bfs(small_device(), g, 0, opt);
+  EXPECT_LT(eight.run.cycles, one.run.cycles / 3)
+      << "saturated RF/AN should scale well with workgroups";
+}
+
+// ---- Rodinia baseline ----
+
+TEST(RodiniaBfsTest, MatchesReferenceOnItsOwnDatasets) {
+  const graph::Graph g = graph::rodinia_random({.n_vertices = 4096, .seed = 3});
+  const auto ref = graph::bfs_levels(g, 0);
+  const RodiniaBfsResult result = run_rodinia_bfs(small_device(), g, 0);
+  EXPECT_TRUE(matches_reference(result.bfs.levels, ref))
+      << first_mismatch(result.bfs.levels, ref);
+  // Two kernel launches per level.
+  EXPECT_EQ(result.launches, 2 * result.levels_executed);
+  EXPECT_EQ(result.bfs.run.stats.kernel_launches, result.launches);
+}
+
+TEST(RodiniaBfsTest, DeepGraphPaysPerLevelOverhead) {
+  std::vector<graph::Edge> edges;
+  for (graph::Vertex v = 0; v + 1 < 200; ++v) edges.emplace_back(v, v + 1);
+  const graph::Graph line = graph::Graph::from_edges(200, edges);
+  const RodiniaBfsResult result = run_rodinia_bfs(small_device(), line, 0);
+  EXPECT_TRUE(matches_reference(result.bfs.levels, graph::bfs_levels(line, 0)));
+  EXPECT_GE(result.levels_executed, 199u);
+  const simt::DeviceConfig cfg = small_device();
+  EXPECT_GT(result.bfs.run.cycles,
+            std::uint64_t{result.launches} * cfg.kernel_launch_overhead);
+}
+
+TEST(RodiniaBfsTest, HandlesHighDegreeHub) {
+  std::vector<graph::Edge> edges;
+  for (graph::Vertex v = 1; v < 300; ++v) edges.emplace_back(0, v);
+  const graph::Graph star = graph::Graph::from_edges(300, edges);
+  const RodiniaBfsResult result = run_rodinia_bfs(small_device(), star, 0);
+  EXPECT_TRUE(matches_reference(result.bfs.levels, graph::bfs_levels(star, 0)));
+}
+
+// ---- CHAI baseline ----
+
+TEST(ChaiBfsTest, MatchesReferenceOnRoadmaps) {
+  const graph::Graph g = graph::road_network({.n_vertices = 2000, .seed = 12});
+  const auto ref = graph::bfs_levels(g, 0);
+  const BfsResult result = run_chai_bfs(small_device(), g, 0);
+  ASSERT_FALSE(result.run.aborted) << result.run.abort_reason;
+  EXPECT_TRUE(matches_reference(result.levels, ref))
+      << first_mismatch(result.levels, ref);
+}
+
+TEST(ChaiBfsTest, MatchesReferenceOnRandomGraph) {
+  const graph::Graph g = graph::rodinia_random({.n_vertices = 3000, .seed = 8});
+  const auto ref = graph::bfs_levels(g, 0);
+  const BfsResult result = run_chai_bfs(small_device(), g, 0);
+  EXPECT_TRUE(matches_reference(result.levels, ref));
+}
+
+TEST(ChaiBfsTest, CasDiscoveryBurnsFailedCas) {
+  const graph::Graph g = graph::rodinia_random({.n_vertices = 3000, .seed = 8});
+  const BfsResult result = run_chai_bfs(small_device(), g, 0);
+  EXPECT_GT(result.run.stats.cas_failures, 0u)
+      << "shared children must produce failed discovery CASes";
+}
+
+TEST(ChaiBfsTest, TooManyCpuWorkgroupsThrows) {
+  const graph::Graph g = graph::synthetic_kary(100, 4);
+  ChaiBfsOptions opt;
+  opt.cpu_workgroups = 1000;
+  EXPECT_THROW((void)run_chai_bfs(small_device(), g, 0, opt), simt::SimError);
+}
+
+// ---- Dataset registry ----
+
+TEST(DatasetTest, RegistriesExposePaperTables) {
+  EXPECT_EQ(paper_datasets().size(), 6u);
+  EXPECT_EQ(chai_datasets().size(), 2u);
+  EXPECT_EQ(rodinia_datasets().size(), 3u);
+  EXPECT_EQ(dataset_by_name("Synthetic").kind, DatasetKind::kSynthetic);
+  EXPECT_EQ(dataset_by_name("graph1MW_6").paper_vertices, 1'000'000u);
+  EXPECT_THROW((void)dataset_by_name("nope"), std::invalid_argument);
+}
+
+TEST(DatasetTest, ScaledBuildsShrinkProportionally) {
+  const DatasetSpec& spec = dataset_by_name("USA-road-d.NY");
+  const graph::Graph g = spec.build(0.05);
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              0.05 * spec.paper_vertices, 0.01 * spec.paper_vertices);
+  EXPECT_THROW((void)spec.build(0.0), std::invalid_argument);
+  EXPECT_THROW((void)spec.build(1.5), std::invalid_argument);
+}
+
+TEST(DatasetTest, SocialBuildKeepsAverageDegree) {
+  const DatasetSpec& spec = dataset_by_name("soc-LiveJournal1");
+  const graph::Graph g = spec.build(0.002);
+  const double paper_avg = static_cast<double>(spec.paper_edges) /
+                           static_cast<double>(spec.paper_vertices);
+  const double got_avg = static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.num_vertices());
+  EXPECT_NEAR(got_avg, paper_avg, paper_avg * 0.25);
+}
+
+}  // namespace
+}  // namespace scq::bfs

@@ -1,0 +1,171 @@
+// Tests for the CAS-loop primitive (atomic_bounded_add): claim
+// semantics, partial claims, empty exits, folded-retry accounting and
+// their cost model.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "sim/device.h"
+
+namespace simt {
+namespace {
+
+DeviceConfig cfg() {
+  DeviceConfig c;
+  c.num_cus = 2;
+  c.waves_per_cu = 2;
+  c.mem_latency = 100;
+  c.atomic_latency = 50;
+  c.atomic_service = 4;
+  c.issue_cost = 2;
+  c.lds_latency = 8;
+  c.kernel_launch_overhead = 100;
+  return c;
+}
+
+TEST(BoundedAddTest, ClaimsUpToBound) {
+  Device dev(cfg());
+  const Buffer b = dev.alloc(1);
+  CasResult r{};
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    r = co_await w.atomic_bounded_add(b.at(0), 5, 3);  // want 5, only 3 below bound
+  });
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.old_value, 0u);
+  EXPECT_EQ(dev.read_word(b.at(0)), 3u) << "claim is clamped at the bound";
+}
+
+TEST(BoundedAddTest, EmptyClaimsNothing) {
+  Device dev(cfg());
+  const Buffer b = dev.alloc(1);
+  dev.write_word(b.at(0), 10);
+  CasResult r{};
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    r = co_await w.atomic_bounded_add(b.at(0), 4, 10);  // current == bound
+  });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.old_value, 10u);
+  EXPECT_EQ(dev.read_word(b.at(0)), 10u);
+}
+
+TEST(BoundedAddTest, SequentialClaimsPartitionTheRange) {
+  Device dev(cfg());
+  const Buffer b = dev.alloc(1);
+  std::array<std::uint64_t, 4> olds{};
+  (void)dev.launch(4, [&](Wave& w) -> Kernel<void> {
+    const CasResult r = co_await w.atomic_bounded_add(b.at(0), 25, 100);
+    olds[w.workgroup_id()] = r.old_value;
+  });
+  std::sort(olds.begin(), olds.end());
+  EXPECT_EQ(olds, (std::array<std::uint64_t, 4>{0, 25, 50, 75}));
+  EXPECT_EQ(dev.read_word(b.at(0)), 100u);
+}
+
+TEST(BoundedAddTest, UncontendedClaimHasNoRetries) {
+  Device dev(cfg());
+  const Buffer b = dev.alloc(1);
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    (void)co_await w.atomic_bounded_add(b.at(0), 1, 10);
+  });
+  EXPECT_EQ(result.stats.cas_attempts, 1u);
+  EXPECT_EQ(result.stats.cas_failures, 0u);
+}
+
+TEST(BoundedAddTest, ContendedClaimsFoldRetriesAndCost) {
+  // Many waves claim the same counter simultaneously: later claims wait
+  // behind earlier ones and absorb folded retries, which both show up
+  // in stats and stretch completion.
+  DeviceConfig c = cfg();
+  c.num_cus = 8;
+  c.waves_per_cu = 4;
+  Device dev(c);
+  const Buffer b = dev.alloc(1);
+  const auto contended = dev.launch(32, [&](Wave& w) -> Kernel<void> {
+    (void)co_await w.atomic_bounded_add(b.at(0), 1, 1'000'000);
+  });
+  EXPECT_EQ(dev.read_word(b.at(0)), 32u);
+  EXPECT_GT(contended.stats.cas_failures, 0u);
+  EXPECT_EQ(contended.stats.cas_attempts,
+            32u + contended.stats.cas_failures);
+
+  // Same work on distinct addresses: no contention, no failures.
+  Device dev2(c);
+  const Buffer b2 = dev2.alloc(32);
+  const auto spread = dev2.launch(32, [&](Wave& w) -> Kernel<void> {
+    (void)co_await w.atomic_bounded_add(b2.at(w.workgroup_id()), 1, 1'000'000);
+  });
+  EXPECT_EQ(spread.stats.cas_failures, 0u);
+  EXPECT_LT(spread.cycles, contended.cycles);
+}
+
+TEST(BoundedAddTest, VectorFormOneClaimPerLane) {
+  Device dev(cfg());
+  const Buffer b = dev.alloc(1);
+  std::array<Addr, kWaveWidth> addrs{};
+  addrs.fill(b.at(0));
+  std::array<std::uint64_t, kWaveWidth> ones{};
+  ones.fill(1);
+  std::array<std::uint64_t, kWaveWidth> bound{};
+  bound.fill(40);  // only 40 available for 64 lanes
+  std::array<std::uint64_t, kWaveWidth> old{};
+  LaneMask claimed = 0;
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    claimed = co_await w.atomic_lanes(AtomicKind::kBoundedAdd, kAllLanes,
+                                      addrs, ones, bound, old);
+  });
+  EXPECT_EQ(std::popcount(claimed), 40);
+  EXPECT_EQ(dev.read_word(b.at(0)), 40u);
+  // The claimed lanes' old values must partition 0..39.
+  std::vector<std::uint64_t> claims;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    if ((claimed >> lane) & 1u) claims.push_back(old[lane]);
+  }
+  std::sort(claims.begin(), claims.end());
+  for (std::size_t i = 0; i < claims.size(); ++i) EXPECT_EQ(claims[i], i);
+}
+
+TEST(BoundedAddTest, VectorFormReportsPerLaneRetries) {
+  Device dev(cfg());
+  const Buffer b = dev.alloc(1);
+  std::array<Addr, kWaveWidth> addrs{};
+  addrs.fill(b.at(0));
+  std::array<std::uint64_t, kWaveWidth> ones{};
+  ones.fill(1);
+  std::array<std::uint64_t, kWaveWidth> bound{};
+  bound.fill(1'000);
+  std::array<std::uint64_t, kWaveWidth> old{}, retries{};
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    (void)co_await w.atomic_lanes(AtomicKind::kBoundedAdd, kAllLanes, addrs,
+                                  ones, bound, old, retries);
+  });
+  // Lock-step: all 64 requests hit the same FIFO; the first waits for
+  // nothing, later ones absorb folded retries.
+  std::uint64_t total_retries = std::accumulate(retries.begin(), retries.end(),
+                                                std::uint64_t{0});
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(AtomicUnitTest, BacklogPeeksWithoutMutating) {
+  AtomicUnit unit(10);
+  EXPECT_EQ(unit.backlog(1, 100), 0u);
+  unit.service(1, 100);  // occupies until 110
+  EXPECT_EQ(unit.backlog(1, 105), 5u);
+  EXPECT_EQ(unit.backlog(1, 200), 0u);
+  // Peeking must not have created state for address 2.
+  EXPECT_EQ(unit.free_at(2), 0u);
+}
+
+TEST(AtomicUnitTest, ReserveWeightedOccupancy) {
+  AtomicUnit unit(10);
+  const auto first = unit.reserve(3, 100, 30);
+  EXPECT_EQ(first.start, 100u);
+  EXPECT_EQ(first.done, 130u);
+  EXPECT_EQ(first.waited, 0u);
+  const auto second = unit.reserve(3, 105, 10);
+  EXPECT_EQ(second.start, 130u);
+  EXPECT_EQ(second.waited, 25u);
+}
+
+}  // namespace
+}  // namespace simt

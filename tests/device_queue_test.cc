@@ -1,0 +1,469 @@
+// Tests for the three device-side queue variants (BASE / AN / RF/AN):
+// slot assignment, sentinel discipline, queue-full aborts, retry
+// accounting, and token-conservation invariants under the generic
+// persistent-thread driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "core/counters.h"
+#include "core/pt_driver.h"
+#include "core/queue.h"
+#include "sim/device.h"
+
+namespace scq {
+namespace {
+
+using simt::Device;
+using simt::DeviceConfig;
+using simt::Kernel;
+using simt::RunResult;
+using simt::Wave;
+
+DeviceConfig test_config(std::uint32_t cus = 4, std::uint32_t waves = 2) {
+  DeviceConfig cfg;
+  cfg.name = "qtest";
+  cfg.num_cus = cus;
+  cfg.waves_per_cu = waves;
+  cfg.clock_ghz = 1.0;
+  cfg.mem_latency = 100;
+  cfg.line_extra = 4;
+  cfg.atomic_latency = 40;
+  cfg.atomic_service = 4;
+  cfg.lds_latency = 8;
+  cfg.issue_cost = 2;
+  cfg.kernel_launch_overhead = 500;
+  return cfg;
+}
+
+TEST(QueueLayoutTest, MakeInitializesSentinels) {
+  Device dev(test_config());
+  const QueueLayout q = make_device_queue(dev, 16);
+  EXPECT_EQ(q.capacity, 16u);
+  EXPECT_EQ(dev.read_word(q.front_addr()), 0u);
+  EXPECT_EQ(dev.read_word(q.rear_addr()), 0u);
+  EXPECT_EQ(dev.read_word(q.completed_addr()), 0u);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(dev.read_word(q.slot_addr(i)), kDna);
+  }
+}
+
+TEST(QueueLayoutTest, SeedWritesTokensAndRear) {
+  Device dev(test_config());
+  const QueueLayout q = make_device_queue(dev, 8);
+  const std::vector<std::uint64_t> tokens{10, 11, 12};
+  seed_device_queue(dev, q, tokens);
+  EXPECT_EQ(dev.read_word(q.rear_addr()), 3u);
+  EXPECT_EQ(dev.read_word(q.slot_addr(0)), 10u);
+  EXPECT_EQ(dev.read_word(q.slot_addr(2)), 12u);
+  EXPECT_EQ(dev.read_word(q.slot_addr(3)), kDna);
+}
+
+TEST(QueueVariantNames, ToString) {
+  EXPECT_EQ(to_string(QueueVariant::kBase), "BASE");
+  EXPECT_EQ(to_string(QueueVariant::kAn), "AN");
+  EXPECT_EQ(to_string(QueueVariant::kRfan), "RF/AN");
+}
+
+// ---- Single-wave micro tests per variant ----
+
+class VariantTest : public ::testing::TestWithParam<QueueVariant> {};
+
+TEST_P(VariantTest, SixtyFourHungryLanesConsumeSixtyFourTokens) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 128);
+  auto queue = make_queue_variant(GetParam(), layout);
+  std::vector<std::uint64_t> tokens(kWaveWidth);
+  std::iota(tokens.begin(), tokens.end(), 100);
+  seed_device_queue(dev, layout, tokens);
+
+  std::array<std::uint64_t, kWaveWidth> got{};
+  LaneMask got_mask = 0;
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    std::array<std::uint64_t, kWaveWidth> recv{};
+    // Keep asking until every lane has a token (BASE claims at most one
+    // per work cycle and backs off after failures).
+    for (int cycle = 0; cycle < 2000 && got_mask != simt::kAllLanes; ++cycle) {
+      st.hungry = ~(st.assigned | got_mask);
+      co_await queue->acquire_slots(w, st);
+      const LaneMask arrived = co_await queue->check_arrival(w, st, recv);
+      for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+        if ((arrived >> lane) & 1u) {
+          got[lane] = recv[lane];
+          got_mask |= LaneMask{1} << lane;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(got_mask, simt::kAllLanes);
+  std::vector<std::uint64_t> sorted(got.begin(), got.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, tokens) << "each token delivered exactly once";
+  // Every consumed slot must have its sentinel restored.
+  for (unsigned i = 0; i < kWaveWidth; ++i) {
+    EXPECT_EQ(dev.read_word(layout.slot_addr(i)), kDna);
+  }
+}
+
+TEST_P(VariantTest, PublishWritesTokensAndAdvancesRear) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 1024);
+  auto queue = make_queue_variant(GetParam(), layout);
+
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.clear_produce();
+    // Lane i publishes i % 3 tokens.
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      for (unsigned k = 0; k < lane % 3; ++k) {
+        st.push_token(lane, lane * 10 + k);
+      }
+    }
+    co_await queue->publish(w, st);
+  });
+
+  std::uint64_t expected_total = 0;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) expected_total += lane % 3;
+  EXPECT_EQ(dev.read_word(layout.rear_addr()), expected_total);
+  EXPECT_EQ(result.stats.user[kTokensEnqueued], expected_total);
+
+  // All published tokens present (order depends on variant), no sentinel
+  // left inside [0, rear), none clobbered beyond.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < expected_total; ++i) {
+    const std::uint64_t v = dev.read_word(layout.slot_addr(i));
+    ASSERT_NE(v, kDna);
+    seen.push_back(v);
+  }
+  EXPECT_EQ(dev.read_word(layout.slot_addr(expected_total)), kDna);
+  std::vector<std::uint64_t> expected;
+  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+    for (unsigned k = 0; k < lane % 3; ++k) expected.push_back(lane * 10 + k);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_P(VariantTest, QueueFullAborts) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 8);
+  auto queue = make_queue_variant(GetParam(), layout);
+
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.clear_produce();
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) st.push_token(lane, lane);
+    co_await queue->publish(w, st);  // 64 tokens into capacity 8
+  });
+  EXPECT_TRUE(result.aborted);
+  EXPECT_NE(result.abort_reason.find("queue full"), std::string::npos);
+}
+
+TEST_P(VariantTest, ReportCompleteAccumulates) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 8);
+  auto queue = make_queue_variant(GetParam(), layout);
+  (void)dev.launch(2, [&](Wave& w) -> Kernel<void> {
+    co_await queue->report_complete(w, 5);
+    co_await queue->report_complete(w, 0);  // no-op
+    co_await queue->report_complete(w, 2);
+  });
+  EXPECT_EQ(dev.read_word(layout.completed_addr()), 14u);
+}
+
+TEST_P(VariantTest, AllDoneSnapshot) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 8);
+  auto queue = make_queue_variant(GetParam(), layout);
+  seed_device_queue(dev, layout, std::vector<std::uint64_t>{1, 2});
+  bool before = true, after = false;
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    before = co_await queue->all_done(w);
+    co_await queue->report_complete(w, 2);
+    after = co_await queue->all_done(w);
+  });
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(after);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantTest,
+                         ::testing::Values(QueueVariant::kBase, QueueVariant::kAn,
+                                           QueueVariant::kRfan),
+                         [](const auto& i) {
+                           switch (i.param) {
+                             case QueueVariant::kBase:
+                               return "BASE";
+                             case QueueVariant::kAn:
+                               return "AN";
+                             default:
+                               return "RFAN";
+                           }
+                         });
+
+// ---- Variant-specific behaviours ----
+
+TEST(RfanQueueTest, HungryLanesOvershootAndDataArrivesLater) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 64);
+  RfanQueue queue(layout);
+  seed_device_queue(dev, layout, std::vector<std::uint64_t>{7, 8});
+
+  LaneMask first_arrival = 0, second_arrival = 0;
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    std::array<std::uint64_t, kWaveWidth> recv{};
+    st.hungry = 0b1111;  // four hungry lanes, two tokens
+    co_await queue.acquire_slots(w, st);
+    EXPECT_EQ(st.assigned, 0b1111u);  // RF/AN assigns unconditionally
+    first_arrival = co_await queue.check_arrival(w, st, recv);
+    // Now publish two more tokens; the waiting monitors must see them.
+    st.clear_produce();
+    st.push_token(0, 9);
+    st.push_token(0, 10);
+    co_await queue.publish(w, st);
+    second_arrival = co_await queue.check_arrival(w, st, recv);
+  });
+  EXPECT_EQ(first_arrival, 0b0011u);   // slots 0,1 had data
+  EXPECT_EQ(second_arrival, 0b1100u);  // late data hit the waiting monitors
+  // Front advanced once by 4: retry-free.
+  EXPECT_EQ(dev.read_word(layout.front_addr()), 4u);
+}
+
+TEST(RfanQueueTest, NoCasEverIssued) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 256);
+  RfanQueue queue(layout);
+  std::vector<std::uint64_t> seeds(64);
+  std::iota(seeds.begin(), seeds.end(), 0);
+
+  const RunResult result = run_persistent_tasks(
+      dev, queue, seeds, [](std::uint64_t, const auto&) {});
+  EXPECT_EQ(result.stats.cas_attempts, 0u) << "retry-free property violated";
+  EXPECT_FALSE(result.aborted);
+}
+
+TEST(AnQueueTest, EmptyQueueLeavesLanesHungryAndCountsRetry) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 64);
+  AnQueue queue(layout);
+
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.hungry = 0b111;
+    co_await queue.acquire_slots(w, st);
+    EXPECT_EQ(st.hungry, 0b111u);
+    EXPECT_EQ(st.assigned, 0u);
+  });
+  EXPECT_EQ(result.stats.user[kEmptyRetries], 3u);
+  EXPECT_EQ(dev.read_word(layout.front_addr()), 0u) << "empty dequeue must not move Front";
+}
+
+TEST(AnQueueTest, PartialAvailabilityServesSubsetInLaneOrder) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 64);
+  AnQueue queue(layout);
+  seed_device_queue(dev, layout, std::vector<std::uint64_t>{40, 41});
+
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.hungry = 0b10110;  // lanes 1, 2, 4 hungry; only 2 tokens
+    co_await queue.acquire_slots(w, st);
+    EXPECT_EQ(st.assigned, 0b00110u);  // first two hungry lanes served
+    EXPECT_EQ(st.hungry, 0b10000u);
+    EXPECT_EQ(st.slot[1], 0u);
+    EXPECT_EQ(st.slot[2], 1u);
+  });
+  EXPECT_EQ(dev.read_word(layout.front_addr()), 2u);
+}
+
+TEST(BaseQueueTest, LockStepCasAttemptHasOneWinner) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 256);
+  BaseQueue queue(layout);
+  std::vector<std::uint64_t> tokens(kWaveWidth);
+  std::iota(tokens.begin(), tokens.end(), 0);
+  seed_device_queue(dev, layout, tokens);
+
+  std::array<std::uint64_t, kWaveWidth> slots{};
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.hungry = simt::kAllLanes;
+    co_await queue.acquire_slots(w, st);
+    // All 64 CAS loops eventually claim, but they serialize against one
+    // another at the atomic unit and absorb failed attempts on the way
+    // (the Fig. 1 pathology).
+    EXPECT_EQ(st.assigned, simt::kAllLanes);
+    slots = st.slot;
+  });
+  std::sort(slots.begin(), slots.end());
+  for (unsigned i = 0; i < kWaveWidth; ++i) {
+    EXPECT_EQ(slots[i], i) << "claims must be distinct and contiguous";
+  }
+  EXPECT_GE(result.stats.cas_attempts, 64u);
+  EXPECT_GT(result.stats.cas_failures, 64u)
+      << "lock-step retry storm must show up as folded CAS failures";
+}
+
+TEST(BaseQueueTest, FailedLanesBackOffBeforeRetrying) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 256);
+  BaseQueue queue(layout);
+  std::vector<std::uint64_t> tokens(kWaveWidth);
+  std::iota(tokens.begin(), tokens.end(), 0);
+  seed_device_queue(dev, layout, tokens);
+
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.hungry = simt::kAllLanes;
+    co_await queue.acquire_slots(w, st);  // 63 losers back off
+    const auto& before = w.stats();
+    const std::uint64_t attempts_before = before.cas_attempts;
+    co_await queue.acquire_slots(w, st);  // most lanes still waiting
+    EXPECT_LT(w.stats().cas_attempts - attempts_before, 32u)
+        << "backoff must keep most failed lanes out of the next attempt";
+  });
+}
+
+TEST(BaseQueueTest, EmptyQueueCountsRetriesPerLane) {
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 64);
+  BaseQueue queue(layout);
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.hungry = simt::kAllLanes;
+    co_await queue.acquire_slots(w, st);
+    EXPECT_EQ(st.assigned, 0u);
+  });
+  EXPECT_EQ(result.stats.user[kEmptyRetries], 64u);
+  EXPECT_EQ(result.stats.cas_attempts, 0u) << "no CAS without visible work";
+}
+
+// ---- Integration: token conservation through the PT driver ----
+
+struct TreeParams {
+  std::uint64_t fanout;
+  std::uint64_t depth;
+  [[nodiscard]] std::uint64_t expected_tasks() const {
+    // Nodes of a complete fanout-ary tree of given depth (root = depth 0).
+    std::uint64_t total = 0, level = 1;
+    for (std::uint64_t d = 0; d <= depth; ++d) {
+      total += level;
+      level *= fanout;
+    }
+    return total;
+  }
+};
+
+class TreeConservation
+    : public ::testing::TestWithParam<std::tuple<QueueVariant, int, int>> {};
+
+TEST_P(TreeConservation, EveryTaskProcessedExactlyOnce) {
+  const auto [variant, fanout, depth] = GetParam();
+  const TreeParams tree{static_cast<std::uint64_t>(fanout),
+                        static_cast<std::uint64_t>(depth)};
+
+  Device dev(test_config());
+  const QueueLayout layout =
+      make_device_queue(dev, tree.expected_tasks() + 4 * kWaveWidth * 8);
+  auto queue = make_queue_variant(variant, layout);
+
+  // Token encodes its depth in the low bits; host map counts visits.
+  std::map<std::uint64_t, int> visits;
+  std::uint64_t next_id = 1;
+  const std::vector<std::uint64_t> seeds{0};  // root token: id 0, depth 0
+
+  const RunResult result = run_persistent_tasks(
+      dev, *queue, seeds,
+      [&](std::uint64_t token, const auto& emit) {
+        visits[token] += 1;
+        const std::uint64_t token_depth = token & 0xff;
+        if (token_depth < tree.depth) {
+          for (std::uint64_t i = 0; i < tree.fanout; ++i) {
+            emit((next_id++ << 8) | (token_depth + 1));
+          }
+        }
+      });
+
+  EXPECT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_EQ(visits.size(), tree.expected_tasks());
+  for (const auto& [token, count] : visits) {
+    EXPECT_EQ(count, 1) << "token " << token << " processed " << count << " times";
+  }
+  EXPECT_EQ(result.stats.user[kTasksProcessed], tree.expected_tasks());
+  EXPECT_EQ(dev.read_word(layout.rear_addr()), tree.expected_tasks());
+  EXPECT_EQ(dev.read_word(layout.completed_addr()), tree.expected_tasks());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeConservation,
+    ::testing::Combine(::testing::Values(QueueVariant::kBase, QueueVariant::kAn,
+                                         QueueVariant::kRfan),
+                       ::testing::Values(1, 3, 8),  // fanout
+                       ::testing::Values(2, 5)),    // depth
+    [](const auto& i) {
+      std::string name;
+      switch (std::get<0>(i.param)) {
+        case QueueVariant::kBase: name = "BASE"; break;
+        case QueueVariant::kAn: name = "AN"; break;
+        default: name = "RFAN"; break;
+      }
+      return name + "_f" + std::to_string(std::get<1>(i.param)) + "_d" +
+             std::to_string(std::get<2>(i.param));
+    });
+
+TEST(PtDriverTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    Device dev(test_config());
+    const QueueLayout layout = make_device_queue(dev, 4096);
+    RfanQueue queue(layout);
+    std::vector<std::uint64_t> seeds{0};
+    std::uint64_t next = 1;
+    return run_persistent_tasks(dev, queue, seeds,
+                                [&](std::uint64_t token, const auto& emit) {
+                                  if ((token & 0xff) < 4) {
+                                    for (int i = 0; i < 3; ++i) {
+                                      emit((next++ << 8) | ((token & 0xff) + 1));
+                                    }
+                                  }
+                                });
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stats.afa_ops, b.stats.afa_ops);
+  EXPECT_EQ(a.stats.user[kWorkCycles], b.stats.user[kWorkCycles]);
+}
+
+TEST(PtDriverTest, RfanUsesFewerAtomicsThanBase) {
+  auto run = [](QueueVariant variant) {
+    Device dev(test_config(8, 4));
+    const QueueLayout layout = make_device_queue(dev, 1 << 16);
+    auto queue = make_queue_variant(variant, layout);
+    std::vector<std::uint64_t> seeds{0};
+    std::uint64_t next = 1;
+    return run_persistent_tasks(dev, *queue, seeds,
+                                [&](std::uint64_t token, const auto& emit) {
+                                  if ((token & 0xff) < 6) {
+                                    for (int i = 0; i < 4; ++i) {
+                                      emit((next++ << 8) | ((token & 0xff) + 1));
+                                    }
+                                  }
+                                });
+  };
+  const RunResult base = run(QueueVariant::kBase);
+  const RunResult rfan = run(QueueVariant::kRfan);
+  EXPECT_GT(base.stats.total_global_atomics(),
+            4 * rfan.stats.total_global_atomics())
+      << "arbitrary-n + retry-free should collapse atomic traffic";
+  EXPECT_LT(rfan.cycles, base.cycles);
+}
+
+}  // namespace
+}  // namespace scq

@@ -1,0 +1,259 @@
+// Graph substrate tests: CSR construction/validation, generators'
+// statistical targets, loader round-trips, and reference BFS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/bfs_ref.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/loaders.h"
+#include "graph/stats.h"
+
+namespace scq::graph {
+namespace {
+
+TEST(GraphTest, FromEdgesBuildsSortedCsr) {
+  const std::vector<Edge> edges{{2, 0}, {0, 1}, {0, 2}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[1], 2u);
+  g.validate();
+}
+
+TEST(GraphTest, SymmetrizeDoublesEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges, /*symmetrize=*/true);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(GraphTest, DedupRemovesParallelEdges) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}, {0, 1}};
+  EXPECT_EQ(Graph::from_edges(2, edges).num_edges(), 3u);
+  EXPECT_EQ(Graph::from_edges(2, edges, false, /*dedup=*/true).num_edges(), 1u);
+}
+
+TEST(GraphTest, OutOfRangeEndpointThrows) {
+  const std::vector<Edge> edges{{0, 5}};
+  EXPECT_THROW((void)Graph::from_edges(3, edges), std::invalid_argument);
+}
+
+TEST(GraphTest, FromCsrValidates) {
+  EXPECT_THROW((void)Graph::from_csr({0, 2, 1}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)Graph::from_csr({0, 1}, {5}), std::invalid_argument);
+  EXPECT_THROW((void)Graph::from_csr({1, 2}, {0}), std::invalid_argument);
+  const Graph ok = Graph::from_csr({0, 1, 2}, {1, 0});
+  EXPECT_EQ(ok.num_vertices(), 2u);
+}
+
+// ---- Generators ----
+
+TEST(GeneratorTest, KaryTreeShape) {
+  const Graph g = synthetic_kary(21, 4);  // 1 + 4 + 16 = 21: full 2 levels
+  EXPECT_EQ(g.num_vertices(), 21u);
+  EXPECT_EQ(g.num_edges(), 20u);  // tree: V-1 edges
+  EXPECT_EQ(g.out_degree(0), 4u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.neighbors(0)[3], 4u);
+  EXPECT_EQ(g.out_degree(20), 0u);  // leaf
+  const auto profile = frontier_profile(g, 0);
+  EXPECT_EQ(profile, (std::vector<std::uint64_t>{1, 4, 16}));
+}
+
+TEST(GeneratorTest, KaryFrontierGrowsByFanout) {
+  const Graph g = synthetic_kary(1 << 14, 4);
+  const auto profile = frontier_profile(g, 0);
+  ASSERT_GE(profile.size(), 5u);
+  for (std::size_t level = 0; level + 2 < profile.size(); ++level) {
+    EXPECT_EQ(profile[level + 1], profile[level] * 4) << "level " << level;
+  }
+}
+
+TEST(GeneratorTest, RmatMatchesSizeAndIsDeterministic) {
+  RmatParams p;
+  p.n_vertices = 1 << 12;
+  p.n_edges = 1 << 15;
+  p.seed = 42;
+  const Graph a = rmat(p);
+  const Graph b = rmat(p);
+  EXPECT_EQ(a.num_edges(), p.n_edges);
+  EXPECT_EQ(a.cols(), b.cols()) << "same seed, same graph";
+  p.seed = 43;
+  const Graph c = rmat(p);
+  EXPECT_NE(a.cols(), c.cols()) << "different seed, different graph";
+}
+
+TEST(GeneratorTest, RmatIsSkewed) {
+  RmatParams p;
+  p.n_vertices = 1 << 12;
+  p.n_edges = 1 << 16;
+  const DegreeStats s = degree_stats(rmat(p));
+  // Power-law: max degree far above average, std above average (the
+  // gplus/soc-LJ signature the paper calls out in Table 1).
+  EXPECT_GT(static_cast<double>(s.max_degree), 8.0 * s.avg_degree);
+  EXPECT_GT(s.std_degree, s.avg_degree);
+}
+
+TEST(GeneratorTest, RoadNetworkDegreeAndDepth) {
+  RoadParams p;
+  p.n_vertices = 1 << 14;
+  const Graph g = road_network(p);
+  const DegreeStats s = degree_stats(g);
+  // Table 2 signature: fan-out between 2 and 3, tight spread.
+  EXPECT_GE(s.avg_degree, 2.0);
+  EXPECT_LE(s.avg_degree, 3.2);
+  EXPECT_GE(s.min_degree, 1u);
+  // Deep: diameter on the order of sqrt(V) or worse.
+  const auto profile = frontier_profile(g, 0);
+  EXPECT_GT(profile.size(), static_cast<std::size_t>(64));
+  // Connected by construction (serpentine path).
+  EXPECT_EQ(reachable_count(g, 0), p.n_vertices);
+}
+
+TEST(GeneratorTest, RodiniaRandomIsShallowAndConnectedish) {
+  RodiniaParams p;
+  p.n_vertices = 4096;
+  const Graph g = rodinia_random(p);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.avg_degree, 2.0 * p.avg_degree, 2.5);  // symmetrized
+  const auto profile = frontier_profile(g, 0);
+  EXPECT_LE(profile.size(), 11u) << "paper: Rodinia datasets have <= 11 levels";
+  EXPECT_GT(reachable_count(g, 0), p.n_vertices * 9ull / 10);
+}
+
+// ---- Reference BFS ----
+
+TEST(BfsRefTest, LineGraphLevels) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsRefTest, UnreachableMarked) {
+  const std::vector<Edge> edges{{0, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[2], kUnreached);
+  EXPECT_EQ(reachable_count(g, 0), 2u);
+}
+
+TEST(BfsRefTest, CycleHandled) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  const Graph g = Graph::from_edges(3, edges);
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(BfsRefTest, SourceOutOfRangeThrows) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}});
+  EXPECT_THROW((void)bfs_levels(g, 9), std::invalid_argument);
+}
+
+// ---- Loaders: round trips ----
+
+TEST(LoaderTest, DimacsRoundTrip) {
+  const Graph g = road_network({.n_vertices = 500, .connectivity = 0.6, .seed = 9});
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const Graph back = load_dimacs(ss);
+  EXPECT_EQ(back.row_offsets(), g.row_offsets());
+  EXPECT_EQ(back.cols(), g.cols());
+}
+
+TEST(LoaderTest, SnapRoundTrip) {
+  RmatParams p;
+  p.n_vertices = 256;
+  p.n_edges = 2048;
+  const Graph g = rmat(p);
+  std::stringstream ss;
+  write_snap(ss, g);
+  const Graph back = load_snap(ss);
+  // Ids remap in first-seen order; compare structure via degree stats +
+  // BFS profile, which are remap-invariant only for isomorphic graphs
+  // ... but first-seen order of our own writer preserves vertex ids for
+  // every vertex with at least one edge, so compare edge count + stats.
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  const DegreeStats a = degree_stats(g), b = degree_stats(back);
+  EXPECT_EQ(a.max_degree, b.max_degree);
+}
+
+TEST(LoaderTest, RodiniaRoundTrip) {
+  const Graph g = rodinia_random({.n_vertices = 300, .avg_degree = 4, .seed = 5});
+  std::stringstream ss;
+  write_rodinia(ss, g, 17);
+  const RodiniaFile back = load_rodinia(ss);
+  EXPECT_EQ(back.source, 17u);
+  EXPECT_EQ(back.graph.row_offsets(), g.row_offsets());
+  EXPECT_EQ(back.graph.cols(), g.cols());
+}
+
+TEST(LoaderTest, DimacsParsesReferenceSnippet) {
+  std::stringstream ss(
+      "c 9th DIMACS style\n"
+      "p sp 3 2\n"
+      "a 1 2 804\n"
+      "a 2 3 101\n");
+  const Graph g = load_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(LoaderTest, SnapIgnoresCommentsAndRemaps) {
+  std::stringstream ss(
+      "# Directed graph\n"
+      "# FromNodeId ToNodeId\n"
+      "1000 2000\n"
+      "2000 1000\n"
+      "1000 3000\n");
+  const Graph g = load_snap(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(LoaderTest, MalformedInputsThrow) {
+  {
+    std::stringstream ss("p sp x y\n");
+    EXPECT_THROW((void)load_dimacs(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("a 1 2 3\n");  // arc before header
+    EXPECT_THROW((void)load_dimacs(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("p sp 2 1\na 1 9 1\n");  // endpoint out of range
+    EXPECT_THROW((void)load_dimacs(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("5\n0 1\n");  // truncated Rodinia
+    EXPECT_THROW((void)load_rodinia(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("hello world again\n");
+    EXPECT_THROW((void)load_snap(ss), std::runtime_error);
+  }
+}
+
+// ---- Degree stats ----
+
+TEST(StatsTest, HandComputedValues) {
+  // Degrees: 2, 1, 0.
+  const Graph g = Graph::from_edges(3, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 0u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_NEAR(s.avg_degree, 1.0, 1e-12);
+  EXPECT_NEAR(s.std_degree, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+}  // namespace
+}  // namespace scq::graph

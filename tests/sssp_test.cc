@@ -1,0 +1,186 @@
+// Tests for the SSSP extension: weighted graphs, the Dijkstra
+// reference, and the persistent-thread label-correcting SSSP driver
+// across queue variants and graph families.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bfs/pt_sssp.h"
+
+#include "core/counters.h"
+#include "graph/generators.h"
+#include "graph/loaders.h"
+#include "graph/sssp_ref.h"
+
+namespace scq::bfs {
+namespace {
+
+using graph::WeightedEdge;
+
+simt::DeviceConfig small_device() {
+  simt::DeviceConfig cfg = simt::spectre_config();
+  cfg.num_cus = 4;
+  cfg.waves_per_cu = 2;
+  cfg.kernel_launch_overhead = 500;
+  return cfg;
+}
+
+// ---- Weighted graph plumbing ----
+
+TEST(WeightedGraphTest, FromWeightedEdgesKeepsWeights) {
+  const std::vector<WeightedEdge> edges{{0, 1, 5}, {0, 2, 2}, {1, 2, 9}};
+  const graph::Graph g = graph::Graph::from_weighted_edges(3, edges);
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_EQ(g.num_edges(), 3u);
+  // cols sorted per vertex: 0->1 (w5), 0->2 (w2), 1->2 (w9).
+  EXPECT_EQ(g.weight(0), 5u);
+  EXPECT_EQ(g.weight(1), 2u);
+  EXPECT_EQ(g.weight(2), 9u);
+}
+
+TEST(WeightedGraphTest, SymmetrizeDuplicatesWeights) {
+  const std::vector<WeightedEdge> edges{{0, 1, 7}};
+  const graph::Graph g = graph::Graph::from_weighted_edges(2, edges, true);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.weight(0), 7u);
+  EXPECT_EQ(g.weight(1), 7u);
+}
+
+TEST(WeightedGraphTest, UnweightedDefaultsToOne) {
+  const graph::Graph g =
+      graph::Graph::from_edges(2, std::vector<graph::Edge>{{0, 1}});
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_EQ(g.weight(0), 1u);
+}
+
+TEST(WeightedGraphTest, SetWeightsValidatesSize) {
+  graph::Graph g = graph::Graph::from_edges(2, std::vector<graph::Edge>{{0, 1}});
+  EXPECT_THROW(g.set_weights({1, 2}), std::invalid_argument);
+  g.set_weights({4});
+  EXPECT_EQ(g.weight(0), 4u);
+}
+
+TEST(WeightedGraphTest, RandomWeightsDeterministic) {
+  const graph::Graph base = graph::road_network({.n_vertices = 500, .seed = 3});
+  const graph::Graph a = graph::with_random_weights(base, 42, 10);
+  const graph::Graph b = graph::with_random_weights(base, 42, 10);
+  EXPECT_EQ(a.weights(), b.weights());
+  for (const auto w : a.weights()) {
+    ASSERT_GE(w, 1u);
+    ASSERT_LE(w, 10u);
+  }
+}
+
+TEST(WeightedGraphTest, DimacsRoundTripsWeights) {
+  const graph::Graph g = graph::with_random_weights(
+      graph::road_network({.n_vertices = 200, .seed = 5}), 9, 30);
+  std::stringstream ss;
+  graph::write_dimacs(ss, g);
+  const graph::Graph back = graph::load_dimacs(ss);
+  ASSERT_TRUE(back.has_weights());
+  EXPECT_EQ(back.cols(), g.cols());
+  EXPECT_EQ(back.weights(), g.weights());
+}
+
+// ---- Dijkstra reference ----
+
+TEST(DijkstraTest, HandComputedDiamond) {
+  //    0 --1--> 1 --1--> 3
+  //    0 --5--> 2 --1--> 3 : dist(3) via top path = 2
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 1}, {1, 3, 1}, {0, 2, 5}, {2, 3, 1}};
+  const graph::Graph g = graph::Graph::from_weighted_edges(4, edges);
+  const auto dist = graph::dijkstra(g, 0);
+  EXPECT_EQ(dist, (std::vector<std::uint64_t>{0, 1, 5, 2}));
+}
+
+TEST(DijkstraTest, UnweightedEqualsBfsLevels) {
+  const graph::Graph g = graph::rodinia_random({.n_vertices = 800, .seed = 7});
+  const auto dist = graph::dijkstra(g, 0);
+  const auto levels = graph::bfs_levels(g, 0);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == graph::kUnreached) {
+      EXPECT_EQ(dist[v], graph::kUnreachableDist);
+    } else {
+      EXPECT_EQ(dist[v], levels[v]);
+    }
+  }
+}
+
+TEST(DijkstraTest, UnreachableMarked) {
+  const graph::Graph g =
+      graph::Graph::from_edges(3, std::vector<graph::Edge>{{0, 1}});
+  const auto dist = graph::dijkstra(g, 0);
+  EXPECT_EQ(dist[2], graph::kUnreachableDist);
+}
+
+// ---- Device SSSP across variants ----
+
+class SsspVariant : public ::testing::TestWithParam<QueueVariant> {};
+
+TEST_P(SsspVariant, MatchesDijkstraOnWeightedRoad) {
+  const graph::Graph g = graph::with_random_weights(
+      graph::road_network({.n_vertices = 1200, .seed = 13}), 77, 10);
+  const auto ref = graph::dijkstra(g, 0);
+  PtSsspOptions opt;
+  opt.variant = GetParam();
+  const SsspResult result = run_pt_sssp(small_device(), g, 0, opt);
+  ASSERT_FALSE(result.run.aborted) << result.run.abort_reason;
+  EXPECT_EQ(result.dist, ref);
+}
+
+TEST_P(SsspVariant, MatchesDijkstraOnWeightedRandomGraph) {
+  const graph::Graph g = graph::with_random_weights(
+      graph::rodinia_random({.n_vertices = 1500, .seed = 31}), 5, 50);
+  const auto ref = graph::dijkstra(g, 0);
+  PtSsspOptions opt;
+  opt.variant = GetParam();
+  const SsspResult result = run_pt_sssp(small_device(), g, 0, opt);
+  ASSERT_FALSE(result.run.aborted) << result.run.abort_reason;
+  EXPECT_EQ(result.dist, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SsspVariant,
+    ::testing::Values(QueueVariant::kBase, QueueVariant::kAn,
+                      QueueVariant::kRfan, QueueVariant::kDistrib),
+    [](const auto& i) {
+      switch (i.param) {
+        case QueueVariant::kBase: return "BASE";
+        case QueueVariant::kAn: return "AN";
+        case QueueVariant::kRfan: return "RFAN";
+        case QueueVariant::kDistrib: return "DISTRIB";
+        default: return "OTHER";
+      }
+    });
+
+TEST(SsspTest, UnweightedGraphEqualsBfs) {
+  const graph::Graph g = graph::synthetic_kary(3000, 4);
+  const SsspResult result = run_pt_sssp(small_device(), g, 0, PtSsspOptions{});
+  const auto levels = graph::bfs_levels(g, 0);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == graph::kUnreached) {
+      EXPECT_EQ(result.dist[v], graph::kUnreachableDist);
+    } else {
+      EXPECT_EQ(result.dist[v], levels[v]);
+    }
+  }
+}
+
+TEST(SsspTest, ReEnqueuesAreCounted) {
+  // With spread-out weights, label correcting must improve some labels.
+  const graph::Graph g = graph::with_random_weights(
+      graph::rodinia_random({.n_vertices = 2000, .seed = 8}), 3, 100);
+  const SsspResult result = run_pt_sssp(small_device(), g, 0, PtSsspOptions{});
+  EXPECT_GT(result.run.stats.user[kDupEnqueues], 0u);
+  EXPECT_EQ(result.dist, graph::dijkstra(g, 0));
+}
+
+TEST(SsspTest, SourceOutOfRangeThrows) {
+  const graph::Graph g = graph::synthetic_kary(10, 4);
+  EXPECT_THROW((void)run_pt_sssp(small_device(), g, 99, PtSsspOptions{}),
+               simt::SimError);
+}
+
+}  // namespace
+}  // namespace scq::bfs
