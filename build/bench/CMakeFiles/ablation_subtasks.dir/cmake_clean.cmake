@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subtasks.dir/ablation_subtasks.cc.o"
+  "CMakeFiles/ablation_subtasks.dir/ablation_subtasks.cc.o.d"
+  "ablation_subtasks"
+  "ablation_subtasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subtasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sssp.dir/ext_sssp.cc.o"
+  "CMakeFiles/ext_sssp.dir/ext_sssp.cc.o.d"
+  "ext_sssp"
+  "ext_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cas_retries.dir/fig1_cas_retries.cc.o"
+  "CMakeFiles/fig1_cas_retries.dir/fig1_cas_retries.cc.o.d"
+  "fig1_cas_retries"
+  "fig1_cas_retries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cas_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

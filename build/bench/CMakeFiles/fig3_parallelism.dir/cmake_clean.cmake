@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_parallelism.dir/fig3_parallelism.cc.o"
+  "CMakeFiles/fig3_parallelism.dir/fig3_parallelism.cc.o.d"
+  "fig3_parallelism"
+  "fig3_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

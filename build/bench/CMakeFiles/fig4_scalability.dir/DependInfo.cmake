@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_scalability.cc" "bench/CMakeFiles/fig4_scalability.dir/fig4_scalability.cc.o" "gcc" "bench/CMakeFiles/fig4_scalability.dir/fig4_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bfs/CMakeFiles/scq_bfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_retry_ratio.dir/fig5_retry_ratio.cc.o"
+  "CMakeFiles/fig5_retry_ratio.dir/fig5_retry_ratio.cc.o.d"
+  "fig5_retry_ratio"
+  "fig5_retry_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_retry_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_host_queue.dir/micro_host_queue.cc.o"
+  "CMakeFiles/micro_host_queue.dir/micro_host_queue.cc.o.d"
+  "micro_host_queue"
+  "micro_host_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_host_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_kernel_times.dir/table3_kernel_times.cc.o"
+  "CMakeFiles/table3_kernel_times.dir/table3_kernel_times.cc.o.d"
+  "table3_kernel_times"
+  "table3_kernel_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_kernel_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

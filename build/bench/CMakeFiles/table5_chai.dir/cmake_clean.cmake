@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_chai.dir/table5_chai.cc.o"
+  "CMakeFiles/table5_chai.dir/table5_chai.cc.o.d"
+  "table5_chai"
+  "table5_chai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_chai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_rodinia.dir/table6_rodinia.cc.o"
+  "CMakeFiles/table6_rodinia.dir/table6_rodinia.cc.o.d"
+  "table6_rodinia"
+  "table6_rodinia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_roadtrip.dir/bfs_roadtrip.cpp.o"
+  "CMakeFiles/bfs_roadtrip.dir/bfs_roadtrip.cpp.o.d"
+  "bfs_roadtrip"
+  "bfs_roadtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_roadtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

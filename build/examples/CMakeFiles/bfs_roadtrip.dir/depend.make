@@ -1,0 +1,2 @@
+# Empty dependencies file for bfs_roadtrip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_playground.dir/wavefront_playground.cpp.o"
+  "CMakeFiles/wavefront_playground.dir/wavefront_playground.cpp.o.d"
+  "wavefront_playground"
+  "wavefront_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfs/chai_bfs.cc" "src/bfs/CMakeFiles/scq_bfs.dir/chai_bfs.cc.o" "gcc" "src/bfs/CMakeFiles/scq_bfs.dir/chai_bfs.cc.o.d"
+  "/root/repo/src/bfs/common.cc" "src/bfs/CMakeFiles/scq_bfs.dir/common.cc.o" "gcc" "src/bfs/CMakeFiles/scq_bfs.dir/common.cc.o.d"
+  "/root/repo/src/bfs/datasets.cc" "src/bfs/CMakeFiles/scq_bfs.dir/datasets.cc.o" "gcc" "src/bfs/CMakeFiles/scq_bfs.dir/datasets.cc.o.d"
+  "/root/repo/src/bfs/pt_bfs.cc" "src/bfs/CMakeFiles/scq_bfs.dir/pt_bfs.cc.o" "gcc" "src/bfs/CMakeFiles/scq_bfs.dir/pt_bfs.cc.o.d"
+  "/root/repo/src/bfs/pt_sssp.cc" "src/bfs/CMakeFiles/scq_bfs.dir/pt_sssp.cc.o" "gcc" "src/bfs/CMakeFiles/scq_bfs.dir/pt_sssp.cc.o.d"
+  "/root/repo/src/bfs/rodinia_bfs.cc" "src/bfs/CMakeFiles/scq_bfs.dir/rodinia_bfs.cc.o" "gcc" "src/bfs/CMakeFiles/scq_bfs.dir/rodinia_bfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scq_bfs.dir/chai_bfs.cc.o"
+  "CMakeFiles/scq_bfs.dir/chai_bfs.cc.o.d"
+  "CMakeFiles/scq_bfs.dir/common.cc.o"
+  "CMakeFiles/scq_bfs.dir/common.cc.o.d"
+  "CMakeFiles/scq_bfs.dir/datasets.cc.o"
+  "CMakeFiles/scq_bfs.dir/datasets.cc.o.d"
+  "CMakeFiles/scq_bfs.dir/pt_bfs.cc.o"
+  "CMakeFiles/scq_bfs.dir/pt_bfs.cc.o.d"
+  "CMakeFiles/scq_bfs.dir/pt_sssp.cc.o"
+  "CMakeFiles/scq_bfs.dir/pt_sssp.cc.o.d"
+  "CMakeFiles/scq_bfs.dir/rodinia_bfs.cc.o"
+  "CMakeFiles/scq_bfs.dir/rodinia_bfs.cc.o.d"
+  "libscq_bfs.a"
+  "libscq_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scq_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/device_queues.cc" "src/core/CMakeFiles/scq_core.dir/device_queues.cc.o" "gcc" "src/core/CMakeFiles/scq_core.dir/device_queues.cc.o.d"
+  "/root/repo/src/core/ext_schedulers.cc" "src/core/CMakeFiles/scq_core.dir/ext_schedulers.cc.o" "gcc" "src/core/CMakeFiles/scq_core.dir/ext_schedulers.cc.o.d"
+  "/root/repo/src/core/host_queue.cc" "src/core/CMakeFiles/scq_core.dir/host_queue.cc.o" "gcc" "src/core/CMakeFiles/scq_core.dir/host_queue.cc.o.d"
+  "/root/repo/src/core/pt_driver.cc" "src/core/CMakeFiles/scq_core.dir/pt_driver.cc.o" "gcc" "src/core/CMakeFiles/scq_core.dir/pt_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

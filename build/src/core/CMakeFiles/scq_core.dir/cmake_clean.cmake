@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scq_core.dir/device_queues.cc.o"
+  "CMakeFiles/scq_core.dir/device_queues.cc.o.d"
+  "CMakeFiles/scq_core.dir/ext_schedulers.cc.o"
+  "CMakeFiles/scq_core.dir/ext_schedulers.cc.o.d"
+  "CMakeFiles/scq_core.dir/host_queue.cc.o"
+  "CMakeFiles/scq_core.dir/host_queue.cc.o.d"
+  "CMakeFiles/scq_core.dir/pt_driver.cc.o"
+  "CMakeFiles/scq_core.dir/pt_driver.cc.o.d"
+  "libscq_core.a"
+  "libscq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

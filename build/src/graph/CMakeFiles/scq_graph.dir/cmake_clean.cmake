@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scq_graph.dir/bfs_ref.cc.o"
+  "CMakeFiles/scq_graph.dir/bfs_ref.cc.o.d"
+  "CMakeFiles/scq_graph.dir/generators.cc.o"
+  "CMakeFiles/scq_graph.dir/generators.cc.o.d"
+  "CMakeFiles/scq_graph.dir/graph.cc.o"
+  "CMakeFiles/scq_graph.dir/graph.cc.o.d"
+  "CMakeFiles/scq_graph.dir/loaders.cc.o"
+  "CMakeFiles/scq_graph.dir/loaders.cc.o.d"
+  "CMakeFiles/scq_graph.dir/sssp_ref.cc.o"
+  "CMakeFiles/scq_graph.dir/sssp_ref.cc.o.d"
+  "CMakeFiles/scq_graph.dir/stats.cc.o"
+  "CMakeFiles/scq_graph.dir/stats.cc.o.d"
+  "libscq_graph.a"
+  "libscq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/scq_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/scq_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/scq_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/scq_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/presets.cc" "src/sim/CMakeFiles/scq_sim.dir/presets.cc.o" "gcc" "src/sim/CMakeFiles/scq_sim.dir/presets.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/scq_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/scq_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/scq_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/scq_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/wave.cc" "src/sim/CMakeFiles/scq_sim.dir/wave.cc.o" "gcc" "src/sim/CMakeFiles/scq_sim.dir/wave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

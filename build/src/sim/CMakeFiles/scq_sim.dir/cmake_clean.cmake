@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scq_sim.dir/device.cc.o"
+  "CMakeFiles/scq_sim.dir/device.cc.o.d"
+  "CMakeFiles/scq_sim.dir/memory.cc.o"
+  "CMakeFiles/scq_sim.dir/memory.cc.o.d"
+  "CMakeFiles/scq_sim.dir/presets.cc.o"
+  "CMakeFiles/scq_sim.dir/presets.cc.o.d"
+  "CMakeFiles/scq_sim.dir/stats.cc.o"
+  "CMakeFiles/scq_sim.dir/stats.cc.o.d"
+  "CMakeFiles/scq_sim.dir/trace.cc.o"
+  "CMakeFiles/scq_sim.dir/trace.cc.o.d"
+  "CMakeFiles/scq_sim.dir/wave.cc.o"
+  "CMakeFiles/scq_sim.dir/wave.cc.o.d"
+  "libscq_sim.a"
+  "libscq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scq_util.dir/args.cc.o"
+  "CMakeFiles/scq_util.dir/args.cc.o.d"
+  "CMakeFiles/scq_util.dir/csv.cc.o"
+  "CMakeFiles/scq_util.dir/csv.cc.o.d"
+  "CMakeFiles/scq_util.dir/table.cc.o"
+  "CMakeFiles/scq_util.dir/table.cc.o.d"
+  "libscq_util.a"
+  "libscq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_add_test.dir/bounded_add_test.cc.o"
+  "CMakeFiles/bounded_add_test.dir/bounded_add_test.cc.o.d"
+  "bounded_add_test"
+  "bounded_add_test.pdb"
+  "bounded_add_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_add_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

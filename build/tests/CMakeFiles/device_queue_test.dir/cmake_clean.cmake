@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_queue_test.dir/device_queue_test.cc.o"
+  "CMakeFiles/device_queue_test.dir/device_queue_test.cc.o.d"
+  "device_queue_test"
+  "device_queue_test.pdb"
+  "device_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

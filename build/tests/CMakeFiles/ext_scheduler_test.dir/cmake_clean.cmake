@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scheduler_test.dir/ext_scheduler_test.cc.o"
+  "CMakeFiles/ext_scheduler_test.dir/ext_scheduler_test.cc.o.d"
+  "ext_scheduler_test"
+  "ext_scheduler_test.pdb"
+  "ext_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_queue_test.dir/host_queue_test.cc.o"
+  "CMakeFiles/host_queue_test.dir/host_queue_test.cc.o.d"
+  "host_queue_test"
+  "host_queue_test.pdb"
+  "host_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
