@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
                        "queue vs stack vs distributed stealing");
   args.add_double("scale", "dataset scale factor in (0,1]", 0.02);
   args.add_string("device", "Fiji or Spectre", "Fiji");
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const DeviceEntry dev = device_by_name(args.get_string("device"));
   const double scale = args.get_double("scale");
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
       // LIFO order inflates label-correcting duplicates; give the stack
       // headroom up front instead of relying on the retry loop.
       if (variant == QueueVariant::kStack) opt.queue_headroom = 16.0;
+      obs.apply(opt);
       const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
       table.add_row({name, std::string(to_string(variant)),
                      util::Table::fmt_ms(r.run.seconds),
@@ -51,5 +54,6 @@ int main(int argc, char** argv) {
       "claim traffic for relief on the central counters; LOCK-STACK pays\n"
       "both serialization on one lock and LIFO-order re-enqueues; BASE\n"
       "burns failed CASes.\n");
+  if (!obs.finish()) return 1;
   return 0;
 }

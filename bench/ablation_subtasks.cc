@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   util::ArgParser args("ablation_subtasks", "work-budget / poll / discovery ablations");
   args.add_double("scale", "dataset scale factor in (0,1]", 0.03);
   args.add_string("device", "Fiji or Spectre", "Fiji");
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const DeviceEntry dev = device_by_name(args.get_string("device"));
   const double scale = args.get_double("scale");
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
       bfs::PtBfsOptions opt;
       opt.work_budget = budget;
       opt.num_workgroups = dev.paper_workgroups;
+      obs.apply(opt);
       const auto r = run_validated(dev.config, g, 0, opt);
       row.push_back(util::Table::fmt_ms(r.run.seconds));
     }
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
       bfs::PtBfsOptions opt;
       opt.poll_interval = poll;
       opt.num_workgroups = dev.paper_workgroups;
+      obs.apply(opt);
       const auto r = run_validated(dev.config, g, 0, opt);
       row.push_back(util::Table::fmt_ms(r.run.seconds));
     }
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
     const auto ref = graph::bfs_levels(g, spec.source);
     bfs::PtBfsOptions opt;
     opt.num_workgroups = dev.paper_workgroups;
+    obs.apply(opt);
     const auto atomic = run_validated(dev.config, g, spec.source, opt);
     opt.atomic_discovery = false;
     const auto benign = run_validated(dev.config, g, spec.source, opt);
@@ -75,5 +80,6 @@ int main(int argc, char** argv) {
                                                                    : "no (>= ref)"});
   }
   disc_table.print();
+  if (!obs.finish()) return 1;
   return 0;
 }

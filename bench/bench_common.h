@@ -1,6 +1,7 @@
 // Shared helpers for the paper-reproduction benchmark harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -8,9 +9,12 @@
 #include "bfs/common.h"
 #include "bfs/datasets.h"
 #include "bfs/pt_bfs.h"
+#include "bfs/pt_sssp.h"
 #include "core/counters.h"
 #include "graph/bfs_ref.h"
 #include "sim/config.h"
+#include "sim/telemetry.h"
+#include "sim/trace.h"
 #include "util/args.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -67,5 +71,104 @@ inline std::vector<std::uint32_t> workgroup_sweep(std::uint32_t max_wgs) {
   sweep.push_back(max_wgs);
   return sweep;
 }
+
+// ---- Observability (--telemetry / --trace) ------------------------------
+//
+// Every harness takes the same three flags:
+//   --telemetry out.json     telemetry artifact (plus out.hist.csv and
+//                            out.series.csv siblings for plotting)
+//   --telemetry-period N     cycles between time-series samples
+//   --trace out.json         Chrome/Perfetto trace of the run
+//
+// Telemetry histograms and series accumulate over every run the bench
+// executes (each run restarts its cycle clock at 0, so a sweep's series
+// concatenates per-run segments); the trace holds the last run only.
+
+inline void add_observability_flags(util::ArgParser& args) {
+  args.add_string("telemetry",
+                  "write telemetry JSON here (+ .hist.csv/.series.csv siblings)",
+                  "");
+  args.add_int("telemetry-period", "cycles between telemetry samples", 2048);
+  args.add_string("trace", "write Chrome/Perfetto trace JSON here", "");
+}
+
+class Observability {
+ public:
+  explicit Observability(const util::ArgParser& args)
+      : telemetry_path_(args.get_string("telemetry")),
+        trace_path_(args.get_string("trace")) {
+    simt::Telemetry::Options topt;
+    topt.sample_period = static_cast<simt::Cycle>(
+        std::max<std::int64_t>(1, args.get_int("telemetry-period")));
+    telemetry_ = simt::Telemetry(topt);
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return !telemetry_path_.empty() || !trace_path_.empty();
+  }
+
+  // Points a run's option struct at the sinks the user asked for.
+  template <typename Options>
+  void apply(Options& opt) {
+    if (!telemetry_path_.empty()) opt.telemetry = &telemetry_;
+    if (!trace_path_.empty()) opt.trace = &trace_;
+  }
+
+  // Writes the requested artifacts. Returns false (with a message on
+  // stderr) if any write failed, so benches can exit non-zero.
+  [[nodiscard]] bool finish() {
+    bool ok = true;
+    if (!telemetry_path_.empty()) {
+      if (telemetry_.write_json(telemetry_path_)) {
+        std::printf("telemetry -> %s\n", telemetry_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", telemetry_path_.c_str());
+        ok = false;
+      }
+      const std::string stem = strip_json_suffix(telemetry_path_);
+      ok &= write_text(stem + ".hist.csv", telemetry_.histograms_csv());
+      ok &= write_text(stem + ".series.csv", telemetry_.series_csv());
+    }
+    if (!trace_path_.empty()) {
+      if (trace_.write_chrome_json(trace_path_)) {
+        std::printf("trace -> %s\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", trace_path_.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  static std::string strip_json_suffix(const std::string& path) {
+    constexpr std::string_view kSuffix = ".json";
+    if (path.size() > kSuffix.size() && path.ends_with(kSuffix)) {
+      return path.substr(0, path.size() - kSuffix.size());
+    }
+    return path;
+  }
+
+  static bool write_text(const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "failed to open %s\n", path.c_str());
+      return false;
+    }
+    const bool written =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!(written && closed)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  simt::Telemetry telemetry_;
+  simt::TraceRecorder trace_;
+  std::string telemetry_path_;
+  std::string trace_path_;
+};
 
 }  // namespace scq::bench

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   args.add_double("scale", "dataset scale factor in (0,1]", 0.05);
   args.add_string("device", "Fiji or Spectre", "Fiji");
   args.add_int("max-weight", "random edge weights in [1, max]", 10);
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const DeviceEntry dev = device_by_name(args.get_string("device"));
   const auto max_w = static_cast<graph::Weight>(args.get_int("max-weight"));
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
       bfs::PtSsspOptions opt;
       opt.variant = variant;
       opt.num_workgroups = dev.paper_workgroups;
+      obs.apply(opt);
       const bfs::SsspResult r = bfs::run_pt_sssp(dev.config, g, 0, opt);
       if (r.run.aborted) {
         std::fprintf(stderr, "FATAL: %s aborted: %s\n",
@@ -55,5 +58,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+  if (!obs.finish()) return 1;
   return 0;
 }

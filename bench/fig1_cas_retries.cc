@@ -12,7 +12,9 @@ int main(int argc, char** argv) {
   util::ArgParser args("fig1_cas_retries", "Fig. 1: CAS retries vs threads");
   args.add_double("scale", "dataset scale factor in (0,1]", 0.02);
   args.add_string("csv", "dump series to this CSV file", "");
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const graph::Graph g =
       bfs::dataset_by_name("Synthetic").build(args.get_double("scale"));
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
       bfs::PtBfsOptions opt;
       opt.variant = QueueVariant::kBase;
       opt.num_workgroups = wgs;
+      obs.apply(opt);
       const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
       std::printf("  %-12u %-10u %-14llu %llu\n", wgs, wgs * simt::kWaveWidth,
                   static_cast<unsigned long long>(r.run.stats.cas_failures),
@@ -44,5 +47,6 @@ int main(int argc, char** argv) {
     if (!csv.write(path)) return 1;
     std::printf("\nseries -> %s\n", path.c_str());
   }
+  if (!obs.finish()) return 1;
   return 0;
 }

@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   args.add_string("dataset", "one dataset name, or 'all'", "all");
   args.add_string("device", "Fiji, Spectre, or all", "all");
   args.add_string("csv", "dump raw series to this CSV file", "");
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const double scale = args.get_double("scale");
   std::vector<DeviceEntry> devices;
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
           bfs::PtBfsOptions opt;
           opt.variant = variant;
           opt.num_workgroups = wgs;
+          obs.apply(opt);
           const bfs::BfsResult r = run_validated(dev.config, g, spec.source, opt);
           if (wgs == 1) base_seconds[vi] = r.run.seconds;
           const double speedup = base_seconds[vi] / r.run.seconds;
@@ -76,5 +79,6 @@ int main(int argc, char** argv) {
     if (!csv.write(path)) return 1;
     std::printf("\nseries -> %s\n", path.c_str());
   }
+  if (!obs.finish()) return 1;
   return 0;
 }

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   util::ArgParser args("fig5_retry_ratio", "Fig. 5: retry ratio vs workgroups");
   args.add_double("scale", "dataset scale factor in (0,1]", 0.02);
   args.add_string("csv", "dump series to this CSV file", "");
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const double scale = args.get_double("scale");
   const char* names[] = {"Synthetic", "soc-LiveJournal1", "USA-road-d.NY"};
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
       for (const std::uint32_t wgs : sweep) {
         bfs::PtBfsOptions opt;
         opt.num_workgroups = wgs;
+        obs.apply(opt);
         opt.variant = QueueVariant::kBase;
         const auto base = run_validated(dev.config, g, 0, opt);
         opt.variant = QueueVariant::kRfan;
@@ -58,5 +61,6 @@ int main(int argc, char** argv) {
     if (!csv.write(path)) return 1;
     std::printf("\nseries -> %s\n", path.c_str());
   }
+  if (!obs.finish()) return 1;
   return 0;
 }

@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   args.add_string("device", "Fiji, Spectre, or all", "all");
   args.add_string("csv", "also dump raw rows to this CSV file", "");
   args.add_int("budget", "work-cycle sub-task budget", 4);
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const double scale = args.get_double("scale");
   std::vector<DeviceEntry> devices;
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
         opt.variant = variant;
         opt.num_workgroups = dev.paper_workgroups;
         opt.work_budget = static_cast<unsigned>(args.get_int("budget"));
+        obs.apply(opt);
         const bfs::BfsResult r = run_validated(dev.config, g, spec.source, opt);
         seconds[variant] = r.run.seconds;
         csv.add_row({dev.config.name, std::to_string(dev.paper_workgroups),
@@ -86,5 +89,6 @@ int main(int argc, char** argv) {
     if (!csv.write(path)) return 1;
     std::printf("\nraw rows -> %s\n", path.c_str());
   }
+  if (!obs.finish()) return 1;
   return 0;
 }

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   util::ArgParser args("table5_chai", "Table 5: CHAI BFS vs RF/AN");
   args.add_double("scale", "dataset scale factor in (0,1]", 0.25);
   args.add_int("cpu-wgs", "narrow workgroups modeling CPU threads", 4);
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   const DeviceEntry dev = device_by_name("Spectre");
   util::Table table({"Dataset", "CHAI (ms)", "RF/AN (ms)", "Speedup"});
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
 
     bfs::PtBfsOptions opt;
     opt.num_workgroups = dev.paper_workgroups;
+    obs.apply(opt);
     const bfs::BfsResult rfan = run_validated(dev.config, g, spec.source, opt);
 
     table.add_row({spec.name, util::Table::fmt_ms(chai.run.seconds),
@@ -46,5 +49,6 @@ int main(int argc, char** argv) {
   std::printf("Table 5 — CHAI-style collaborative BFS vs RF/AN (ms), %s\n",
               dev.config.name.c_str());
   table.print();
+  if (!obs.finish()) return 1;
   return 0;
 }

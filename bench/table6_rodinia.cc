@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   // Rodinia's inputs are small enough to run at paper scale by default,
   // except graph1MW_6 which --scale also shrinks.
   args.add_double("scale", "dataset scale factor in (0,1]", 0.25);
+  add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
 
   util::Table table({"Dataset", "Device", "Rodinia (ms)", "RF/AN (ms)",
                      "Speedup", "Rodinia launches"});
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
 
       bfs::PtBfsOptions opt;
       opt.num_workgroups = dev.paper_workgroups;
+      obs.apply(opt);
       const bfs::BfsResult rfan = run_validated(dev.config, g, spec.source, opt);
 
       table.add_row({spec.name, dev.config.name,
@@ -52,5 +55,6 @@ int main(int argc, char** argv) {
 
   std::printf("Table 6 — Rodinia-style level-synchronous BFS vs RF/AN (ms)\n");
   table.print();
+  if (!obs.finish()) return 1;
   return 0;
 }

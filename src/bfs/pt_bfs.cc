@@ -7,6 +7,7 @@
 
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
+#include "core/telemetry_probes.h"
 
 namespace scq::bfs {
 
@@ -54,6 +55,13 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
     // slot (nor sit on an eagerly delivered token) ask for work.
     st.hungry = ~(working | st.assigned | st.ready);
     co_await queue.acquire_slots(w, st);
+
+    if (simt::Telemetry* probes = probe_sink(w)) {
+      probes->set_shard(tel::kHungryLanes, w.slot_id(),
+                        static_cast<std::uint64_t>(std::popcount(st.hungry)));
+      probes->set_shard(tel::kAssignedLanes, w.slot_id(),
+                        static_cast<std::uint64_t>(std::popcount(st.assigned)));
+    }
 
     // Dequeue phase 2: non-atomic arrival check; arrived lanes run the
     // enumeration prolog (Listing 2 lines 6-22).
@@ -175,6 +183,22 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
         static_cast<std::uint64_t>(static_cast<double>(g.num_vertices()) * headroom) +
         kWaveWidth;
     auto queue = make_scheduler(dev, options.variant, capacity);
+
+    // Observability: a fresh device per attempt means the probes must be
+    // re-registered against the new objects. Telemetry data accumulates
+    // across attempts and runs (the caller owns reset_data); the trace
+    // is cleared per attempt so it holds exactly the run that produced
+    // the reported result.
+    if (options.trace) {
+      options.trace->clear();
+      dev.attach_tracer(options.trace);
+    }
+    if (options.telemetry) {
+      options.telemetry->clear_probes();
+      options.telemetry->mirror_counters_to(options.trace);
+      register_scheduler_probes(*options.telemetry, dev, *queue);
+      dev.attach_telemetry(options.telemetry);
+    }
 
     // Seed: source at level 0, its token in the scheduler (host-side, §3.1).
     dev.write_word(dg.cost.at(source), 0);

@@ -36,6 +36,15 @@ struct PtBfsOptions {
   double queue_headroom = 1.3;
   // 0 = all resident wave slots (persistent-thread launch).
   std::uint32_t num_workgroups = 0;
+  // Optional observability sinks (not owned; nullptr disables). The run
+  // builds its device internally, so probes are (re-)attached per
+  // attempt. Telemetry histograms/series accumulate across runs and
+  // attempts — call Telemetry::reset_data between runs for per-run
+  // artifacts — while the trace is cleared per attempt and thus holds
+  // exactly the final attempt. When both are given, sampled telemetry
+  // series are mirrored into the trace as Perfetto counter tracks.
+  simt::Telemetry* telemetry = nullptr;
+  simt::TraceRecorder* trace = nullptr;
 };
 
 // Runs one BFS to completion on a fresh device built from `config`.

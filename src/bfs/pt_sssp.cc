@@ -6,6 +6,7 @@
 
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
+#include "core/telemetry_probes.h"
 #include "graph/sssp_ref.h"
 
 namespace scq::bfs {
@@ -44,6 +45,13 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
 
     st.hungry = ~(working | st.assigned | st.ready);
     co_await queue.acquire_slots(w, st);
+
+    if (simt::Telemetry* probes = probe_sink(w)) {
+      probes->set_shard(tel::kHungryLanes, w.slot_id(),
+                        static_cast<std::uint64_t>(std::popcount(st.hungry)));
+      probes->set_shard(tel::kAssignedLanes, w.slot_id(),
+                        static_cast<std::uint64_t>(std::popcount(st.assigned)));
+    }
 
     if (st.assigned || st.ready) {
       const LaneMask arrived = co_await queue.check_arrival(w, st, tokens);
@@ -147,6 +155,19 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
         static_cast<std::uint64_t>(static_cast<double>(g.num_vertices()) * headroom) +
         kWaveWidth;
     auto queue = make_scheduler(dev, options.variant, capacity);
+
+    // See run_pt_bfs: probes re-register per attempt, telemetry data
+    // accumulates, the trace keeps only the final attempt.
+    if (options.trace) {
+      options.trace->clear();
+      dev.attach_tracer(options.trace);
+    }
+    if (options.telemetry) {
+      options.telemetry->clear_probes();
+      options.telemetry->mirror_counters_to(options.trace);
+      register_scheduler_probes(*options.telemetry, dev, *queue);
+      dev.attach_telemetry(options.telemetry);
+    }
 
     dev.write_word(dg.cost.at(source), 0);
     const std::uint64_t seed[] = {source};

@@ -24,6 +24,10 @@ struct PtSsspOptions {
   // array more room up front.
   double queue_headroom = 3.0;
   std::uint32_t num_workgroups = 0;
+  // Optional observability sinks (not owned; nullptr disables); see
+  // PtBfsOptions for the attach-per-attempt semantics.
+  simt::Telemetry* telemetry = nullptr;
+  simt::TraceRecorder* trace = nullptr;
 };
 
 struct SsspResult {

@@ -1,4 +1,5 @@
-// Application-level statistics counter indices (DeviceStats::user).
+// Application-level statistics counter indices (DeviceStats::user) and
+// the names of the telemetry metrics the schedulers emit.
 #pragma once
 
 namespace scq {
@@ -18,5 +19,29 @@ enum UserCounter : unsigned {
   kQueueAtomics = 8,     // atomic ops issued by queue operations
   kQueueCasFailures = 9, // failed CASes among them (retry driver)
 };
+
+// Telemetry metric names (simt::Telemetry). The histograms are the
+// distributions behind the paper's figures: retry *run lengths* and
+// aggregation widths explain Fig. 1/Fig. 5's totals, slot-monitor wait
+// explains the dna polling cost, and the latency histograms price one
+// queue operation end to end.
+namespace tel {
+
+// Histograms (recorded by the queue variants).
+inline constexpr const char kDequeueLatency[] = "queue.dequeue_latency";
+inline constexpr const char kEnqueueLatency[] = "queue.enqueue_latency";
+inline constexpr const char kSlotWait[] = "queue.slot_wait";
+inline constexpr const char kCasRetryRun[] = "queue.cas_retry_run";
+inline constexpr const char kAggWidthDequeue[] = "queue.agg_width_dequeue";
+inline constexpr const char kAggWidthEnqueue[] = "queue.agg_width_enqueue";
+
+// Time series (sampled gauges registered by the drivers).
+inline constexpr const char kOccupancy[] = "queue.occupancy";
+inline constexpr const char kAtomicBacklog[] = "atomic_unit.backlog";
+inline constexpr const char kHungryLanes[] = "lanes.hungry";
+inline constexpr const char kAssignedLanes[] = "lanes.assigned";
+inline constexpr const char kWaveUtilization[] = "waves.utilization_pct";
+
+}  // namespace tel
 
 }  // namespace scq

@@ -103,6 +103,13 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
   });
   const unsigned missed = static_cast<unsigned>(std::popcount(candidates & ~arrived));
   if (missed) w.bump(kPolls, missed);
+  if (simt::Telemetry* probes = probe_sink(w); probes && arrived) {
+    // Slot-monitor wait: slot assignment to the dna sentinel clearing.
+    simt::Histogram& h = probes->histogram(tel::kSlotWait);
+    for_lanes(arrived, [&](unsigned lane) {
+      h.add(w.now() - st.assign_cycle[lane]);
+    });
+  }
 
   if (arrived) {
     // Pick up the token and put the sentinel back; no atomics are needed
@@ -117,6 +124,12 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
 
 void DeviceQueue::seed(simt::Device& dev, std::span<const std::uint64_t> tokens) {
   seed_device_queue(dev, layout_, tokens);
+}
+
+std::uint64_t DeviceQueue::occupancy(const simt::Device& dev) const {
+  const std::uint64_t front = dev.read_word(layout_.front_addr());
+  const std::uint64_t rear = dev.read_word(layout_.rear_addr());
+  return rear > front ? rear - front : 0;
 }
 
 Kernel<bool> DeviceQueue::all_done(Wave& w) {
@@ -183,6 +196,7 @@ Kernel<void> DeviceQueue::write_tokens(
 Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
   if (n == 0) co_return;
+  const simt::Cycle t0 = w.now();
 
   // Listing 1: the proxy zeroes the LDS counter; every hungry lane
   // atomically increments it to learn its wave-relative slot. Local
@@ -194,15 +208,24 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   const simt::CasResult r = co_await w.atomic_add(layout_.front_addr(), n);
 
   unsigned k = 0;
-  for_lanes(st.hungry, [&](unsigned lane) { st.slot[lane] = r.old_value + k++; });
+  for_lanes(st.hungry, [&](unsigned lane) {
+    st.slot[lane] = r.old_value + k++;
+    st.assign_cycle[lane] = w.now();
+  });
   st.assigned |= st.hungry;
   st.hungry = 0;
   co_await w.compute(2);  // relative -> absolute index conversion
+
+  if (simt::Telemetry* probes = probe_sink(w)) {
+    probes->histogram(tel::kAggWidthDequeue).add(n);
+    probes->histogram(tel::kDequeueLatency).add(w.now() - t0);
+  }
 }
 
 Kernel<void> RfanQueue::publish(Wave& w, WaveQueueState& st) {
   const std::uint32_t total = st.total_new();
   if (total == 0) co_return;
+  const simt::Cycle t0 = w.now();
 
   unsigned producers = 0;
   for (auto k : st.n_new) producers += k > 0;
@@ -219,6 +242,11 @@ Kernel<void> RfanQueue::publish(Wave& w, WaveQueueState& st) {
     offset += st.n_new[lane];
   }
   co_await write_tokens(w, st, lane_base);
+
+  if (simt::Telemetry* probes = probe_sink(w)) {
+    probes->histogram(tel::kAggWidthEnqueue).add(total);
+    probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
+  }
 }
 
 Kernel<void> RfanQueue::report_complete(Wave& w, std::uint32_t count) {
@@ -233,6 +261,7 @@ Kernel<void> RfanQueue::report_complete(Wave& w, std::uint32_t count) {
 Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   const unsigned n = static_cast<unsigned>(std::popcount(st.hungry));
   if (n == 0) co_return;
+  const simt::Cycle t0 = w.now();
   co_await w.lds_ops(n + 1);
 
   // One coalesced snapshot of (Front, Rear) — adjacent words — gates the
@@ -262,6 +291,8 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   }
   w.bump(kQueueAtomics, 1 + r.retries + drift);
   w.bump(kQueueCasFailures, r.retries + drift);
+  simt::Telemetry* probes = probe_sink(w);
+  if (probes) probes->histogram(tel::kCasRetryRun).add(r.retries + drift);
   const std::uint64_t claimed =
       std::min<std::uint64_t>(n, snap[1] > r.old_value ? snap[1] - r.old_value : 0);
   if (claimed == 0) {
@@ -274,16 +305,22 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   for_lanes(st.hungry, [&](unsigned lane) {
     if (left == 0) return;
     st.slot[lane] = index++;
+    st.assign_cycle[lane] = w.now();
     served |= bit(lane);
     --left;
   });
   st.assigned |= served;
   st.hungry &= ~served;
+  if (probes) {
+    probes->histogram(tel::kAggWidthDequeue).add(claimed);
+    probes->histogram(tel::kDequeueLatency).add(w.now() - t0);
+  }
 }
 
 Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
   const std::uint32_t total = st.total_new();
   if (total == 0) co_return;
+  const simt::Cycle t0 = w.now();
 
   unsigned producers = 0;
   for (auto k : st.n_new) producers += k > 0;
@@ -303,6 +340,8 @@ Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
   }
   w.bump(kQueueAtomics, 1 + r.retries + drift);
   w.bump(kQueueCasFailures, r.retries + drift);
+  simt::Telemetry* probes = probe_sink(w);
+  if (probes) probes->histogram(tel::kCasRetryRun).add(r.retries + drift);
   if (r.old_value + total > layout_.capacity) {
     co_await w.abort_kernel("queue full: AN enqueue beyond capacity");
     co_return;
@@ -315,6 +354,11 @@ Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
     offset += st.n_new[lane];
   }
   co_await write_tokens(w, st, lane_base);
+
+  if (probes) {
+    probes->histogram(tel::kAggWidthEnqueue).add(total);
+    probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
+  }
 }
 
 Kernel<void> AnQueue::report_complete(Wave& w, std::uint32_t count) {
@@ -343,6 +387,7 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
     }
   });
   if (!trying) co_return;
+  const simt::Cycle t0 = w.now();
 
   // Coalesced (Front, Rear) snapshot for the queue-empty check.
   std::array<Addr, kWaveWidth> snap_addr{};
@@ -371,16 +416,25 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
       simt::AtomicKind::kBoundedAdd, trying, addrs, ones, bound, old, retries);
 
   std::uint64_t attempts = 0, failures = 0;
+  simt::Telemetry* probes = probe_sink(w);
   for_lanes(trying, [&](unsigned lane) {
     attempts += 1 + retries[lane];
     failures += retries[lane];
+    // One CAS loop per lane: its folded failure count is the run length.
+    if (probes) probes->histogram(tel::kCasRetryRun).add(retries[lane]);
   });
   w.bump(kQueueAtomics, attempts);
   w.bump(kQueueCasFailures, failures);
   w.bump(kEmptyRetries,
          static_cast<std::uint64_t>(std::popcount(trying & ~claimed)));
 
-  for_lanes(claimed, [&](unsigned lane) { st.slot[lane] = old[lane]; });
+  for_lanes(claimed, [&](unsigned lane) {
+    st.slot[lane] = old[lane];
+    st.assign_cycle[lane] = w.now();
+  });
+  if (probes && claimed) {
+    probes->histogram(tel::kDequeueLatency).add(w.now() - t0);
+  }
   for_lanes(trying, [&](unsigned lane) {
     // Contention-managed retry pacing: a loop that absorbed failures
     // backs off whether or not it finally claimed.
@@ -406,6 +460,8 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
     if (st.n_new[lane] > 0) pending |= bit(lane);
   }
   if (!pending) co_return;
+  const simt::Cycle t0 = w.now();
+  simt::Telemetry* probes = probe_sink(w);
 
   // Each producing lane CAS-loops one slot per token out of Rear; all
   // pending lanes issue together in lock-step.
@@ -426,6 +482,7 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
     for_lanes(pending, [&](unsigned lane) {
       attempts += 1 + retries[lane];
       failures += retries[lane];
+      if (probes) probes->histogram(tel::kCasRetryRun).add(retries[lane]);
     });
     w.bump(kQueueAtomics, attempts);
     w.bump(kQueueCasFailures, failures);
@@ -447,6 +504,7 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
       if (++cursor[lane] == st.n_new[lane]) pending &= ~bit(lane);
     });
   }
+  if (probes) probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
 }
 
 Kernel<void> BaseQueue::report_complete(Wave& w, std::uint32_t count) {

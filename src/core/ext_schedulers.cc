@@ -180,6 +180,7 @@ Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
   for_lanes(st.hungry, [&](unsigned lane) {
     if (left == 0) return;
     st.slot[lane] = std::uint64_t{q} * per_queue_ + local++;
+    st.assign_cycle[lane] = w.now();
     served |= bit(lane);
     --left;
   });

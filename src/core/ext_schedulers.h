@@ -38,6 +38,9 @@ class LockedStack final : public DeviceQueue {
   Kernel<void> publish(Wave& w, WaveQueueState& st) override;
   Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
   void seed(simt::Device& dev, std::span<const std::uint64_t> tokens) override;
+  [[nodiscard]] std::uint64_t occupancy(const simt::Device& dev) const override {
+    return dev.read_word(top_addr());  // LIFO: Top == resident tokens
+  }
 
  private:
   [[nodiscard]] Addr top_addr() const { return layout_.ctrl.at(0); }
@@ -63,6 +66,15 @@ class DistributedQueue final : public DeviceQueue {
   Kernel<void> report_complete(Wave& w, std::uint32_t count) override;
   Kernel<bool> all_done(Wave& w) override;
   void seed(simt::Device& dev, std::span<const std::uint64_t> tokens) override;
+  [[nodiscard]] std::uint64_t occupancy(const simt::Device& dev) const override {
+    std::uint64_t total = 0;
+    for (std::uint32_t q = 0; q < num_queues_; ++q) {
+      const std::uint64_t front = dev.read_word(front_of(q));
+      const std::uint64_t rear = dev.read_word(rear_of(q));
+      total += rear > front ? rear - front : 0;
+    }
+    return total;
+  }
 
   [[nodiscard]] std::uint32_t num_queues() const { return num_queues_; }
   [[nodiscard]] std::uint64_t per_queue_capacity() const { return per_queue_; }

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/counters.h"
+#include "core/telemetry_probes.h"
 
 namespace scq {
 
@@ -22,6 +23,13 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
     // monitoring a slot asks for one.
     st.hungry = ~st.assigned;
     co_await queue.acquire_slots(w, st);
+
+    if (simt::Telemetry* probes = probe_sink(w)) {
+      probes->set_shard(tel::kHungryLanes, w.slot_id(),
+                        static_cast<std::uint64_t>(std::popcount(st.hungry)));
+      probes->set_shard(tel::kAssignedLanes, w.slot_id(),
+                        static_cast<std::uint64_t>(std::popcount(st.assigned)));
+    }
 
     // Dequeue phase 2: non-atomic arrival check.
     const LaneMask arrived = co_await queue.check_arrival(w, st, tokens);
@@ -67,6 +75,13 @@ simt::RunResult run_persistent_tasks(simt::Device& dev, DeviceQueue& queue,
     throw simt::SimError("run_persistent_tasks: more seeds than queue capacity");
   }
   queue.seed(dev, seeds);
+
+  // Standard gauges against this (device, queue) pair. Replaces any
+  // probes from a previous run whose objects may be gone.
+  if (simt::Telemetry* probes = dev.telemetry()) {
+    probes->clear_probes();
+    register_scheduler_probes(*probes, dev, queue);
+  }
 
   const std::uint32_t workgroups = options.num_workgroups != 0
                                        ? options.num_workgroups

@@ -55,6 +55,11 @@ struct QueueLayout {
   [[nodiscard]] Addr slot_addr(std::uint64_t i) const { return slots.at(i); }
 };
 
+// Telemetry sink for scheduler probes: the device's attached telemetry,
+// or nullptr (probes then cost nothing — they are host-side bookkeeping
+// and never simulated cycles).
+inline simt::Telemetry* probe_sink(Wave& w) { return w.device().telemetry(); }
+
 // Allocates and initializes a device queue (host side, pre-launch §3.1).
 QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity);
 
@@ -71,6 +76,9 @@ struct WaveQueueState {
   LaneMask hungry = 0;    // lanes that want a slot assignment
   LaneMask assigned = 0;  // lanes monitoring a slot for data arrival
   std::array<std::uint64_t, kWaveWidth> slot{};  // absolute slot index per lane
+  // Cycle at which each lane's slot was assigned (telemetry: the slot-
+  // monitor wait histogram measures assignment -> dna clearing).
+  std::array<simt::Cycle, kWaveWidth> assign_cycle{};
 
   // Eager delivery: schedulers that read payloads during acquisition
   // (e.g. the locked stack, which consumes under its lock) park tokens
@@ -154,6 +162,11 @@ class DeviceQueue {
   // Host-side seeding of initial task tokens (default: contiguous slots
   // from index 0 with Rear = count).
   virtual void seed(simt::Device& dev, std::span<const std::uint64_t> tokens);
+
+  // Host-side occupancy snapshot for the telemetry sampler: tokens
+  // enqueued but not yet claimed (Rear - Front). Costs no simulated
+  // cycles. Extension schedulers with other control layouts override.
+  [[nodiscard]] virtual std::uint64_t occupancy(const simt::Device& dev) const;
 
   [[nodiscard]] const QueueLayout& layout() const { return layout_; }
 

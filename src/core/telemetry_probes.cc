@@ -1,0 +1,39 @@
+#include "core/telemetry_probes.h"
+
+#include "core/counters.h"
+
+namespace scq {
+
+void register_scheduler_probes(simt::Telemetry& telemetry, simt::Device& dev,
+                               const DeviceQueue& queue) {
+  simt::Device* d = &dev;
+  const DeviceQueue* q = &queue;
+
+  telemetry.register_gauge(tel::kOccupancy,
+                           [d, q](simt::Cycle) { return q->occupancy(*d); });
+
+  const simt::Addr front = queue.layout().front_addr();
+  const simt::Addr rear = queue.layout().rear_addr();
+  telemetry.register_gauge(tel::kAtomicBacklog, [d, front, rear](simt::Cycle now) {
+    return d->atomic_unit().backlog(front, now) + d->atomic_unit().backlog(rear, now);
+  });
+
+  // Utilization: ports issue one compute cycle per cycle at most, so
+  // delta(compute_cycles) / (delta(t) * resident waves) approximates the
+  // fraction of wave-cycles doing ALU work (vs waiting or polling).
+  const std::uint64_t waves = dev.config().resident_waves();
+  telemetry.register_gauge(
+      tel::kWaveUtilization,
+      [d, waves, prev_cycle = simt::Cycle{0},
+       prev_compute = std::uint64_t{0}](simt::Cycle now) mutable {
+        const std::uint64_t compute = d->stats().compute_cycles;
+        const simt::Cycle dt = now > prev_cycle ? now - prev_cycle : 0;
+        const std::uint64_t dc = compute - prev_compute;
+        prev_cycle = now;
+        prev_compute = compute;
+        if (dt == 0 || waves == 0) return std::uint64_t{0};
+        return std::min<std::uint64_t>(100, 100 * dc / (dt * waves));
+      });
+}
+
+}  // namespace scq

@@ -1,0 +1,29 @@
+// Standard scheduler telemetry probes.
+//
+// register_scheduler_probes wires the gauges every persistent-thread
+// driver wants sampled against one (device, queue) pair:
+//
+//   queue.occupancy         Rear - Front (tokens enqueued, unclaimed)
+//   atomic_unit.backlog     cycles of FIFO backlog on Front + Rear
+//   waves.utilization_pct   compute cycles issued per sample period,
+//                           as % of resident-wave issue capacity
+//
+// The hungry/assigned lane-count series come from the wave loops via
+// Telemetry::set_shard (each wave publishes its popcounts; the sampler
+// sums them), so drivers need no registration for those.
+//
+// Gauges capture the device and queue by reference: they must be
+// re-registered (after Telemetry::clear_probes) whenever the probed
+// objects are rebuilt — e.g. the queue-full retry path constructing a
+// fresh device.
+#pragma once
+
+#include "core/queue.h"
+#include "sim/telemetry.h"
+
+namespace scq {
+
+void register_scheduler_probes(simt::Telemetry& telemetry, simt::Device& dev,
+                               const DeviceQueue& queue);
+
+}  // namespace scq

@@ -86,6 +86,7 @@ RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& fact
                      config_.name);
     }
     now_ = std::max(now_, ev.t);
+    if (telemetry_) telemetry_->on_advance(now_);
     ev.h.resume();
 
     if ((++events_processed & ((1u << 22) - 1)) == 0) atomic_unit_.prune(now_);
@@ -122,6 +123,7 @@ RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& fact
   }
 
   now_ = std::max(now_, end_time);
+  if (telemetry_) telemetry_->sample_now(now_);  // flush final state
   result.cycles = now_ - begin;
   result.seconds = config_.seconds(result.cycles);
   result.stats = stats_ - before;

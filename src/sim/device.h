@@ -13,6 +13,7 @@
 #include "sim/config.h"
 #include "sim/memory.h"
 #include "sim/stats.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "sim/wave.h"
 
@@ -71,6 +72,11 @@ class Device {
   // Optional execution tracing (not owned; nullptr disables).
   void attach_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
   [[nodiscard]] TraceRecorder* tracer() { return tracer_; }
+  // Optional telemetry (not owned; nullptr disables). The event loop
+  // drives its cycle sampler; kernels and schedulers feed its
+  // histograms through this accessor.
+  void attach_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  [[nodiscard]] Telemetry* telemetry() { return telemetry_; }
   void request_abort(std::string reason);
   [[nodiscard]] bool abort_requested() const { return abort_; }
 
@@ -93,6 +99,7 @@ class Device {
   DeviceStats stats_{};
   Cycle now_ = 0;
   TraceRecorder* tracer_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
 
   std::vector<ComputeUnit> cus_;
   std::vector<std::unique_ptr<Wave>> waves_;

@@ -24,15 +24,19 @@ DeviceStats& DeviceStats::operator-=(const DeviceStats& rhs) {
 std::string DeviceStats::summary() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "loads=%llu stores=%llu afa=%llu cas=%llu casfail=%llu "
-                "xchg=%llu lds=%llu waves=%llu launches=%llu",
+                "loads=%llu stores=%llu lines=%llu afa=%llu cas=%llu "
+                "casfail=%llu xchg=%llu lds=%llu compute=%llu idle=%llu "
+                "waves=%llu launches=%llu",
                 static_cast<unsigned long long>(global_loads),
                 static_cast<unsigned long long>(global_stores),
+                static_cast<unsigned long long>(lines_touched),
                 static_cast<unsigned long long>(afa_ops),
                 static_cast<unsigned long long>(cas_attempts),
                 static_cast<unsigned long long>(cas_failures),
                 static_cast<unsigned long long>(xchg_ops),
                 static_cast<unsigned long long>(lds_ops),
+                static_cast<unsigned long long>(compute_cycles),
+                static_cast<unsigned long long>(idle_cycles),
                 static_cast<unsigned long long>(waves_completed),
                 static_cast<unsigned long long>(kernel_launches));
   return buf;

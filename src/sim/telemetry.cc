@@ -1,0 +1,225 @@
+#include "sim/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/trace.h"
+#include "util/csv.h"
+
+namespace simt {
+
+namespace {
+
+// Minimal JSON string escaping (metric names are plain identifiers, but
+// a bench could pass anything).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string dbl(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cum = 0.0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const double prev = cum;
+    cum += static_cast<double>(counts_[b]);
+    if (cum + 1e-9 < target) continue;
+    // Linear interpolation inside the bucket.
+    const double frac = (target - prev) / static_cast<double>(counts_[b]);
+    const double lo = static_cast<double>(bucket_low(b));
+    const double hi = static_cast<double>(bucket_high(b));
+    const double v = lo + frac * (hi - lo);
+    const auto value = static_cast<std::uint64_t>(std::max(v, 0.0));
+    return std::clamp(value, min(), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& rhs) {
+  if (rhs.count_ == 0) return;
+  for (unsigned b = 0; b < kBuckets; ++b) counts_[b] += rhs.counts_[b];
+  count_ += rhs.count_;
+  sum_ += rhs.sum_;
+  min_ = std::min(min_, rhs.min_);
+  max_ = std::max(max_, rhs.max_);
+}
+
+Histogram& Telemetry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+const Histogram* Telemetry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Telemetry::register_gauge(std::string_view name, Gauge fn) {
+  gauges_.emplace_back(std::string(name), std::move(fn));
+}
+
+void Telemetry::set_shard(std::string_view name, std::uint32_t shard,
+                          std::uint64_t value) {
+  auto it = shards_.find(name);
+  if (it == shards_.end()) {
+    it = shards_.emplace(std::string(name), std::vector<std::uint64_t>{}).first;
+  }
+  if (it->second.size() <= shard) it->second.resize(shard + 1, 0);
+  it->second[shard] = value;
+}
+
+void Telemetry::clear_probes() {
+  gauges_.clear();
+  shards_.clear();
+  // A new probed run starts its cycle clock at 0; restart the sampler so
+  // the new run's early cycles are not masked by the previous run's
+  // aligned next-tick.
+  next_sample_ = 0;
+}
+
+void Telemetry::record_point(const std::string& name, Cycle now,
+                             std::uint64_t value) {
+  std::vector<Sample>& points = series_[name];
+  if (points.size() >= options_.max_samples) {
+    ++dropped_samples_;
+  } else {
+    points.push_back({now, value});
+  }
+  if (mirror_) mirror_->record_counter({now, name, static_cast<double>(value)});
+}
+
+void Telemetry::sample_now(Cycle now) {
+  for (const auto& [name, fn] : gauges_) record_point(name, now, fn(now));
+  for (const auto& [name, values] : shards_) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values) sum += v;
+    record_point(name, now, sum);
+  }
+  // Next periodic tick strictly after `now`, aligned to the period.
+  const Cycle period = std::max<Cycle>(options_.sample_period, 1);
+  next_sample_ = (now / period + 1) * period;
+}
+
+void Telemetry::reset_data() {
+  histograms_.clear();
+  series_.clear();
+  dropped_samples_ = 0;
+  next_sample_ = 0;
+}
+
+std::string Telemetry::to_json() const {
+  std::string out = "{\n  \"sample_period\": " + u64(options_.sample_period) +
+                    ",\n  \"dropped_samples\": " + u64(dropped_samples_) +
+                    ",\n  \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + json_escape(name) + "\": {";
+    out += "\"count\": " + u64(h.count());
+    out += ", \"sum\": " + u64(h.sum());
+    out += ", \"min\": " + u64(h.min());
+    out += ", \"max\": " + u64(h.max());
+    out += ", \"mean\": " + dbl(h.mean());
+    out += ", \"p50\": " + u64(h.percentile(50));
+    out += ", \"p90\": " + u64(h.percentile(90));
+    out += ", \"p99\": " + u64(h.percentile(99));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "{\"low\": " + u64(Histogram::bucket_low(b)) +
+             ", \"high\": " + u64(Histogram::bucket_high(b)) +
+             ", \"count\": " + u64(h.bucket_count(b)) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"series\": {";
+  first = true;
+  for (const auto& [name, points] : series_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + json_escape(name) + "\": [";
+    bool first_point = true;
+    for (const Sample& s : points) {
+      if (!first_point) out += ',';
+      first_point = false;
+      out += '[' + u64(s.cycle) + ',' + u64(s.value) + ']';
+    }
+    out += ']';
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool Telemetry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = to_json();
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == body.size() && closed;
+}
+
+std::string Telemetry::histograms_csv() const {
+  scq::util::CsvWriter csv({"histogram", "bucket_low", "bucket_high", "count"});
+  for (const auto& [name, h] : histograms_) {
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      csv.add_row({name, u64(Histogram::bucket_low(b)),
+                   u64(Histogram::bucket_high(b)), u64(h.bucket_count(b))});
+    }
+  }
+  return csv.render();
+}
+
+std::string Telemetry::series_csv() const {
+  scq::util::CsvWriter csv({"series", "cycle", "value"});
+  for (const auto& [name, points] : series_) {
+    for (const Sample& s : points) {
+      csv.add_row({name, u64(s.cycle), u64(s.value)});
+    }
+  }
+  return csv.render();
+}
+
+}  // namespace simt

@@ -1,0 +1,188 @@
+// Telemetry: distributional and time-resolved measurement for the
+// simulator and the schedulers built on it.
+//
+// The end-of-run counters in DeviceStats say *how many* retries or polls
+// a run paid; they cannot say how they were distributed (one storm or a
+// steady trickle?) nor when they happened. Telemetry adds the two
+// missing shapes:
+//
+//   * Histogram — power-of-two-bucket distributions (CAS retry run
+//     lengths, proxy aggregation widths, slot-monitor wait times,
+//     queue-operation service latencies) with count/sum/min/max and
+//     interpolated percentile queries.
+//   * Time series — a cycle-driven sampler polls registered gauges
+//     (queue occupancy, atomic-unit backlog, hungry/assigned lane
+//     counts, resident-wave utilization) at a configurable period and
+//     records (cycle, value) points per named series.
+//
+// Attach to a device like the tracer (Device::attach_telemetry); the
+// event loop drives sampling as simulated time advances. Sampled points
+// can additionally be mirrored into a TraceRecorder as Chrome/Perfetto
+// counter tracks ("ph":"C") so they render alongside the wave slices.
+// Exporters produce a single JSON artifact and CSV tables (via
+// util/csv) for external plotting.
+//
+// Everything here is host-side bookkeeping: probes cost no simulated
+// cycles, and a detached telemetry object costs nothing at all.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace simt {
+
+class TraceRecorder;
+
+// A fixed-size histogram over u64 values with power-of-two buckets:
+// bucket 0 holds {0}; bucket b >= 1 holds [2^(b-1), 2^b - 1] (i.e. the
+// values whose bit width is b). Adding is O(1) and allocation-free.
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 65;  // bit widths 0..64
+
+  static constexpr unsigned bucket_index(std::uint64_t value) {
+    return static_cast<unsigned>(std::bit_width(value));
+  }
+  static constexpr std::uint64_t bucket_low(unsigned b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  static constexpr std::uint64_t bucket_high(unsigned b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) {
+    if (weight == 0) return;
+    counts_[bucket_index(value)] += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  // min()/max() of an empty histogram are 0.
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(unsigned b) const { return counts_[b]; }
+
+  // Value at percentile p in [0,100]: the smallest v (to bucket
+  // resolution, linearly interpolated within the bucket) such that at
+  // least p% of recorded values are <= v. Clamped to [min(), max()];
+  // 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  void merge(const Histogram& rhs);
+  void reset() { *this = Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+// One recorded point of a time series.
+struct Sample {
+  Cycle cycle = 0;
+  std::uint64_t value = 0;
+};
+
+class Telemetry {
+ public:
+  struct Options {
+    Cycle sample_period = 2048;        // cycles between sampler ticks
+    std::size_t max_samples = 1 << 16;  // per-series cap (then drops)
+  };
+
+  Telemetry() : Telemetry(Options{}) {}
+  explicit Telemetry(Options options) : options_(options) {}
+
+  // ---- Histograms (find-or-create by name) ----
+  Histogram& histogram(std::string_view name);
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  // ---- Gauges: polled on every sampler tick ----
+  // A gauge returns the current value of its series; `now` is the
+  // sampling cycle (for rate-style gauges keeping their own history).
+  using Gauge = std::function<std::uint64_t(Cycle now)>;
+  void register_gauge(std::string_view name, Gauge fn);
+
+  // Sharded gauge: independent writers (one per wave slot) each publish
+  // their share; the sampled series value is the sum over shards. This
+  // is how per-wave kernel state (hungry/assigned lane counts) becomes
+  // a device-wide series without the waves coordinating.
+  void set_shard(std::string_view name, std::uint32_t shard, std::uint64_t value);
+
+  // Drops all gauges and shard registrations (recorded data stays) and
+  // restarts the sampling clock, since the next probed run begins at
+  // cycle 0. Re-registration is required after the probed objects are
+  // destroyed — e.g. when a queue-full retry rebuilds the device.
+  void clear_probes();
+
+  // ---- Sampling (driven by Device's event loop) ----
+  // Samples at most once per sample_period; cheap no-op in between.
+  void on_advance(Cycle now) {
+    if (now >= next_sample_) sample_now(now);
+  }
+  // Forces a sample at `now` (used to flush final state at launch end).
+  void sample_now(Cycle now);
+
+  // Mirrors every sampled point into `tracer` as a counter-track event
+  // (nullptr disables). Not owned.
+  void mirror_counters_to(TraceRecorder* tracer) { mirror_ = tracer; }
+
+  [[nodiscard]] const std::map<std::string, std::vector<Sample>, std::less<>>&
+  series() const {
+    return series_;
+  }
+  // Points not recorded because a series hit max_samples.
+  [[nodiscard]] std::uint64_t dropped_samples() const { return dropped_samples_; }
+  [[nodiscard]] Cycle sample_period() const { return options_.sample_period; }
+
+  // Clears recorded histograms and series (probes stay registered).
+  void reset_data();
+
+  // ---- Exporters ----
+  // One self-contained JSON artifact: histograms (summary + non-empty
+  // buckets + p50/p90/p99) and every time series.
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  // CSV tables (util/csv): one row per non-empty histogram bucket /
+  // one row per series point.
+  [[nodiscard]] std::string histograms_csv() const;
+  [[nodiscard]] std::string series_csv() const;
+
+ private:
+  Options options_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, std::vector<Sample>, std::less<>> series_;
+  std::vector<std::pair<std::string, Gauge>> gauges_;
+  std::map<std::string, std::vector<std::uint64_t>, std::less<>> shards_;
+  TraceRecorder* mirror_ = nullptr;
+  Cycle next_sample_ = 0;
+  std::uint64_t dropped_samples_ = 0;
+
+  void record_point(const std::string& name, Cycle now, std::uint64_t value);
+};
+
+}  // namespace simt

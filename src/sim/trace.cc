@@ -19,6 +19,27 @@ const char* to_string(TraceOp op) {
   return "?";
 }
 
+namespace {
+
+// Counter names come from telemetry probes and are plain identifiers;
+// escape the JSON-significant characters anyway so a hostile name can
+// never corrupt the trace document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      out += ' ';
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string TraceRecorder::to_chrome_json() const {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
@@ -36,6 +57,26 @@ std::string TraceRecorder::to_chrome_json() const {
                   e.cu, e.slot);
     out += buf;
   }
+  for (const Counter& c : counters_) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"C\",\"ts\":%llu,\"pid\":0,\"tid\":0,"
+                  "\"args\":{\"value\":%.6g}}",
+                  static_cast<unsigned long long>(c.cycle), c.value);
+    out += "{\"name\":\"";
+    out += json_escape(c.name);
+    out += buf;
+  }
+  // Metadata record: makes a truncated capture detectable from the file
+  // alone (all-zero args == complete trace).
+  if (!first) out += ',';
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"dropped\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+                "\"args\":{\"slices\":%llu,\"counters\":%llu}}",
+                static_cast<unsigned long long>(dropped_),
+                static_cast<unsigned long long>(dropped_counters_));
+  out += buf;
   out += "]}";
   return out;
 }
@@ -44,9 +85,9 @@ bool TraceRecorder::write_chrome_json(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   const std::string body = to_chrome_json();
-  std::fwrite(body.data(), 1, body.size(), f);
-  std::fclose(f);
-  return true;
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == body.size() && closed;
 }
 
 }  // namespace simt

@@ -5,9 +5,15 @@
 // slice — making zero-cost wave switching, atomic-unit pileups, and
 // poll storms directly visible.
 //
+// Besides duration slices the recorder takes counter events ("ph":"C"
+// tracks): sampled scalar series such as queue occupancy or retry rate,
+// rendered by Perfetto as per-name counter tracks alongside the slices.
+// Telemetry::mirror_counters_to feeds these automatically.
+//
 // Tracing is opt-in (Device::attach_tracer) and bounded: recording
-// stops silently after `capacity` events so tracing a long run cannot
-// exhaust memory.
+// stops after `capacity` events so tracing a long run cannot exhaust
+// memory. Truncation is not silent in the export: the JSON carries a
+// "dropped" metadata record with the exact drop counts.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,14 @@ class TraceRecorder {
     TraceOp op;
   };
 
+  // A sampled scalar value, exported as a "ph":"C" counter event. One
+  // counter track per distinct name.
+  struct Counter {
+    Cycle cycle;
+    std::string name;
+    double value;
+  };
+
   void record(const Event& e) {
     if (events_.size() < capacity_) {
       events_.push_back(e);
@@ -55,22 +69,40 @@ class TraceRecorder {
     }
   }
 
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
-  void clear() {
-    events_.clear();
-    dropped_ = 0;
+  void record_counter(Counter c) {
+    if (counters_.size() < capacity_) {
+      counters_.push_back(std::move(c));
+    } else {
+      ++dropped_counters_;
+    }
   }
 
-  // Chrome trace-event JSON ("traceEvents" array of X-phase slices).
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] const std::vector<Counter>& counters() const { return counters_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped_counters() const { return dropped_counters_; }
+  void clear() {
+    events_.clear();
+    counters_.clear();
+    dropped_ = 0;
+    dropped_counters_ = 0;
+  }
+
+  // Chrome trace-event JSON: "traceEvents" holds the X-phase slices,
+  // the C-phase counter samples, and a final "dropped" metadata record
+  // carrying the drop counts (all zero for a complete trace).
   // Timestamps are simulated cycles reported as microseconds.
   [[nodiscard]] std::string to_chrome_json() const;
+  // Writes the JSON to `path`. Returns false on open failure, short
+  // write, or close failure — a truncated trace is never reported ok.
   bool write_chrome_json(const std::string& path) const;
 
  private:
   std::size_t capacity_;
   std::vector<Event> events_;
+  std::vector<Counter> counters_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_counters_ = 0;
 };
 
 }  // namespace simt

@@ -1,0 +1,482 @@
+// Tests for the telemetry subsystem: histogram bucket boundaries and
+// percentile math, the cycle-driven sampler (period, rollover, shards,
+// caps), device integration, and a JSON round-trip that parses the
+// exported artifacts with a real (minimal) JSON parser.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/telemetry.h"
+#include "sim/trace.h"
+
+namespace simt {
+namespace {
+
+// ---- Minimal JSON parser (test-only) ------------------------------------
+// Just enough to round-trip the exporters: objects, arrays, strings with
+// basic escapes, numbers, booleans, null. Returns nullopt on any error.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.count(key) != 0;
+  }
+  // Missing keys read as a null value, keeping test chains total.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    static const JsonValue empty;
+    const auto it = object.find(key);
+    return it == object.end() ? empty : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v.has_value() || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", JsonValue::Kind::kBool, true);
+      case 'f': return keyword("false", JsonValue::Kind::kBool, false);
+      case 'n': return keyword("null", JsonValue::Kind::kNull, false);
+      default: return number();
+    }
+  }
+
+  static JsonValue make(JsonValue::Kind kind) {
+    JsonValue v;
+    v.kind = kind;
+    return v;
+  }
+
+  std::optional<JsonValue> keyword(std::string_view word,
+                                   JsonValue::Kind kind, bool boolean) {
+    if (text_.substr(pos_, word.size()) != word) return std::nullopt;
+    pos_ += word.size();
+    JsonValue v = make(kind);
+    v.boolean = boolean;
+    return v;
+  }
+
+  std::optional<JsonValue> number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double parsed = std::strtod(begin, &end);
+    if (end == begin) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v = make(JsonValue::Kind::kNumber);
+    v.number = parsed;
+    return v;
+  }
+
+  std::optional<JsonValue> string_value() {
+    if (!consume('"')) return std::nullopt;
+    JsonValue v = make(JsonValue::Kind::kString);
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            pos_ += 4;  // keep the replacement crude; names are ASCII
+            c = '?';
+            break;
+          default: return std::nullopt;
+        }
+      }
+      v.str += c;
+    }
+    if (!consume('"')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue v = make(JsonValue::Kind::kArray);
+    if (consume(']')) return v;
+    for (;;) {
+      auto item = value();
+      if (!item.has_value()) return std::nullopt;
+      v.array.push_back(std::move(*item));
+      if (consume(']')) return v;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue v = make(JsonValue::Kind::kObject);
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      auto key = string_value();
+      if (!key.has_value() || !consume(':')) return std::nullopt;
+      auto item = value();
+      if (!item.has_value()) return std::nullopt;
+      v.object.emplace(std::move(key->str), std::move(*item));
+      if (consume('}')) return v;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Histogram ----------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64u);
+
+  EXPECT_EQ(Histogram::bucket_low(0), 0u);
+  EXPECT_EQ(Histogram::bucket_high(0), 0u);
+  EXPECT_EQ(Histogram::bucket_low(1), 1u);
+  EXPECT_EQ(Histogram::bucket_high(1), 1u);
+  EXPECT_EQ(Histogram::bucket_low(5), 16u);
+  EXPECT_EQ(Histogram::bucket_high(5), 31u);
+  EXPECT_EQ(Histogram::bucket_high(64), ~std::uint64_t{0});
+
+  // Every representable value falls inside its bucket's range.
+  for (const std::uint64_t v : {0ull, 1ull, 2ull, 7ull, 8ull, 1000ull,
+                                (1ull << 40) + 17}) {
+    const unsigned b = Histogram::bucket_index(v);
+    EXPECT_GE(v, Histogram::bucket_low(b));
+    EXPECT_LE(v, Histogram::bucket_high(b));
+  }
+}
+
+TEST(HistogramTest, CountsSumsMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u) << "empty histogram min reads 0";
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0u);
+
+  h.add(3);
+  h.add(5, 2);  // weighted: two observations of 5
+  h.add(0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 13.0 / 4.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 3
+  EXPECT_EQ(h.bucket_count(3), 2u);  // 5, 5
+
+  h.add(7, 0);  // zero weight is a no-op
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(HistogramTest, PercentileMath) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1);
+  // All mass in one single-value bucket: every percentile is that value.
+  EXPECT_EQ(h.percentile(1), 1u);
+  EXPECT_EQ(h.percentile(50), 1u);
+  EXPECT_EQ(h.percentile(99), 1u);
+
+  Histogram mix;
+  for (int i = 0; i < 90; ++i) mix.add(0);
+  for (int i = 0; i < 10; ++i) mix.add(1000);
+  EXPECT_EQ(mix.percentile(0), 0u) << "p0 is the minimum";
+  EXPECT_EQ(mix.percentile(50), 0u);
+  EXPECT_EQ(mix.percentile(89), 0u);
+  EXPECT_GE(mix.percentile(95), 512u) << "falls in the top bucket";
+  EXPECT_EQ(mix.percentile(100), 1000u) << "p100 is the maximum";
+
+  // Percentiles are monotone in p and clamped to [min, max].
+  std::uint64_t prev = 0;
+  for (double p = 0; p <= 100; p += 5) {
+    const std::uint64_t v = mix.percentile(p);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, mix.min());
+    EXPECT_LE(v, mix.max());
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeAndReset) {
+  Histogram a, b;
+  a.add(1);
+  a.add(100);
+  b.add(7, 3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.sum(), 122u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100u);
+  a.merge(Histogram{});  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 5u);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+}
+
+// ---- Sampler ------------------------------------------------------------
+
+TEST(TelemetryTest, SamplerHonorsPeriod) {
+  Telemetry t({.sample_period = 100, .max_samples = 1024});
+  t.register_gauge("g", [](Cycle now) { return now; });
+
+  // Dense advance: one sample per period despite many ticks.
+  for (Cycle c = 0; c <= 1000; ++c) t.on_advance(c);
+  const auto& points = t.series().at("g");
+  ASSERT_EQ(points.size(), 11u) << "cycles 0,100,...,1000";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].cycle, i * 100);
+    EXPECT_EQ(points[i].value, i * 100);
+  }
+}
+
+TEST(TelemetryTest, SamplerRollsOverSparseTime) {
+  // Discrete-event time jumps; a jump over several periods yields ONE
+  // sample (at the jump target), then realigns to the next period.
+  Telemetry t({.sample_period = 100, .max_samples = 1024});
+  t.register_gauge("g", [](Cycle) { return 7; });
+  t.on_advance(5);     // first sample (clock starts due)
+  t.on_advance(450);   // jumped 4 periods: one sample, next due at 500
+  t.on_advance(460);   // not due
+  t.on_advance(500);   // due again
+  const auto& points = t.series().at("g");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].cycle, 5u);
+  EXPECT_EQ(points[1].cycle, 450u);
+  EXPECT_EQ(points[2].cycle, 500u);
+}
+
+TEST(TelemetryTest, ShardedGaugesSumAcrossWriters) {
+  Telemetry t({.sample_period = 10, .max_samples = 16});
+  t.set_shard("lanes", 0, 3);
+  t.set_shard("lanes", 5, 4);  // sparse shard ids are fine
+  t.sample_now(0);
+  t.set_shard("lanes", 0, 1);  // overwrite, not accumulate
+  t.sample_now(10);
+  const auto& points = t.series().at("lanes");
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].value, 7u);
+  EXPECT_EQ(points[1].value, 5u);
+}
+
+TEST(TelemetryTest, MaxSamplesCapsAndCounts) {
+  Telemetry t({.sample_period = 1, .max_samples = 4});
+  t.register_gauge("g", [](Cycle) { return 1; });
+  for (Cycle c = 0; c < 10; ++c) t.sample_now(c);
+  EXPECT_EQ(t.series().at("g").size(), 4u);
+  EXPECT_EQ(t.dropped_samples(), 6u);
+  t.reset_data();
+  EXPECT_TRUE(t.series().empty());
+  EXPECT_EQ(t.dropped_samples(), 0u);
+}
+
+TEST(TelemetryTest, ClearProbesRestartsSamplingClock) {
+  Telemetry t({.sample_period = 100, .max_samples = 16});
+  t.register_gauge("a", [](Cycle) { return 1; });
+  t.sample_now(950);  // next tick now aligned to 1000
+  t.clear_probes();   // new run starts at cycle 0 again
+  t.register_gauge("b", [](Cycle) { return 2; });
+  t.on_advance(3);
+  EXPECT_EQ(t.series().count("b"), 1u)
+      << "early cycles of the new run must not be masked by the old clock";
+  EXPECT_EQ(t.series().at("a").size(), 1u) << "recorded data survives";
+}
+
+TEST(TelemetryTest, MirrorsSamplesToTraceCounters) {
+  TraceRecorder trace;
+  Telemetry t({.sample_period = 10, .max_samples = 16});
+  t.mirror_counters_to(&trace);
+  t.register_gauge("occ", [](Cycle now) { return now * 2; });
+  t.sample_now(0);
+  t.sample_now(10);
+  ASSERT_EQ(trace.counters().size(), 2u);
+  EXPECT_EQ(trace.counters()[1].name, "occ");
+  EXPECT_EQ(trace.counters()[1].cycle, 10u);
+  EXPECT_DOUBLE_EQ(trace.counters()[1].value, 20.0);
+}
+
+// ---- Device integration -------------------------------------------------
+
+DeviceConfig small_cfg() {
+  DeviceConfig c;
+  c.num_cus = 2;
+  c.waves_per_cu = 1;
+  c.mem_latency = 100;
+  c.atomic_latency = 50;
+  c.atomic_service = 4;
+  c.lds_latency = 8;
+  c.issue_cost = 2;
+  c.kernel_launch_overhead = 1000;
+  return c;
+}
+
+TEST(TelemetryTest, DeviceDrivesSampler) {
+  Device dev(small_cfg());
+  Telemetry t({.sample_period = 500, .max_samples = 1024});
+  t.register_gauge("tick", [](Cycle now) { return now; });
+  dev.attach_telemetry(&t);
+  EXPECT_EQ(dev.telemetry(), &t);
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    for (int i = 0; i < 10; ++i) co_await w.compute(300);
+  });
+  const auto& points = t.series().at("tick");
+  ASSERT_GE(points.size(), 4u) << "several periods elapsed plus final flush";
+  // Cycles are non-decreasing; the end-of-launch flush may duplicate the
+  // last periodic sample's cycle.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].cycle, points[i - 1].cycle);
+  }
+}
+
+// ---- Exporters ----------------------------------------------------------
+
+TEST(TelemetryTest, JsonRoundTrips) {
+  Telemetry t({.sample_period = 50, .max_samples = 64});
+  t.histogram("lat").add(3);
+  t.histogram("lat").add(200, 2);
+  t.histogram("weird \"name\"\n").add(1);
+  t.register_gauge("occ", [](Cycle now) { return 10 + now; });
+  t.sample_now(0);
+  t.sample_now(50);
+
+  const auto parsed = JsonParser(t.to_json()).parse();
+  ASSERT_TRUE(parsed.has_value()) << "export must be valid JSON";
+  ASSERT_EQ(parsed->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(parsed->at("sample_period").number, 50.0);
+  EXPECT_EQ(parsed->at("dropped_samples").number, 0.0);
+
+  const JsonValue& hists = parsed->at("histograms");
+  ASSERT_EQ(hists.object.size(), 2u) << "escaped name must round-trip too";
+  ASSERT_TRUE(hists.has("lat"));
+  const JsonValue& lat = hists.at("lat");
+  EXPECT_EQ(lat.at("count").number, 3.0);
+  EXPECT_EQ(lat.at("sum").number, 403.0);
+  EXPECT_EQ(lat.at("min").number, 3.0);
+  EXPECT_EQ(lat.at("max").number, 200.0);
+  ASSERT_EQ(lat.at("buckets").array.size(), 2u);
+  const JsonValue& top = lat.at("buckets").array[1];
+  EXPECT_EQ(top.at("low").number, 128.0);
+  EXPECT_EQ(top.at("high").number, 255.0);
+  EXPECT_EQ(top.at("count").number, 2.0);
+
+  const JsonValue& series = parsed->at("series");
+  ASSERT_TRUE(series.has("occ"));
+  const JsonValue& occ = series.at("occ");
+  ASSERT_EQ(occ.array.size(), 2u);
+  ASSERT_EQ(occ.array[1].array.size(), 2u);
+  EXPECT_EQ(occ.array[1].array[0].number, 50.0) << "[cycle, value] pairs";
+  EXPECT_EQ(occ.array[1].array[1].number, 60.0);
+}
+
+TEST(TelemetryTest, TraceCounterEventsRoundTrip) {
+  // Telemetry samples mirrored into the tracer must come back out of the
+  // Chrome JSON as parseable "ph":"C" counter events.
+  TraceRecorder trace;
+  Telemetry t({.sample_period = 100, .max_samples = 64});
+  t.mirror_counters_to(&trace);
+  t.register_gauge("queue.occupancy", [](Cycle now) { return now / 10; });
+  t.sample_now(0);
+  t.sample_now(100);
+  t.sample_now(200);
+
+  const auto parsed = JsonParser(trace.to_chrome_json()).parse();
+  ASSERT_TRUE(parsed.has_value()) << "trace export must be valid JSON";
+  ASSERT_TRUE(parsed->has("traceEvents"));
+  const JsonValue& events = parsed->at("traceEvents");
+
+  std::vector<const JsonValue*> counters;
+  const JsonValue* dropped = nullptr;
+  for (const JsonValue& e : events.array) {
+    if (e.at("ph").str == "C") counters.push_back(&e);
+    if (e.at("ph").str == "M") dropped = &e;
+  }
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[2]->at("name").str, "queue.occupancy");
+  EXPECT_EQ(counters[2]->at("ts").number, 200.0);
+  EXPECT_EQ(counters[2]->at("args").at("value").number, 20.0);
+  ASSERT_NE(dropped, nullptr) << "drop-count metadata is always present";
+  EXPECT_EQ(dropped->at("name").str, "dropped");
+  EXPECT_EQ(dropped->at("args").at("counters").number, 0.0);
+}
+
+TEST(TelemetryTest, CsvExports) {
+  Telemetry t({.sample_period = 10, .max_samples = 16});
+  t.histogram("h").add(5);
+  t.register_gauge("s", [](Cycle) { return 9; });
+  t.sample_now(20);
+  const std::string hist = t.histograms_csv();
+  EXPECT_NE(hist.find("histogram,bucket_low,bucket_high,count"),
+            std::string::npos);
+  EXPECT_NE(hist.find("h,4,7,1"), std::string::npos);
+  const std::string series = t.series_csv();
+  EXPECT_NE(series.find("series,cycle,value"), std::string::npos);
+  EXPECT_NE(series.find("s,20,9"), std::string::npos);
+}
+
+TEST(TelemetryTest, WriteJsonReportsFailure) {
+  Telemetry t;
+  t.histogram("h").add(1);
+  const std::string path = ::testing::TempDir() + "/scq_telemetry.json";
+  ASSERT_TRUE(t.write_json(path));
+  EXPECT_FALSE(t.write_json("/nonexistent-dir/telemetry.json"));
+}
+
+}  // namespace
+}  // namespace simt

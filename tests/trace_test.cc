@@ -103,6 +103,55 @@ TEST(TraceTest, WriteToFile) {
   EXPECT_FALSE(trace.write_chrome_json("/nonexistent-dir/x.json"));
 }
 
+TEST(TraceTest, CounterEventsRenderAsCounterTracks) {
+  TraceRecorder trace;
+  trace.record_counter({100, "queue.occupancy", 42.0});
+  trace.record_counter({200, "queue.occupancy", 17.5});
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue.occupancy\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":17.5}"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.counters().empty());
+}
+
+TEST(TraceTest, CounterNamesAreJsonEscaped) {
+  TraceRecorder trace;
+  trace.record_counter({0, "odd\"na\\me\n", 1.0});
+  const std::string json = trace.to_chrome_json();
+  // Quote and backslash get escaped; control characters are blanked.
+  EXPECT_NE(json.find("odd\\\"na\\\\me "), std::string::npos);
+}
+
+TEST(TraceTest, CounterCapacityBoundsRecording) {
+  TraceRecorder trace(2);
+  for (int i = 0; i < 5; ++i) {
+    trace.record_counter({static_cast<Cycle>(i), "c", 1.0});
+  }
+  EXPECT_EQ(trace.counters().size(), 2u);
+  EXPECT_EQ(trace.dropped_counters(), 3u);
+}
+
+TEST(TraceTest, DroppedMetadataRecordIsAlwaysPresent) {
+  TraceRecorder complete;
+  complete.record({0, 1, 0, 0, 0, TraceOp::kCompute});
+  EXPECT_NE(complete.to_chrome_json().find(
+                "\"name\":\"dropped\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(complete.to_chrome_json().find("\"slices\":0,\"counters\":0"),
+            std::string::npos);
+
+  TraceRecorder truncated(1);
+  truncated.record({0, 1, 0, 0, 0, TraceOp::kCompute});
+  truncated.record({1, 2, 0, 0, 0, TraceOp::kCompute});
+  truncated.record_counter({0, "c", 1.0});
+  truncated.record_counter({1, "c", 2.0});
+  EXPECT_NE(truncated.to_chrome_json().find("\"slices\":1,\"counters\":1"),
+            std::string::npos)
+      << "truncation is reported, not silent";
+}
+
 TEST(TraceTest, OpNames) {
   EXPECT_STREQ(to_string(TraceOp::kVecAtomic), "vatomic");
   EXPECT_STREQ(to_string(TraceOp::kVecLoad), "vload");
