@@ -1,0 +1,81 @@
+// Queue-capacity ablation: how small can the circular token ring get?
+//
+// Before the ring became circular, capacity had to cover every token
+// ever enqueued or the run aborted with "queue full". With epoch-tagged
+// slot reuse plus enqueue backpressure, capacity only needs to cover
+// the in-flight working set: producers park what does not fit and
+// retry on later work cycles. This bench quantifies that claim on the
+// largest generated graph (the paper's synthetic k-ary tree): a
+// baseline run with auto sizing measures the total enqueue volume,
+// then each paper variant is re-run with the ring clamped to shrinking
+// fractions of that total, down to 1/32.
+//
+//   ./ablation_capacity [--scale 0.02] [--device Fiji]
+//                       [--telemetry cap.json]   # publish-stall histogram
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("ablation_capacity",
+                       "ring capacity sweep vs total enqueue volume");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.02);
+  args.add_string("device", "Fiji or Spectre", "Fiji");
+  add_observability_flags(args);
+  if (!args.parse(argc, argv)) return 2;
+  Observability obs(args);
+
+  const DeviceEntry dev = device_by_name(args.get_string("device"));
+  const double scale = args.get_double("scale");
+  const graph::Graph g = bfs::dataset_by_name("Synthetic").build(scale);
+  const QueueVariant variants[] = {QueueVariant::kRfan, QueueVariant::kAn,
+                                   QueueVariant::kBase};
+  const std::uint64_t divisors[] = {2, 4, 8, 16, 32};
+
+  std::printf(
+      "Ring-capacity ablation on Synthetic (%s, %u workgroups, scale %.3f)\n\n",
+      dev.config.name.c_str(), dev.paper_workgroups, scale);
+  util::Table table({"Scheduler", "capacity", "cap/total", "ms", "vs auto",
+                     "publish stalls", "attempts"});
+  for (const QueueVariant variant : variants) {
+    bfs::PtBfsOptions base;
+    base.variant = variant;
+    base.num_workgroups = dev.paper_workgroups;
+    obs.apply(base);
+    const bfs::BfsResult baseline = run_validated(dev.config, g, 0, base);
+    const std::uint64_t total = baseline.run.stats.user[kTokensEnqueued];
+    table.add_row({std::string(to_string(variant)), "auto", "-",
+                   util::Table::fmt_ms(baseline.run.seconds), "1.00x",
+                   std::to_string(baseline.run.stats.user[kPublishStalls]),
+                   std::to_string(baseline.attempts)});
+
+    for (const std::uint64_t div : divisors) {
+      bfs::PtBfsOptions opt = base;
+      // Never shrink below one full wave of slots; a ring narrower than
+      // the machine's natural batch width measures the deadlock
+      // detector, not steady-state backpressure.
+      opt.queue_capacity = std::max<std::uint64_t>(total / div, 64);
+      const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
+      table.add_row(
+          {std::string(to_string(variant)),
+           std::to_string(opt.queue_capacity),
+           "1/" + std::to_string(div),
+           util::Table::fmt_ms(r.run.seconds),
+           util::Table::fmt_speedup(r.run.seconds / baseline.run.seconds),
+           std::to_string(r.run.stats.user[kPublishStalls]),
+           std::to_string(r.attempts)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading guide: every row validates against the serial reference;\n"
+      "run_validated would have exited on an abort, so completion at 1/8\n"
+      "capacity and below is the ablation's claim. Shrinking the ring\n"
+      "trades publish stalls (parked re-publishes) for footprint; 'vs\n"
+      "auto' shows the cycle cost of that backpressure. attempts > 1\n"
+      "means the deadlock detector fired and the driver doubled the\n"
+      "capacity before completing.\n");
+  if (!obs.finish()) return 1;
+  return 0;
+}

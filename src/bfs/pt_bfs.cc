@@ -92,13 +92,29 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
     }
 
     // Work phase: up to work_budget uniform sub-tasks (edges) per lane.
+    // Backpressure gate: while parked tokens wait for ring slots to
+    // recycle, only as many lanes may relax edges as the parked buffer
+    // can absorb in the worst case (work_budget children per lane) —
+    // production throttles, consumption above never does.
     st.clear_produce();
     std::uint32_t finished = 0;
-    if (working) {
+    LaneMask run = working;
+    if (st.has_parked()) {
+      std::uint32_t allow =
+          (WaveQueueState::kMaxParked - st.n_parked) / opt.work_budget;
+      run = 0;
+      for_lanes(working, [&](unsigned lane) {
+        if (allow > 0) {
+          run |= bit(lane);
+          --allow;
+        }
+      });
+    }
+    if (run) {
       progress = true;
       for (unsigned t = 0; t < opt.work_budget; ++t) {
         LaneMask active = 0;
-        for_lanes(working, [&](unsigned lane) {
+        for_lanes(run, [&](unsigned lane) {
           if (lw.cursor[lane] < lw.row_end[lane]) active |= bit(lane);
         });
         if (!active) break;
@@ -146,7 +162,7 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
 
       // Lanes whose enumeration finished become hungry next cycle.
       LaneMask done_lanes = 0;
-      for_lanes(working, [&](unsigned lane) {
+      for_lanes(run, [&](unsigned lane) {
         if (lw.cursor[lane] >= lw.row_end[lane]) done_lanes |= bit(lane);
       });
       finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
@@ -176,12 +192,16 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
   }
 
   double headroom = options.queue_headroom;
+  std::uint64_t explicit_capacity = options.queue_capacity;
   for (std::uint32_t attempt = 1;; ++attempt) {
     simt::Device dev(config);
     const DeviceGraph dg = upload_graph(dev, g);
     const std::uint64_t capacity =
-        static_cast<std::uint64_t>(static_cast<double>(g.num_vertices()) * headroom) +
-        kWaveWidth;
+        explicit_capacity != 0
+            ? explicit_capacity
+            : static_cast<std::uint64_t>(
+                  static_cast<double>(g.num_vertices()) * headroom) +
+                  kWaveWidth;
     auto queue = make_scheduler(dev, options.variant, capacity);
 
     // Observability: a fresh device per attempt means the probes must be
@@ -213,9 +233,14 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
     });
 
     if (run.aborted && attempt < 8) {
-      // §4.4: queue-full means the problem outgrew the allocation; the
+      // §4.4's exception path, now reachable only through the deadlock
+      // detector: the in-flight working set outgrew the ring, so the
       // host retries the kernel with a larger queue.
-      headroom *= 2.0;
+      if (explicit_capacity != 0) {
+        explicit_capacity *= 2;
+      } else {
+        headroom *= 2.0;
+      }
       continue;
     }
 

@@ -30,10 +30,16 @@ struct PtBfsOptions {
   simt::Cycle poll_interval = 240;
   // false = benign-race ablation (plain load/store discovery).
   bool atomic_discovery = true;
-  // Queue capacity = reachable-bound * headroom (label correcting may
-  // enqueue duplicates). On queue-full abort the run retries with
-  // double the headroom, as §4.4 prescribes.
+  // Auto queue sizing: capacity = reachable-bound * headroom. Since the
+  // ring became circular this is generous — capacity only needs to
+  // cover the in-flight working set, not every token ever enqueued —
+  // and a too-small ring backpressures producers instead of aborting.
+  // Should the deadlock detector still fire (capacity below the
+  // in-flight minimum), the run retries with double the headroom.
   double queue_headroom = 1.3;
+  // Non-zero overrides the auto sizing with an explicit slot count (the
+  // capacity-sweep ablation uses this); deadlock retries double it.
+  std::uint64_t queue_capacity = 0;
   // 0 = all resident wave slots (persistent-thread launch).
   std::uint32_t num_workgroups = 0;
   // Optional observability sinks (not owned; nullptr disables). The run

@@ -81,11 +81,25 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
 
     st.clear_produce();
     std::uint32_t finished = 0;
-    if (working) {
+    // Backpressure gate: see pt_bfs_wave — production throttles while
+    // tokens are parked, consumption never does.
+    LaneMask run = working;
+    if (st.has_parked()) {
+      std::uint32_t allow =
+          (WaveQueueState::kMaxParked - st.n_parked) / opt.work_budget;
+      run = 0;
+      for_lanes(working, [&](unsigned lane) {
+        if (allow > 0) {
+          run |= bit(lane);
+          --allow;
+        }
+      });
+    }
+    if (run) {
       progress = true;
       for (unsigned t = 0; t < opt.work_budget; ++t) {
         LaneMask active = 0;
-        for_lanes(working, [&](unsigned lane) {
+        for_lanes(run, [&](unsigned lane) {
           if (cursor[lane] < row_end[lane]) active |= bit(lane);
         });
         if (!active) break;
@@ -122,7 +136,7 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
       }
 
       LaneMask done_lanes = 0;
-      for_lanes(working, [&](unsigned lane) {
+      for_lanes(run, [&](unsigned lane) {
         if (cursor[lane] >= row_end[lane]) done_lanes |= bit(lane);
       });
       finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
@@ -148,12 +162,16 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
   }
 
   double headroom = options.queue_headroom;
+  std::uint64_t explicit_capacity = options.queue_capacity;
   for (std::uint32_t attempt = 1;; ++attempt) {
     simt::Device dev(config);
     const DeviceGraph dg = upload_graph(dev, g);
     const std::uint64_t capacity =
-        static_cast<std::uint64_t>(static_cast<double>(g.num_vertices()) * headroom) +
-        kWaveWidth;
+        explicit_capacity != 0
+            ? explicit_capacity
+            : static_cast<std::uint64_t>(
+                  static_cast<double>(g.num_vertices()) * headroom) +
+                  kWaveWidth;
     auto queue = make_scheduler(dev, options.variant, capacity);
 
     // See run_pt_bfs: probes re-register per attempt, telemetry data
@@ -182,7 +200,12 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
         });
 
     if (run.aborted && attempt < 8) {
-      headroom *= 2.0;
+      // Reachable only via the publish deadlock detector.
+      if (explicit_capacity != 0) {
+        explicit_capacity *= 2;
+      } else {
+        headroom *= 2.0;
+      }
       continue;
     }
 

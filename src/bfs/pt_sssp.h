@@ -21,8 +21,13 @@ struct PtSsspOptions {
   unsigned work_budget = 4;
   simt::Cycle poll_interval = 240;
   // Label-correcting SSSP re-enqueues more than BFS: give the token
-  // array more room up front.
+  // array more room up front. The circular ring only needs to cover the
+  // in-flight working set; a too-small ring backpressures producers and
+  // retries with doubled sizing only on a detected deadlock.
   double queue_headroom = 3.0;
+  // Non-zero overrides the auto sizing with an explicit slot count;
+  // deadlock retries double it.
+  std::uint64_t queue_capacity = 0;
   std::uint32_t num_workgroups = 0;
   // Optional observability sinks (not owned; nullptr disables); see
   // PtBfsOptions for the attach-per-attempt semantics.

@@ -18,6 +18,7 @@ enum UserCounter : unsigned {
   // from the application's per-edge traffic).
   kQueueAtomics = 8,     // atomic ops issued by queue operations
   kQueueCasFailures = 9, // failed CASes among them (retry driver)
+  kPublishStalls = 10,   // parked-token publish retries (backpressure)
 };
 
 // Telemetry metric names (simt::Telemetry). The histograms are the
@@ -34,9 +35,17 @@ inline constexpr const char kSlotWait[] = "queue.slot_wait";
 inline constexpr const char kCasRetryRun[] = "queue.cas_retry_run";
 inline constexpr const char kAggWidthDequeue[] = "queue.agg_width_dequeue";
 inline constexpr const char kAggWidthEnqueue[] = "queue.agg_width_enqueue";
+// Cycles a token spent parked under enqueue backpressure, from Rear
+// reservation to the cycle its ring slot finally recycled (only tokens
+// that survived at least one failed flush attempt are recorded).
+inline constexpr const char kPublishStall[] = "queue.publish_stall";
 
 // Time series (sampled gauges registered by the drivers).
 inline constexpr const char kOccupancy[] = "queue.occupancy";
+// Ring slots currently holding a token; ≤ capacity by construction (the
+// O(capacity) memory-bound invariant, distinct from occupancy which
+// counts reserved tickets and may transiently exceed capacity).
+inline constexpr const char kResidentTokens[] = "queue.resident_tokens";
 inline constexpr const char kAtomicBacklog[] = "atomic_unit.backlog";
 inline constexpr const char kHungryLanes[] = "lanes.hungry";
 inline constexpr const char kAssignedLanes[] = "lanes.assigned";

@@ -20,10 +20,7 @@ void for_lanes(LaneMask mask, F&& f) {
   }
 }
 
-// Bounded retry loops: a lock-free CAS loop always makes global progress,
-// but we cap iterations so a simulator bug surfaces as an abort instead
-// of a hang.
-constexpr int kMaxCasRounds = 1 << 20;
+constexpr std::uint64_t kNoBound = ~std::uint64_t{0};
 
 }  // namespace
 
@@ -44,6 +41,9 @@ std::string_view to_string(QueueVariant v) {
 }
 
 QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity) {
+  if (capacity == 0) {
+    throw simt::SimError("make_device_queue: capacity must be positive");
+  }
   QueueLayout q;
   q.ctrl = dev.alloc(4);
   q.slots = dev.alloc(capacity);
@@ -54,13 +54,23 @@ QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity) {
 
 void reset_device_queue(simt::Device& dev, const QueueLayout& q) {
   dev.fill(q.ctrl, 0);
-  dev.fill(q.slots, kDna);
+  dev.fill(q.slots, slot_empty_word(0));
 }
 
 void seed_device_queue(simt::Device& dev, const QueueLayout& q,
                        std::span<const std::uint64_t> tokens) {
+  if (tokens.size() > q.capacity) {
+    throw simt::SimError("seed_device_queue: seed batch exceeds queue capacity");
+  }
+  // Full reset first: a reused layout must not carry Front/Completed (or
+  // stale ring contents) into the new run's termination detection.
+  reset_device_queue(dev, q);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    dev.write_word(q.slot_addr(i), tokens[i]);
+    if (tokens[i] > kMaxToken) {
+      throw simt::SimError(
+          "seed_device_queue: token exceeds the 48-bit ring payload");
+    }
+    dev.write_word(q.slot_addr(i), slot_full_word(0, tokens[i]));
   }
   dev.write_word(q.rear_addr(), tokens.size());
 }
@@ -77,34 +87,33 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
     for_lanes(eager, [&](unsigned lane) { tokens[lane] = st.ready_tokens[lane]; });
     st.ready = 0;
   }
+  if (!st.assigned) co_return eager;
 
-  // Only monitor slots inside queue bounds; a lane whose assigned index
-  // ran past the queue (RF/AN overshoot during drain) simply idles until
-  // termination (Listing 2, lines 3-5).
-  LaneMask candidates = 0;
+  // Every ticket maps into the ring, so every assigned lane monitors a
+  // real slot (an RF/AN claim past Rear simply waits for the epoch's
+  // producer — or for termination — like any other not-yet-arrived slot).
   std::array<Addr, kWaveWidth> addrs{};
   for_lanes(st.assigned, [&](unsigned lane) {
-    if (st.slot[lane] < layout_.capacity) {
-      candidates |= bit(lane);
-      addrs[lane] = layout_.slots.base + st.slot[lane];
-    }
+    addrs[lane] = layout_.slots.base + st.slot[lane];
   });
-  if (!candidates) co_return eager;
-
   std::array<std::uint64_t, kWaveWidth> values{};
-  co_await w.load_lanes(candidates, addrs, values);
+  co_await w.load_lanes(st.assigned, addrs, values);
 
+  // Data has arrived when the slot holds a full word of the lane's own
+  // ring epoch; a full word with another tag is a previous epoch's token
+  // this lane must not consume (the ABA the tag exists to prevent).
   LaneMask arrived = 0;
-  for_lanes(candidates, [&](unsigned lane) {
-    if (values[lane] != kDna) {
+  for_lanes(st.assigned, [&](unsigned lane) {
+    if (!slot_is_empty(values[lane]) &&
+        slot_epoch_tag(values[lane]) == (st.epoch[lane] & kEpochTagMask)) {
       arrived |= bit(lane);
-      tokens[lane] = values[lane];
+      tokens[lane] = slot_payload(values[lane]);
     }
   });
-  const unsigned missed = static_cast<unsigned>(std::popcount(candidates & ~arrived));
+  const unsigned missed = static_cast<unsigned>(std::popcount(st.assigned & ~arrived));
   if (missed) w.bump(kPolls, missed);
   if (simt::Telemetry* probes = probe_sink(w); probes && arrived) {
-    // Slot-monitor wait: slot assignment to the dna sentinel clearing.
+    // Slot-monitor wait: slot assignment to the sentinel clearing.
     simt::Histogram& h = probes->histogram(tel::kSlotWait);
     for_lanes(arrived, [&](unsigned lane) {
       h.add(w.now() - st.assign_cycle[lane]);
@@ -112,11 +121,15 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
   }
 
   if (arrived) {
-    // Pick up the token and put the sentinel back; no atomics are needed
-    // because this lane is the only consumer of its slot.
-    std::array<std::uint64_t, kWaveWidth> dna{};
-    dna.fill(kDna);
-    co_await w.store_lanes(arrived, addrs, dna);
+    // Pick up the token and recycle the slot for the next ring epoch; no
+    // atomics are needed because this lane is the slot's only consumer
+    // this epoch, and the next-epoch producer keys on the sentinel we
+    // store here.
+    std::array<std::uint64_t, kWaveWidth> next{};
+    for_lanes(arrived, [&](unsigned lane) {
+      next[lane] = slot_empty_word(st.epoch[lane] + 1);
+    });
+    co_await w.store_lanes(arrived, addrs, next);
     st.assigned &= ~arrived;
   }
   co_return arrived | eager;
@@ -132,11 +145,20 @@ std::uint64_t DeviceQueue::occupancy(const simt::Device& dev) const {
   return rear > front ? rear - front : 0;
 }
 
+std::uint64_t DeviceQueue::resident_tokens(const simt::Device& dev) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < layout_.capacity; ++i) {
+    if (!slot_is_empty(dev.read_word(layout_.slot_addr(i)))) ++n;
+  }
+  return n;
+}
+
 Kernel<bool> DeviceQueue::all_done(Wave& w) {
   // One coalesced snapshot of (Completed, Rear). Completed == Rear means
   // every token ever enqueued has been fully processed, which (since a
   // task's children are enqueued before its completion is reported)
-  // implies no further work can appear.
+  // implies no further work can appear. Rear counts ticket reservations,
+  // so parked (reserved-but-unwritten) tokens hold termination open.
   std::array<Addr, kWaveWidth> addrs{};
   addrs[0] = layout_.completed_addr();
   addrs[1] = layout_.rear_addr();
@@ -145,50 +167,113 @@ Kernel<bool> DeviceQueue::all_done(Wave& w) {
   co_return values[0] == values[1];
 }
 
-// ---- Shared enqueue tail for the arbitrary-n variants (Listing 3) ----
+std::uint64_t DeviceQueue::progress_signature(simt::Device& dev) const {
+  // Sum of monotone counters: any claim, reservation, completion,
+  // processed task, enqueued token or relaxed edge anywhere on the
+  // device changes it. Deliberately excludes poll/idle counters, which
+  // keep ticking in a genuine deadlock.
+  const auto& u = dev.stats().user;
+  return dev.read_word(layout_.front_addr()) +
+         dev.read_word(layout_.rear_addr()) +
+         dev.read_word(layout_.completed_addr()) + u[kTasksProcessed] +
+         u[kTokensEnqueued] + u[kEdgesRelaxed];
+}
 
-Kernel<void> DeviceQueue::write_tokens(
-    Wave& w, WaveQueueState& st,
-    const std::array<std::uint64_t, kWaveWidth>& lane_base) {
-  std::uint32_t max_k = 0;
-  for (auto k : st.n_new) max_k = std::max(max_k, k);
+// ---- Shared enqueue tail: backpressured ring writes ----
 
-  for (std::uint32_t t = 0; t < max_k; ++t) {
+void DeviceQueue::park(WaveQueueState& st, std::uint64_t ticket,
+                       std::uint64_t token, simt::Cycle now) {
+  if (st.n_parked >= WaveQueueState::kMaxParked) {
+    throw simt::SimError(
+        "device queue: parked-token overflow — the driver must gate "
+        "production while publishes are backpressured");
+  }
+  st.parked[st.n_parked++] = {ticket, token, now, false};
+}
+
+Kernel<void> DeviceQueue::stall_tick(Wave& w, WaveQueueState& st,
+                                     bool wrote_any) {
+  if (st.n_parked == 0) {
+    st.stall_rounds = 0;
+    co_return;
+  }
+  for (std::uint32_t i = 0; i < st.n_parked; ++i) st.parked[i].stalled = true;
+  w.bump(kPublishStalls, st.n_parked);
+
+  const std::uint64_t sig = progress_signature(w.device());
+  if (wrote_any || sig != st.stall_signature) {
+    st.stall_signature = sig;
+    st.stall_rounds = 0;
+    co_return;
+  }
+  if (++st.stall_rounds >= kPublishDeadlockRounds) {
+    // Provable deadlock: this wave's publish has been stalled for
+    // kPublishDeadlockRounds attempts while *no* counter on the device
+    // moved — nobody is consuming, so the in-flight working set
+    // genuinely exceeds the ring. The host reacts by retrying with a
+    // larger capacity (§4.4's exception path, now the last resort
+    // instead of the first).
+    co_await w.abort_kernel(
+        "queue full: publish deadlocked, capacity below the in-flight "
+        "working set");
+  }
+}
+
+Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
+  if (st.n_parked == 0) {
+    st.stall_rounds = 0;
+    co_return;
+  }
+  simt::Telemetry* probes = probe_sink(w);
+  bool wrote_any = false;
+
+  // Attempt every parked entry, oldest ticket first, in wave-sized
+  // rounds: load the current slot words, store full words over exactly
+  // the matching epoch's empty sentinel. Entries whose slot has not been
+  // recycled yet (previous epoch's token unconsumed) stay parked. Rounds
+  // repeat while they make progress, so a burst spanning several ring
+  // epochs drains as fast as consumers recycle.
+  for (;;) {
+    const std::uint32_t n = std::min<std::uint32_t>(st.n_parked, kWaveWidth);
     LaneMask mask = 0;
     std::array<Addr, kWaveWidth> addrs{};
-    std::array<std::uint64_t, kWaveWidth> vals{};
-    bool overflow = false;
-    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-      if (st.n_new[lane] > t) {
-        const std::uint64_t index = lane_base[lane] + t;
-        if (index >= layout_.capacity) {
-          overflow = true;
-          break;
-        }
-        mask |= bit(lane);
-        addrs[lane] = layout_.slots.base + index;
-        vals[lane] = st.new_tokens[lane][t];
-      }
+    std::array<std::uint64_t, kWaveWidth> want{}, full{};
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const SlotRef ref = slot_of(st.parked[i].ticket);
+      mask |= bit(i);
+      addrs[i] = layout_.slots.base + ref.index;
+      want[i] = slot_empty_word(ref.epoch);
+      full[i] = slot_full_word(ref.epoch, st.parked[i].token);
     }
-    if (overflow) {
-      co_await w.abort_kernel("queue full: reserved slot beyond capacity");
-      co_return;
-    }
-    if (!mask) continue;
+    std::array<std::uint64_t, kWaveWidth> cur{};
+    co_await w.load_lanes(mask, addrs, cur);
 
-    // Tokens may only be stored over a sentinel; anything else means the
-    // producer lapped the consumers — a queue-full exception (§4.4).
-    std::array<std::uint64_t, kWaveWidth> check{};
-    co_await w.load_lanes(mask, addrs, check);
-    bool full = false;
-    for_lanes(mask, [&](unsigned lane) { full |= check[lane] != kDna; });
-    if (full) {
-      co_await w.abort_kernel("queue full: slot sentinel overwritten");
-      co_return;
+    LaneMask writable = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (cur[i] == want[i]) writable |= bit(i);
     }
-    co_await w.store_lanes(mask, addrs, vals);
-    w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(mask)));
+    if (!writable) break;
+
+    co_await w.store_lanes(writable, addrs, full);
+    w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(writable)));
+    if (probes) {
+      simt::Histogram& h = probes->histogram(tel::kPublishStall);
+      for_lanes(writable, [&](unsigned i) {
+        if (st.parked[i].stalled) h.add(w.now() - st.parked[i].since);
+      });
+    }
+
+    std::uint32_t out = 0;
+    for (std::uint32_t i = 0; i < st.n_parked; ++i) {
+      if (i < n && (writable & bit(i))) continue;
+      st.parked[out++] = st.parked[i];
+    }
+    st.n_parked = out;
+    wrote_any = true;
+    if (st.n_parked == 0) break;
   }
+
+  co_await stall_tick(w, st, wrote_any);
 }
 
 // ---- RF/AN: retry-free, arbitrary-n (the proposed queue, §4) ----
@@ -203,18 +288,20 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   // atomics never fail and their latency is hidden.
   co_await w.lds_ops(n + 1);
 
-  // One non-failing AFA reserves n slots for the whole wavefront.
+  // One non-failing AFA reserves n tickets for the whole wavefront.
   w.bump(kQueueAtomics);
   const simt::CasResult r = co_await w.atomic_add(layout_.front_addr(), n);
 
   unsigned k = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
-    st.slot[lane] = r.old_value + k++;
+    const SlotRef ref = slot_of(r.old_value + k++);
+    st.slot[lane] = ref.index;
+    st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
   });
   st.assigned |= st.hungry;
   st.hungry = 0;
-  co_await w.compute(2);  // relative -> absolute index conversion
+  co_await w.compute(2);  // ticket -> (slot, epoch) conversion
 
   if (simt::Telemetry* probes = probe_sink(w)) {
     probes->histogram(tel::kAggWidthDequeue).add(n);
@@ -224,27 +311,32 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
 
 Kernel<void> RfanQueue::publish(Wave& w, WaveQueueState& st) {
   const std::uint32_t total = st.total_new();
-  if (total == 0) co_return;
+  if (total == 0 && !st.has_parked()) co_return;
   const simt::Cycle t0 = w.now();
+  simt::Telemetry* probes = probe_sink(w);
 
-  unsigned producers = 0;
-  for (auto k : st.n_new) producers += k > 0;
-  co_await w.lds_ops(producers + 1);
+  if (total > 0) {
+    unsigned producers = 0;
+    for (auto k : st.n_new) producers += k > 0;
+    co_await w.lds_ops(producers + 1);
 
-  // One AFA reserves space for every newly discovered token in the wave.
-  w.bump(kQueueAtomics);
-  const simt::CasResult r = co_await w.atomic_add(layout_.rear_addr(), total);
+    // One AFA reserves tickets for every newly discovered token in the
+    // wave; the writes themselves go through the backpressured ring.
+    w.bump(kQueueAtomics);
+    const simt::CasResult r = co_await w.atomic_add(layout_.rear_addr(), total);
 
-  std::array<std::uint64_t, kWaveWidth> lane_base{};
-  std::uint64_t offset = r.old_value;
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    lane_base[lane] = offset;
-    offset += st.n_new[lane];
+    std::uint64_t ticket = r.old_value;
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
+        park(st, ticket++, st.new_tokens[lane][t], w.now());
+      }
+    }
+    st.clear_produce();
+    if (probes) probes->histogram(tel::kAggWidthEnqueue).add(total);
   }
-  co_await write_tokens(w, st, lane_base);
 
-  if (simt::Telemetry* probes = probe_sink(w)) {
-    probes->histogram(tel::kAggWidthEnqueue).add(total);
+  co_await flush_parked(w, st);
+  if (probes && total > 0) {
     probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
   }
 }
@@ -299,12 +391,14 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
     w.bump(kEmptyRetries, n);
     co_return;
   }
-  std::uint64_t index = r.old_value;
+  std::uint64_t ticket = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     if (left == 0) return;
-    st.slot[lane] = index++;
+    const SlotRef ref = slot_of(ticket++);
+    st.slot[lane] = ref.index;
+    st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
     served |= bit(lane);
     --left;
@@ -319,44 +413,43 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
 
 Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
   const std::uint32_t total = st.total_new();
-  if (total == 0) co_return;
+  if (total == 0 && !st.has_parked()) co_return;
   const simt::Cycle t0 = w.now();
-
-  unsigned producers = 0;
-  for (auto k : st.n_new) producers += k > 0;
-  co_await w.lds_ops(producers + 1);
-
-  // Proxy CAS loop reserving `total` slots, bounded by capacity. Claims
-  // racing in ahead of ours are failed attempts of this loop, paid as
-  // extra round trips.
-  const std::uint64_t rear_before = co_await w.load(layout_.rear_addr());
-  const simt::CasResult r = co_await w.atomic_bounded_add(
-      layout_.rear_addr(), total, layout_.capacity);
-  const std::uint64_t drift = std::min<std::uint64_t>(
-      r.old_value > rear_before ? r.old_value - rear_before : 0, 16);
-  if (drift > 0) {
-    co_await w.idle(drift * (2 * w.config().atomic_latency +
-                             w.config().atomic_service));
-  }
-  w.bump(kQueueAtomics, 1 + r.retries + drift);
-  w.bump(kQueueCasFailures, r.retries + drift);
   simt::Telemetry* probes = probe_sink(w);
-  if (probes) probes->histogram(tel::kCasRetryRun).add(r.retries + drift);
-  if (r.old_value + total > layout_.capacity) {
-    co_await w.abort_kernel("queue full: AN enqueue beyond capacity");
-    co_return;
+
+  if (total > 0) {
+    unsigned producers = 0;
+    for (auto k : st.n_new) producers += k > 0;
+    co_await w.lds_ops(producers + 1);
+
+    // Proxy CAS loop reserving `total` tickets. Rear is an unbounded
+    // counter now — the loop cannot fail on capacity — but claims racing
+    // in ahead of ours are still failed attempts, paid as round trips.
+    const std::uint64_t rear_before = co_await w.load(layout_.rear_addr());
+    const simt::CasResult r =
+        co_await w.atomic_bounded_add(layout_.rear_addr(), total, kNoBound);
+    const std::uint64_t drift = std::min<std::uint64_t>(
+        r.old_value > rear_before ? r.old_value - rear_before : 0, 16);
+    if (drift > 0) {
+      co_await w.idle(drift * (2 * w.config().atomic_latency +
+                               w.config().atomic_service));
+    }
+    w.bump(kQueueAtomics, 1 + r.retries + drift);
+    w.bump(kQueueCasFailures, r.retries + drift);
+    if (probes) probes->histogram(tel::kCasRetryRun).add(r.retries + drift);
+
+    std::uint64_t ticket = r.old_value;
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
+        park(st, ticket++, st.new_tokens[lane][t], w.now());
+      }
+    }
+    st.clear_produce();
+    if (probes) probes->histogram(tel::kAggWidthEnqueue).add(total);
   }
 
-  std::array<std::uint64_t, kWaveWidth> lane_base{};
-  std::uint64_t offset = r.old_value;
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    lane_base[lane] = offset;
-    offset += st.n_new[lane];
-  }
-  co_await write_tokens(w, st, lane_base);
-
-  if (probes) {
-    probes->histogram(tel::kAggWidthEnqueue).add(total);
+  co_await flush_parked(w, st);
+  if (probes && total > 0) {
     probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
   }
 }
@@ -429,7 +522,9 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
          static_cast<std::uint64_t>(std::popcount(trying & ~claimed)));
 
   for_lanes(claimed, [&](unsigned lane) {
-    st.slot[lane] = old[lane];
+    const SlotRef ref = slot_of(old[lane]);
+    st.slot[lane] = ref.index;
+    st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
   });
   if (probes && claimed) {
@@ -459,12 +554,15 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
   for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
     if (st.n_new[lane] > 0) pending |= bit(lane);
   }
-  if (!pending) co_return;
+  if (!pending && !st.has_parked()) co_return;
   const simt::Cycle t0 = w.now();
   simt::Telemetry* probes = probe_sink(w);
+  const bool produced = pending != 0;
 
-  // Each producing lane CAS-loops one slot per token out of Rear; all
-  // pending lanes issue together in lock-step.
+  // Each producing lane CAS-loops one ticket per token out of Rear; all
+  // pending lanes issue together in lock-step. Rear is unbounded, so the
+  // loop always lands — contention still surfaces as folded retries —
+  // and the ring write itself goes through the backpressure path.
   while (pending) {
     std::array<Addr, kWaveWidth> addrs{};
     std::array<std::uint64_t, kWaveWidth> ones{};
@@ -474,10 +572,10 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
     for_lanes(pending, [&](unsigned lane) {
       addrs[lane] = layout_.rear_addr();
       ones[lane] = 1;
-      bound[lane] = layout_.capacity;
+      bound[lane] = kNoBound;
     });
-    const LaneMask claimed = co_await w.atomic_lanes(
-        simt::AtomicKind::kBoundedAdd, pending, addrs, ones, bound, old, retries);
+    co_await w.atomic_lanes(simt::AtomicKind::kBoundedAdd, pending, addrs, ones,
+                            bound, old, retries);
     std::uint64_t attempts = 0, failures = 0;
     for_lanes(pending, [&](unsigned lane) {
       attempts += 1 + retries[lane];
@@ -486,25 +584,18 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
     });
     w.bump(kQueueAtomics, attempts);
     w.bump(kQueueCasFailures, failures);
-    if (claimed != pending) {
-      co_await w.abort_kernel("queue full: BASE enqueue beyond capacity");
-      co_return;
-    }
 
-    // Winners store their token into the slot they reserved.
-    std::array<Addr, kWaveWidth> saddr{};
-    std::array<std::uint64_t, kWaveWidth> sval{};
-    for_lanes(claimed, [&](unsigned lane) {
-      saddr[lane] = layout_.slots.base + old[lane];
-      sval[lane] = st.new_tokens[lane][cursor[lane]];
-    });
-    co_await w.store_lanes(claimed, saddr, sval);
-    w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(claimed)));
-    for_lanes(claimed, [&](unsigned lane) {
+    for_lanes(pending, [&](unsigned lane) {
+      park(st, old[lane], st.new_tokens[lane][cursor[lane]], w.now());
       if (++cursor[lane] == st.n_new[lane]) pending &= ~bit(lane);
     });
   }
-  if (probes) probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
+  st.clear_produce();
+
+  co_await flush_parked(w, st);
+  if (probes && produced) {
+    probes->histogram(tel::kEnqueueLatency).add(w.now() - t0);
+  }
 }
 
 Kernel<void> BaseQueue::report_complete(Wave& w, std::uint32_t count) {

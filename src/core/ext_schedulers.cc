@@ -48,7 +48,10 @@ Kernel<void> LockedStack::acquire_slots(Wave& w, WaveQueueState& st) {
   } else {
     // Pop [top-take, top), highest index first, and deliver eagerly —
     // under the lock the payloads are guaranteed present, and restoring
-    // the sentinels before release keeps index reuse race-free.
+    // the sentinels before release keeps index reuse race-free. The
+    // stack reuses indices under mutual exclusion, so it stays in ring
+    // epoch 0 forever: occupied slots hold full(0, token), free slots
+    // the epoch-0 empty sentinel.
     LaneMask served = 0;
     std::array<Addr, kWaveWidth> addrs{};
     std::uint64_t index = top;
@@ -60,12 +63,14 @@ Kernel<void> LockedStack::acquire_slots(Wave& w, WaveQueueState& st) {
     });
     std::array<std::uint64_t, kWaveWidth> values{};
     co_await w.load_lanes(served, addrs, values);
-    std::array<std::uint64_t, kWaveWidth> dna{};
-    dna.fill(kDna);
-    co_await w.store_lanes(served, addrs, dna);
+    std::array<std::uint64_t, kWaveWidth> empty{};
+    empty.fill(slot_empty_word(0));
+    co_await w.store_lanes(served, addrs, empty);
     co_await w.store(top_addr(), top - take);
 
-    for_lanes(served, [&](unsigned lane) { st.ready_tokens[lane] = values[lane]; });
+    for_lanes(served, [&](unsigned lane) {
+      st.ready_tokens[lane] = slot_payload(values[lane]);
+    });
     st.ready |= served;
     st.hungry &= ~served;
   }
@@ -74,10 +79,12 @@ Kernel<void> LockedStack::acquire_slots(Wave& w, WaveQueueState& st) {
 
 Kernel<void> LockedStack::publish(Wave& w, WaveQueueState& st) {
   const std::uint32_t total = st.total_new();
-  if (total == 0) co_return;
+  if (total == 0 && !st.has_parked()) co_return;
+  simt::Telemetry* probes = probe_sink(w);
 
-  // Producers must publish this cycle, so they spin for the lock. The
-  // holder always releases, so the wait is bounded in practice.
+  // Producers must move their batch out of registers this cycle, so they
+  // spin for the lock. The holder always releases, so the wait is
+  // bounded in practice.
   for (int round = 0;; ++round) {
     w.bump(kQueueAtomics);
     const simt::CasResult got = co_await w.atomic_cas(lock_addr(), 0, 1);
@@ -91,21 +98,82 @@ Kernel<void> LockedStack::publish(Wave& w, WaveQueueState& st) {
   }
 
   const std::uint64_t top = co_await w.load(top_addr());
-  if (top + total > layout_.capacity) {
-    co_await w.store(lock_addr(), 0);
-    co_await w.abort_kernel("queue full: stack push beyond capacity");
-    co_return;
+  std::uint64_t space = layout_.capacity - top;
+  std::uint64_t index = top;
+  bool wrote_any = false;
+
+  // A full stack is no longer an abort: write what fits — parked
+  // leftovers from earlier cycles first — and park the remainder for
+  // the next work cycle's retry. `pushed` is bumped for the whole batch
+  // at publish time (parked included) so all_done cannot report true
+  // while a token sits in a register file instead of the stack.
+  const std::uint32_t flush = std::min<std::uint64_t>(st.n_parked, space);
+  for (std::uint32_t base = 0; base < flush; base += kWaveWidth) {
+    const std::uint32_t chunk =
+        std::min<std::uint32_t>(flush - base, kWaveWidth);
+    LaneMask mask = 0;
+    std::array<Addr, kWaveWidth> addrs{};
+    std::array<std::uint64_t, kWaveWidth> vals{};
+    for (std::uint32_t i = 0; i < chunk; ++i) {
+      mask |= bit(i);
+      addrs[i] = layout_.slots.base + index++;
+      vals[i] = slot_full_word(0, st.parked[base + i].token);
+    }
+    co_await w.store_lanes(mask, addrs, vals);
   }
-  std::array<std::uint64_t, kWaveWidth> lane_base{};
-  std::uint64_t offset = top;
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    lane_base[lane] = offset;
-    offset += st.n_new[lane];
+  if (flush > 0) {
+    w.bump(kTokensEnqueued, flush);
+    if (probes) {
+      simt::Histogram& h = probes->histogram(tel::kPublishStall);
+      for (std::uint32_t i = 0; i < flush; ++i) {
+        if (st.parked[i].stalled) h.add(w.now() - st.parked[i].since);
+      }
+    }
+    std::uint32_t out = 0;
+    for (std::uint32_t i = flush; i < st.n_parked; ++i) {
+      st.parked[out++] = st.parked[i];
+    }
+    st.n_parked = out;
+    space -= flush;
+    wrote_any = true;
   }
-  co_await write_tokens(w, st, lane_base);
-  co_await w.atomic_add(pushed_addr(), total);
-  co_await w.store(top_addr(), top + total);
+
+  if (total > 0) {
+    const std::uint32_t write_new = std::min<std::uint64_t>(total, space);
+    std::uint32_t written = 0;
+    LaneMask mask = 0;
+    std::array<Addr, kWaveWidth> addrs{};
+    std::array<std::uint64_t, kWaveWidth> vals{};
+    unsigned chunk = 0;
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
+        if (written < write_new) {
+          mask |= bit(chunk);
+          addrs[chunk] = layout_.slots.base + index++;
+          vals[chunk] = slot_full_word(0, st.new_tokens[lane][t]);
+          ++written;
+          if (++chunk == kWaveWidth) {
+            co_await w.store_lanes(mask, addrs, vals);
+            mask = 0;
+            chunk = 0;
+          }
+        } else {
+          park(st, 0, st.new_tokens[lane][t], w.now());
+        }
+      }
+    }
+    if (mask) co_await w.store_lanes(mask, addrs, vals);
+    if (written > 0) {
+      w.bump(kTokensEnqueued, written);
+      wrote_any = true;
+    }
+    st.clear_produce();
+    co_await w.atomic_add(pushed_addr(), total);
+  }
+
+  co_await w.store(top_addr(), index);
   co_await w.store(lock_addr(), 0);
+  co_await stall_tick(w, st, wrote_any);
 }
 
 Kernel<void> LockedStack::report_complete(Wave& w, std::uint32_t count) {
@@ -116,8 +184,18 @@ Kernel<void> LockedStack::report_complete(Wave& w, std::uint32_t count) {
 }
 
 void LockedStack::seed(simt::Device& dev, std::span<const std::uint64_t> tokens) {
+  if (tokens.size() > layout_.capacity) {
+    throw simt::SimError("LockedStack: seed exceeds capacity");
+  }
+  // Full reset: Top/pushed/Completed/lock and every slot sentinel, so a
+  // reused layout cannot corrupt termination detection.
+  dev.fill(layout_.ctrl, 0);
+  dev.fill(layout_.slots, slot_empty_word(0));
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    dev.write_word(layout_.slot_addr(i), tokens[i]);
+    if (tokens[i] > kMaxToken) {
+      throw simt::SimError("LockedStack: seed token exceeds kMaxToken");
+    }
+    dev.write_word(layout_.slot_addr(i), slot_full_word(0, tokens[i]));
   }
   dev.write_word(top_addr(), tokens.size());
   dev.write_word(pushed_addr(), tokens.size());
@@ -139,7 +217,8 @@ QueueLayout make_distributed_layout(simt::Device& dev, std::uint64_t capacity,
   const std::uint64_t per = std::max<std::uint64_t>(capacity / num_queues, 1);
   layout.slots = dev.alloc(per * num_queues);
   layout.capacity = per * num_queues;
-  dev.fill(layout.slots, kDna);
+  dev.fill(layout.ctrl, 0);
+  dev.fill(layout.slots, slot_empty_word(0));
   return layout;
 }
 
@@ -154,6 +233,15 @@ DistributedQueue::DistributedQueue(simt::Device& dev, std::uint64_t capacity,
   // all_done can snapshot them with a single vector load.
   counters_ = dev.alloc(2ull * num_queues_ + 1);
   dev.fill(counters_, 0);
+}
+
+std::uint64_t DistributedQueue::progress_signature(simt::Device& dev) const {
+  std::uint64_t sig = 0;
+  for (std::uint64_t i = 0; i < 2ull * num_queues_ + 1; ++i) {
+    sig += dev.read_word(counters_.at(i));
+  }
+  const auto& u = dev.stats().user;
+  return sig + u[kTasksProcessed] + u[kTokensEnqueued] + u[kEdgesRelaxed];
 }
 
 Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
@@ -179,7 +267,9 @@ Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
   LaneMask served = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     if (left == 0) return;
-    st.slot[lane] = std::uint64_t{q} * per_queue_ + local++;
+    const SlotRef ref = slot_of(encode_ticket(q, local++));
+    st.slot[lane] = ref.index;
+    st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
     served |= bit(lane);
     --left;
@@ -210,29 +300,30 @@ Kernel<void> DistributedQueue::acquire_slots(Wave& w, WaveQueueState& st) {
 
 Kernel<void> DistributedQueue::publish(Wave& w, WaveQueueState& st) {
   const std::uint32_t total = st.total_new();
-  if (total == 0) co_return;
+  if (total == 0 && !st.has_parked()) co_return;
 
-  unsigned producers = 0;
-  for (auto k : st.n_new) producers += k > 0;
-  co_await w.lds_ops(producers + 1);
+  if (total > 0) {
+    unsigned producers = 0;
+    for (auto k : st.n_new) producers += k > 0;
+    co_await w.lds_ops(producers + 1);
 
-  const std::uint32_t own = w.cu_id() % num_queues_;
-  const simt::CasResult r =
-      co_await w.atomic_bounded_add(rear_of(own), total, per_queue_);
-  w.bump(kQueueAtomics, 1 + r.retries);
-  w.bump(kQueueCasFailures, r.retries);
-  if (r.old_value + total > per_queue_) {
-    co_await w.abort_kernel("queue full: distributed sub-queue overflow");
-    co_return;
+    // RF/AN-style reservation: one non-failing AFA on the home
+    // sub-queue's (unbounded) Rear; the ring writes go through the
+    // shared backpressure path with per-sub-queue slot mapping.
+    const std::uint32_t own = w.cu_id() % num_queues_;
+    w.bump(kQueueAtomics);
+    const simt::CasResult r = co_await w.atomic_add(rear_of(own), total);
+
+    std::uint64_t local = r.old_value;
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
+        park(st, encode_ticket(own, local++), st.new_tokens[lane][t], w.now());
+      }
+    }
+    st.clear_produce();
   }
 
-  std::array<std::uint64_t, kWaveWidth> lane_base{};
-  std::uint64_t offset = std::uint64_t{own} * per_queue_ + r.old_value;
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    lane_base[lane] = offset;
-    offset += st.n_new[lane];
-  }
-  co_await write_tokens(w, st, lane_base);
+  co_await flush_parked(w, st);
 }
 
 Kernel<void> DistributedQueue::report_complete(Wave& w, std::uint32_t count) {
@@ -244,6 +335,7 @@ Kernel<void> DistributedQueue::report_complete(Wave& w, std::uint32_t count) {
 
 Kernel<bool> DistributedQueue::all_done(Wave& w) {
   // One vector load over [rears..., completed]: K+1 contiguous words.
+  // Rears count reservations, so parked tokens hold termination open.
   const unsigned lanes = num_queues_ + 1;
   std::array<Addr, kWaveWidth> addrs{};
   for (unsigned i = 0; i < lanes; ++i) addrs[i] = counters_.at(num_queues_ + i);
@@ -261,8 +353,15 @@ void DistributedQueue::seed(simt::Device& dev,
   if (tokens.size() > per_queue_) {
     throw simt::SimError("DistributedQueue: seed exceeds sub-queue capacity");
   }
+  // Full reset of every sub-queue's counters and sentinels.
+  dev.fill(counters_, 0);
+  dev.fill(layout_.slots, slot_empty_word(0));
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    dev.write_word(layout_.slot_addr(i), tokens[i]);  // sub-queue 0
+    if (tokens[i] > kMaxToken) {
+      throw simt::SimError("DistributedQueue: seed token exceeds kMaxToken");
+    }
+    dev.write_word(layout_.slot_addr(i),
+                   slot_full_word(0, tokens[i]));  // sub-queue 0
   }
   dev.write_word(rear_of(0), tokens.size());
 }

@@ -79,7 +79,21 @@ class DistributedQueue final : public DeviceQueue {
   [[nodiscard]] std::uint32_t num_queues() const { return num_queues_; }
   [[nodiscard]] std::uint64_t per_queue_capacity() const { return per_queue_; }
 
+ protected:
+  // Tickets are encoded (sub-queue << kTokenBits) | local ticket; each
+  // sub-queue is its own circular ring of per_queue_ slots.
+  [[nodiscard]] SlotRef slot_of(std::uint64_t ticket) const override {
+    const std::uint64_t q = ticket >> kTokenBits;
+    const std::uint64_t local = ticket & kMaxToken;
+    return {q * per_queue_ + local % per_queue_, local / per_queue_};
+  }
+  [[nodiscard]] std::uint64_t progress_signature(simt::Device& dev) const override;
+
  private:
+  [[nodiscard]] static std::uint64_t encode_ticket(std::uint32_t q,
+                                                   std::uint64_t local) {
+    return (std::uint64_t{q} << kTokenBits) | local;
+  }
   [[nodiscard]] Addr front_of(std::uint32_t q) const { return counters_.at(q); }
   [[nodiscard]] Addr rear_of(std::uint32_t q) const {
     return counters_.at(num_queues_ + q);

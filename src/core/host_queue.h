@@ -48,6 +48,12 @@ class Backoff {
       ++spins_;
 #if defined(__x86_64__)
       __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield" ::: "memory");
+#else
+      // No cheap pause hint on this architecture: give the core away
+      // instead of burning it in a pure busy loop.
+      std::this_thread::yield();
 #endif
     } else {
       std::this_thread::yield();
@@ -111,13 +117,20 @@ class HostBrokerQueue {
 
   // Publishes all items; one fetch_add regardless of batch size. Blocks
   // while the ring is full (slot not yet recycled). Returns false only
-  // if the queue is closed before the batch completes.
+  // if the queue is closed before the batch completes; the unpublished
+  // remainder's tickets are then abandoned (see abandon_batch) so their
+  // consumers unblock deterministically instead of spinning on tickets
+  // that will never carry data.
   [[nodiscard]] bool enqueue_batch(std::span<const T> items) {
     if (items.empty()) return true;
+    if (closed()) return false;
     const std::uint64_t first =
         tail_.fetch_add(items.size(), std::memory_order_relaxed);
     for (std::size_t i = 0; i < items.size(); ++i) {
-      if (!publish_one(first + i, items[i])) return false;
+      if (!publish_one(first + i, items[i])) {
+        abandon_batch(first + i, first + items.size());
+        return false;
+      }
     }
     return true;
   }
@@ -155,7 +168,13 @@ class HostBrokerQueue {
     std::uint64_t first = 0;
     std::uint32_t count = 0;
     std::uint32_t consumed = 0;
-    [[nodiscard]] bool done() const noexcept { return consumed == count; }
+    // Set by poll() when it finds an abandoned sequence number (its
+    // producer was interrupted by close()): no further data will ever
+    // arrive for this ticket.
+    bool dead = false;
+    [[nodiscard]] bool done() const noexcept {
+      return dead || consumed == count;
+    }
   };
 
   [[nodiscard]] Ticket claim_slots(std::uint32_t count) {
@@ -169,7 +188,14 @@ class HostBrokerQueue {
     while (!ticket.done() && got < out.size()) {
       const std::uint64_t seq_no = ticket.first + ticket.consumed;
       Slot& slot = slots_[seq_no & mask_];
-      if (slot.seq.load(std::memory_order_acquire) != seq_no + 1) break;
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == seq_no + capacity()) {
+        // Abandoned by a close()-interrupted producer: this ticket can
+        // never fill. Terminate the poll loop deterministically.
+        ticket.dead = true;
+        break;
+      }
+      if (seq != seq_no + 1) break;
       out[got++] = std::move(slot.value);
       slot.seq.store(seq_no + capacity(), std::memory_order_release);
       ++ticket.consumed;
@@ -242,13 +268,35 @@ class HostBrokerQueue {
   bool consume_one(std::uint64_t seq_no, T& out) {
     Slot& slot = slots_[seq_no & mask_];
     Backoff backoff;
-    while (slot.seq.load(std::memory_order_acquire) != seq_no + 1) {
+    for (;;) {
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == seq_no + 1) break;
+      // A close()-interrupted producer abandoned this ticket: the slot
+      // went straight to the recycled state, so unblock now instead of
+      // waiting to observe the closed flag.
+      if (seq == seq_no + capacity()) return false;
       if (closed()) return false;
       backoff.pause();
     }
     out = std::move(slot.value);
     slot.seq.store(seq_no + capacity(), std::memory_order_release);
     return true;
+  }
+
+  // Called by a close()-interrupted enqueue_batch for its unpublished
+  // tickets [first, end): moves each ticket's slot straight to the
+  // recycled state (exactly what its consumer would have stored), which
+  // the ticket's unique consumer reads as "no data will ever arrive".
+  // If a previous ring epoch still owns the slot the CAS fails and the
+  // consumer falls back to observing the closed flag — that epoch's own
+  // consumer chain is unblocked the same way, so nobody spins forever.
+  void abandon_batch(std::uint64_t first, std::uint64_t end) {
+    for (std::uint64_t s = first; s < end; ++s) {
+      std::uint64_t expect = s;
+      slots_[s & mask_].seq.compare_exchange_strong(
+          expect, s + capacity(), std::memory_order_release,
+          std::memory_order_relaxed);
+    }
   }
 
   const std::uint64_t mask_;

@@ -14,14 +14,19 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
                      const PtDriverOptions& options) {
   WaveQueueState st{};
   std::array<std::uint64_t, kWaveWidth> tokens{};
+  // Tokens consumed from the ring but not yet run: while publishes are
+  // backpressured, task execution is throttled so one wave can never
+  // produce more children than the parked buffer can absorb.
+  LaneMask held = 0;
+  std::array<std::uint64_t, kWaveWidth> held_tokens{};
 
   for (;;) {  // Algorithm 1: while WorkRemains()
     w.bump(kWorkCycles);
     if (co_await queue.all_done(w)) break;
 
-    // Dequeue phase 1: every lane that is neither working nor already
-    // monitoring a slot asks for one.
-    st.hungry = ~st.assigned;
+    // Dequeue phase 1: every lane that is neither holding a token nor
+    // already monitoring a slot asks for one.
+    st.hungry = ~(st.assigned | held);
     co_await queue.acquire_slots(w, st);
 
     if (simt::Telemetry* probes = probe_sink(w)) {
@@ -31,22 +36,38 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
                         static_cast<std::uint64_t>(std::popcount(st.assigned)));
     }
 
-    // Dequeue phase 2: non-atomic arrival check.
+    // Dequeue phase 2: non-atomic arrival check. Consuming recycles ring
+    // slots, so it keeps running even while this wave's own publishes
+    // are backpressured — that is what drains the ring.
     const LaneMask arrived = co_await queue.check_arrival(w, st, tokens);
-    if (arrived == 0) {
+    LaneMask merge = arrived;
+    while (merge) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(merge));
+      merge &= merge - 1;
+      held |= LaneMask{1} << lane;
+      held_tokens[lane] = tokens[lane];
+    }
+
+    if (!held && !st.has_parked()) {
       co_await w.idle(options.poll_interval);
       continue;
     }
 
-    // DoWorkUnit() for every lane whose data arrived.
+    // DoWorkUnit() for held lanes, gated by parked-buffer headroom: a
+    // task may emit up to kMaxWorkBudget children, so only lanes whose
+    // worst-case output fits may run while tokens are parked.
     st.clear_produce();
     std::uint32_t finished = 0;
-    LaneMask remaining = arrived;
-    while (remaining) {
-      const unsigned lane = static_cast<unsigned>(std::countr_zero(remaining));
-      remaining &= remaining - 1;
+    std::uint32_t allowed =
+        (WaveQueueState::kMaxParked - st.n_parked) / kMaxWorkBudget;
+    LaneMask run = held;
+    while (run) {
+      if (allowed == 0) break;
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(run));
+      run &= run - 1;
+      --allowed;
       std::uint32_t emitted = 0;
-      task(tokens[lane], [&](std::uint64_t child) {
+      task(held_tokens[lane], [&](std::uint64_t child) {
         if (emitted >= kMaxWorkBudget) {
           throw simt::SimError(
               "run_persistent_tasks: task emitted more than kMaxWorkBudget children");
@@ -54,14 +75,19 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
         st.push_token(lane, child);
         ++emitted;
       });
+      held &= ~(LaneMask{1} << lane);
       ++finished;
     }
-    w.bump(kTasksProcessed, finished);
-    co_await w.compute(options.task_compute);
+    if (finished > 0) {
+      w.bump(kTasksProcessed, finished);
+      co_await w.compute(options.task_compute);
+    }
 
-    // ScheduleNewlyDiscoveredWorkTokens().
+    // ScheduleNewlyDiscoveredWorkTokens() — publish retries any parked
+    // remainder from earlier cycles before this cycle's batch counts.
     co_await queue.publish(w, st);
     co_await queue.report_complete(w, finished);
+    if (finished == 0 && !arrived) co_await w.idle(options.poll_interval);
   }
 }
 

@@ -14,9 +14,17 @@
 //     is refactored into a non-atomic "data-not-arrived" (dna) sentinel
 //     check on a slot each hungry thread uniquely monitors (§4).
 //
-// All variants share one bounded token array whose empty slots hold the
-// dna sentinel, so correctness is identical and the measured differences
-// isolate the retry-free and arbitrary-n properties.
+// The token array is a true circular ring: Front/Rear are unbounded
+// ticket counters and ticket t lives in slot t % capacity during ring
+// epoch t / capacity. The paper's single dna sentinel generalizes to an
+// epoch-tagged sentinel (see slot-word encoding below), the enqueue-side
+// mirror of the dequeue slot monitor: a producer whose slot has not been
+// recycled by the previous epoch's consumer parks the token and retries
+// on later work cycles instead of aborting the kernel. Queue-full is
+// thereby no longer an exception — memory is O(capacity) instead of
+// O(total tokens ever enqueued) — and the only remaining abort is a
+// deadlock detector for capacities genuinely too small for the in-flight
+// working set.
 #pragma once
 
 #include <array>
@@ -35,18 +43,61 @@ using simt::LaneMask;
 using simt::Wave;
 using simt::kWaveWidth;
 
-// Sentinel stored in every slot where valid data has not yet arrived.
-inline constexpr std::uint64_t kDna = ~std::uint64_t{0};
+// ---- Slot-word encoding (epoch-tagged dna sentinel) ----
+//
+// Each ring slot is one 64-bit word so that the dequeue monitor stays a
+// single non-atomic load (§4.3). The word encodes both the paper's dna
+// sentinel and the ring epoch, mirroring HostBrokerQueue's per-slot
+// sequence numbers:
+//
+//   bit 63 = 1  EMPTY: bits 62..0 hold the epoch whose producer may
+//               fill the slot next (exact, never wraps in practice).
+//   bit 63 = 0  FULL:  bits 62..48 hold epoch mod 2^15 (an ABA tag: at
+//               most two adjacent epochs can ever be confused at one
+//               slot, so 15 bits are overkill by design), bits 47..0
+//               hold the token payload.
+//
+// A consumer monitoring ticket t therefore cannot consume a token
+// published for ticket t + k*capacity, and a producer positively
+// identifies a not-yet-recycled slot without ABA.
+inline constexpr std::uint64_t kSlotEmptyFlag = std::uint64_t{1} << 63;
+inline constexpr unsigned kTokenBits = 48;
+inline constexpr std::uint64_t kMaxToken = (std::uint64_t{1} << kTokenBits) - 1;
+inline constexpr std::uint64_t kEpochTagMask =
+    (std::uint64_t{1} << (63 - kTokenBits)) - 1;
+
+[[nodiscard]] constexpr std::uint64_t slot_empty_word(std::uint64_t epoch) {
+  return kSlotEmptyFlag | epoch;
+}
+[[nodiscard]] constexpr std::uint64_t slot_full_word(std::uint64_t epoch,
+                                                     std::uint64_t token) {
+  return ((epoch & kEpochTagMask) << kTokenBits) | token;
+}
+[[nodiscard]] constexpr bool slot_is_empty(std::uint64_t word) {
+  return (word & kSlotEmptyFlag) != 0;
+}
+[[nodiscard]] constexpr std::uint64_t slot_payload(std::uint64_t word) {
+  return word & kMaxToken;
+}
+[[nodiscard]] constexpr std::uint64_t slot_epoch_tag(std::uint64_t word) {
+  return (word >> kTokenBits) & kEpochTagMask;
+}
 
 // Upper bound on tokens a single lane may publish per work cycle (the
 // paper uses work cycles of 4 uniform sub-tasks; we allow sweeping the
 // budget for the ablation bench).
 inline constexpr unsigned kMaxWorkBudget = 32;
 
+// Consecutive stalled publish retries (with every progress counter
+// frozen) before the deadlock detector aborts the kernel. Generous:
+// any consume, claim, reservation, completion or relaxed edge anywhere
+// on the device resets the count.
+inline constexpr std::uint32_t kPublishDeadlockRounds = 4096;
+
 // Queue control block + slot array in device global memory.
 struct QueueLayout {
   simt::Buffer ctrl;   // [0]=Front  [1]=Rear  [2]=Completed
-  simt::Buffer slots;  // capacity words, initialized to kDna
+  simt::Buffer slots;  // capacity words, initialized to slot_empty_word(0)
   std::uint64_t capacity = 0;
 
   [[nodiscard]] Addr front_addr() const { return ctrl.at(0); }
@@ -63,10 +114,15 @@ inline simt::Telemetry* probe_sink(Wave& w) { return w.device().telemetry(); }
 // Allocates and initializes a device queue (host side, pre-launch §3.1).
 QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity);
 
-// Re-initializes an existing queue (all slots dna, counters zero).
+// Re-initializes an existing queue (all slots empty at epoch 0, counters
+// zero).
 void reset_device_queue(simt::Device& dev, const QueueLayout& q);
 
-// Seeds initial task tokens (slot i = tokens[i], Rear = tokens.size()).
+// Seeds initial task tokens (slot i = full(0, tokens[i]), Rear =
+// tokens.size()) and resets the rest of the control block (Front,
+// Completed) plus all remaining slots, so a reused layout cannot carry
+// stale counters into termination detection. Throws SimError when the
+// seed batch exceeds capacity or a token exceeds kMaxToken.
 void seed_device_queue(simt::Device& dev, const QueueLayout& q,
                        std::span<const std::uint64_t> tokens);
 
@@ -75,9 +131,10 @@ struct WaveQueueState {
   // Dequeue side.
   LaneMask hungry = 0;    // lanes that want a slot assignment
   LaneMask assigned = 0;  // lanes monitoring a slot for data arrival
-  std::array<std::uint64_t, kWaveWidth> slot{};  // absolute slot index per lane
+  std::array<std::uint64_t, kWaveWidth> slot{};   // ring slot index per lane
+  std::array<std::uint64_t, kWaveWidth> epoch{};  // expected ring epoch per lane
   // Cycle at which each lane's slot was assigned (telemetry: the slot-
-  // monitor wait histogram measures assignment -> dna clearing).
+  // monitor wait histogram measures assignment -> sentinel clearing).
   std::array<simt::Cycle, kWaveWidth> assign_cycle{};
 
   // Eager delivery: schedulers that read payloads during acquisition
@@ -89,6 +146,29 @@ struct WaveQueueState {
   // Enqueue side: lane i publishes n_new[i] tokens this cycle.
   std::array<std::uint32_t, kWaveWidth> n_new{};
   std::array<std::array<std::uint64_t, kMaxWorkBudget>, kWaveWidth> new_tokens{};
+
+  // Enqueue backpressure (the enqueue-side mirror of the dequeue slot
+  // monitor): tokens whose Rear ticket is reserved but whose ring slot
+  // has not yet been recycled by the previous epoch's consumer wait
+  // here; publish() retries them on every later work cycle, oldest
+  // ticket first. Bounded because drivers freeze the work phase (no new
+  // token production) while anything is parked, so at most one work
+  // cycle's batch is ever outstanding.
+  struct Parked {
+    std::uint64_t ticket = 0;  // reserved Rear ticket (scheduler-specific)
+    std::uint64_t token = 0;
+    simt::Cycle since = 0;     // reservation cycle (publish-stall telemetry)
+    bool stalled = false;      // survived at least one failed flush attempt
+  };
+  static constexpr std::uint32_t kMaxParked = kWaveWidth * kMaxWorkBudget;
+  std::uint32_t n_parked = 0;
+  std::array<Parked, kMaxParked> parked{};
+  [[nodiscard]] bool has_parked() const { return n_parked != 0; }
+
+  // Deadlock detector state: consecutive fully-stalled publish retries
+  // and the device progress signature they were measured against.
+  std::uint64_t stall_signature = 0;
+  std::uint32_t stall_rounds = 0;
 
   // CAS-retry state (BASE variant). A failing CAS returns the current
   // counter value; the retry uses that observation as its next expected
@@ -104,6 +184,10 @@ struct WaveQueueState {
 
   void clear_produce() { n_new.fill(0); }
   void push_token(unsigned lane, std::uint64_t token) {
+    if (token > kMaxToken) {
+      throw simt::SimError(
+          "push_token: token exceeds the 48-bit ring payload (kMaxToken)");
+    }
     new_tokens[lane][n_new[lane]++] = token;
   }
   [[nodiscard]] std::uint32_t total_new() const {
@@ -140,42 +224,90 @@ class DeviceQueue {
   // hungry (queue-empty exception -> retry next cycle).
   virtual Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) = 0;
 
-  // Enqueue: publish all st.n_new tokens (arbitrary-n variants reserve
-  // the whole wave's batch with one atomic; BASE loops per token).
+  // Enqueue: reserve Rear tickets for all st.n_new tokens (arbitrary-n
+  // variants reserve the whole wave's batch with one atomic; BASE loops
+  // per token), then attempt to write every outstanding token — parked
+  // leftovers from earlier cycles first. Tokens whose slot has not
+  // recycled stay parked in st; callers must keep invoking publish()
+  // (the persistent-thread drivers do so every work cycle) until
+  // st.has_parked() clears.
   virtual Kernel<void> publish(Wave& w, WaveQueueState& st) = 0;
 
   // Reports `count` tasks finished (drives termination detection).
   virtual Kernel<void> report_complete(Wave& w, std::uint32_t count) = 0;
 
   // Dequeue, phase 2 (shared): non-atomic data-arrival check on every
-  // monitored slot. Arrived lanes receive their token (the slot is
-  // refilled with the sentinel) and leave st.assigned. Returns the mask
-  // of lanes whose data arrived.
+  // monitored slot. A slot has arrived when it holds a full word whose
+  // epoch tag matches the lane's expected epoch. Arrived lanes receive
+  // the payload and recycle the slot (sentinel for the next epoch) and
+  // leave st.assigned. Returns the mask of lanes whose data arrived.
   Kernel<LaneMask> check_arrival(Wave& w, WaveQueueState& st,
                                  std::span<std::uint64_t> tokens);
 
   // True once every enqueued token has been fully processed (Completed
-  // == Rear read in one coalesced snapshot). Virtual: distributed
+  // == Rear read in one coalesced snapshot). Rear counts *reserved*
+  // tickets, so parked (reserved-but-unwritten) tokens keep this false
+  // until they are published and processed. Virtual: distributed
   // schedulers snapshot several tails.
   virtual Kernel<bool> all_done(Wave& w);
 
   // Host-side seeding of initial task tokens (default: contiguous slots
-  // from index 0 with Rear = count).
+  // from index 0 with Rear = count; resets the control block).
   virtual void seed(simt::Device& dev, std::span<const std::uint64_t> tokens);
 
-  // Host-side occupancy snapshot for the telemetry sampler: tokens
-  // enqueued but not yet claimed (Rear - Front). Costs no simulated
-  // cycles. Extension schedulers with other control layouts override.
+  // Host-side backlog snapshot for the telemetry sampler: tickets
+  // reserved but not yet claimed (Rear - Front). May transiently exceed
+  // capacity, since Rear counts reservations, not written slots. Costs
+  // no simulated cycles. Extension schedulers with other control
+  // layouts override.
   [[nodiscard]] virtual std::uint64_t occupancy(const simt::Device& dev) const;
+
+  // Host-side count of ring slots currently holding a token (full
+  // words). Bounded by capacity by construction; exposed so tests and
+  // ad-hoc gauges can assert the O(capacity) residency invariant. Costs
+  // no simulated cycles (O(capacity) host work per call).
+  [[nodiscard]] virtual std::uint64_t resident_tokens(const simt::Device& dev) const;
 
   [[nodiscard]] const QueueLayout& layout() const { return layout_; }
 
  protected:
-  // Shared enqueue tail for the arbitrary-n variants: lane i writes its
-  // tokens to slots [base_for_lane[i], +n_new[i]), verifying the dna
-  // sentinel (queue-full aborts the kernel, §4.4).
-  Kernel<void> write_tokens(Wave& w, WaveQueueState& st,
-                            const std::array<std::uint64_t, kWaveWidth>& lane_base);
+  // Ring placement of a Rear/Front ticket. The default is the single
+  // shared ring; DistributedQueue overrides to decode its per-CU
+  // sub-queue encoding. The locked stack's tickets are raw indices
+  // below capacity, so the default maps them to epoch 0 unchanged.
+  struct SlotRef {
+    std::uint64_t index = 0;  // absolute index into layout_.slots
+    std::uint64_t epoch = 0;  // ring epoch (wrap count)
+  };
+  [[nodiscard]] virtual SlotRef slot_of(std::uint64_t ticket) const {
+    return {ticket % layout_.capacity, ticket / layout_.capacity};
+  }
+
+  // Device progress signature for the deadlock detector: any change
+  // anywhere (claims, reservations, completions, processed tasks,
+  // relaxed edges) means the system is not deadlocked. Host-side reads,
+  // no simulated cost. Extension schedulers with other counter blocks
+  // override.
+  [[nodiscard]] virtual std::uint64_t progress_signature(simt::Device& dev) const;
+
+  // Appends (ticket, token) to st.parked (throws SimError past
+  // kMaxParked — drivers freezing production while parked makes that
+  // unreachable).
+  static void park(WaveQueueState& st, std::uint64_t ticket, std::uint64_t token,
+                   simt::Cycle now);
+
+  // Shared enqueue tail: attempt to write every parked entry into its
+  // ring slot (oldest ticket first). An entry writes only over the
+  // matching epoch's empty sentinel; others stay parked. Runs the
+  // deadlock detector when an attempt makes no progress at all.
+  Kernel<void> flush_parked(Wave& w, WaveQueueState& st);
+
+  // Deadlock bookkeeping shared by flush_parked and schedulers with
+  // bespoke publish paths (the locked stack): marks surviving parked
+  // entries stalled, counts the retry, and aborts the kernel once the
+  // device progress signature has been frozen for kPublishDeadlockRounds
+  // consecutive stalled attempts.
+  Kernel<void> stall_tick(Wave& w, WaveQueueState& st, bool wrote_any);
 
   QueueLayout layout_;
 };

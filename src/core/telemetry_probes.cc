@@ -12,6 +12,13 @@ void register_scheduler_probes(simt::Telemetry& telemetry, simt::Device& dev,
   telemetry.register_gauge(tel::kOccupancy,
                            [d, q](simt::Cycle) { return q->occupancy(*d); });
 
+  // The ring-residency invariant (≤ capacity always) as a sampled
+  // series, and the backpressure histogram pre-registered so it appears
+  // in exports even for runs that never stalled.
+  telemetry.register_gauge(tel::kResidentTokens,
+                           [d, q](simt::Cycle) { return q->resident_tokens(*d); });
+  telemetry.histogram(tel::kPublishStall);
+
   const simt::Addr front = queue.layout().front_addr();
   const simt::Addr rear = queue.layout().rear_addr();
   telemetry.register_gauge(tel::kAtomicBacklog, [d, front, rear](simt::Cycle now) {

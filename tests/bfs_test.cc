@@ -132,16 +132,20 @@ TEST(PtBfsTest, BadWorkBudgetThrows) {
   EXPECT_THROW((void)run_pt_bfs(small_device(), g, 0, opt), simt::SimError);
 }
 
-TEST(PtBfsTest, TinyQueueRetriesWithLargerCapacity) {
-  // Headroom so small the first attempt must abort queue-full; §4.4:
-  // retry with a larger queue.
+TEST(PtBfsTest, TinyQueueCompletesViaBackpressure) {
+  // A ring far smaller than |V| used to be a guaranteed queue-full
+  // abort (§4.4) and a host-side capacity-doubling retry. The circular
+  // ring only needs to cover the in-flight working set: producers park
+  // and retry instead, and the run completes on the first attempt.
   const graph::Graph g = graph::synthetic_kary(4000, 4);
   const auto ref = graph::bfs_levels(g, 0);
   PtBfsOptions opt;
-  opt.queue_headroom = 0.1;
+  opt.queue_capacity = 256;  // ~ |V| / 16
   const BfsResult result = run_pt_bfs(small_device(), g, 0, opt);
-  EXPECT_GT(result.attempts, 1u);
+  EXPECT_EQ(result.attempts, 1u);
   EXPECT_FALSE(result.run.aborted);
+  EXPECT_GT(result.run.stats.user[kPublishStalls], 0u)
+      << "a ring this small must backpressure producers";
   EXPECT_TRUE(matches_reference(result.levels, ref));
 }
 

@@ -1,7 +1,8 @@
 // Tests for the three device-side queue variants (BASE / AN / RF/AN):
-// slot assignment, sentinel discipline, queue-full aborts, retry
-// accounting, and token-conservation invariants under the generic
-// persistent-thread driver.
+// slot assignment, epoch-tagged sentinel discipline, circular slot
+// reuse, enqueue backpressure (parking instead of queue-full aborts),
+// retry accounting, and token-conservation invariants under the
+// generic persistent-thread driver.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -48,8 +49,24 @@ TEST(QueueLayoutTest, MakeInitializesSentinels) {
   EXPECT_EQ(dev.read_word(q.rear_addr()), 0u);
   EXPECT_EQ(dev.read_word(q.completed_addr()), 0u);
   for (std::uint64_t i = 0; i < 16; ++i) {
-    EXPECT_EQ(dev.read_word(q.slot_addr(i)), kDna);
+    EXPECT_EQ(dev.read_word(q.slot_addr(i)), slot_empty_word(0));
   }
+}
+
+TEST(QueueLayoutTest, SlotWordEncodingRoundTrips) {
+  // The epoch-tagged sentinel encoding: empty words carry the exact
+  // epoch, full words an epoch tag plus the 48-bit payload.
+  EXPECT_TRUE(slot_is_empty(slot_empty_word(0)));
+  EXPECT_TRUE(slot_is_empty(slot_empty_word(12345)));
+  EXPECT_FALSE(slot_is_empty(slot_full_word(0, 0)));
+  EXPECT_FALSE(slot_is_empty(slot_full_word(7, kMaxToken)));
+  EXPECT_EQ(slot_payload(slot_full_word(3, 42)), 42u);
+  EXPECT_EQ(slot_payload(slot_full_word(9, kMaxToken)), kMaxToken);
+  EXPECT_EQ(slot_epoch_tag(slot_full_word(3, 42)), 3u);
+  // The tag wraps mod 2^15; adjacent epochs never collide.
+  EXPECT_EQ(slot_epoch_tag(slot_full_word((1u << 15) + 5, 42)), 5u);
+  EXPECT_NE(slot_epoch_tag(slot_full_word(4, 42)),
+            slot_epoch_tag(slot_full_word(5, 42)));
 }
 
 TEST(QueueLayoutTest, SeedWritesTokensAndRear) {
@@ -58,9 +75,41 @@ TEST(QueueLayoutTest, SeedWritesTokensAndRear) {
   const std::vector<std::uint64_t> tokens{10, 11, 12};
   seed_device_queue(dev, q, tokens);
   EXPECT_EQ(dev.read_word(q.rear_addr()), 3u);
-  EXPECT_EQ(dev.read_word(q.slot_addr(0)), 10u);
-  EXPECT_EQ(dev.read_word(q.slot_addr(2)), 12u);
-  EXPECT_EQ(dev.read_word(q.slot_addr(3)), kDna);
+  EXPECT_EQ(dev.read_word(q.slot_addr(0)), slot_full_word(0, 10));
+  EXPECT_EQ(dev.read_word(q.slot_addr(2)), slot_full_word(0, 12));
+  EXPECT_EQ(dev.read_word(q.slot_addr(3)), slot_empty_word(0));
+}
+
+TEST(QueueLayoutTest, SeedResetsControlBlockOnReuse) {
+  // Re-seeding a used layout must not leak Front/Completed (or stale
+  // ring contents) into the next run's termination detection.
+  Device dev(test_config());
+  const QueueLayout q = make_device_queue(dev, 8);
+  dev.write_word(q.front_addr(), 5);
+  dev.write_word(q.rear_addr(), 9);
+  dev.write_word(q.completed_addr(), 7);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    dev.write_word(q.slot_addr(i), slot_full_word(1, 99));
+  }
+  seed_device_queue(dev, q, std::vector<std::uint64_t>{4, 5});
+  EXPECT_EQ(dev.read_word(q.front_addr()), 0u);
+  EXPECT_EQ(dev.read_word(q.rear_addr()), 2u);
+  EXPECT_EQ(dev.read_word(q.completed_addr()), 0u);
+  EXPECT_EQ(dev.read_word(q.slot_addr(0)), slot_full_word(0, 4));
+  EXPECT_EQ(dev.read_word(q.slot_addr(1)), slot_full_word(0, 5));
+  for (std::uint64_t i = 2; i < 8; ++i) {
+    EXPECT_EQ(dev.read_word(q.slot_addr(i)), slot_empty_word(0));
+  }
+}
+
+TEST(QueueLayoutTest, SeedRejectsOversizeBatchAndToken) {
+  Device dev(test_config());
+  const QueueLayout q = make_device_queue(dev, 4);
+  EXPECT_THROW(seed_device_queue(dev, q, std::vector<std::uint64_t>(5, 1)),
+               simt::SimError);
+  EXPECT_THROW(
+      seed_device_queue(dev, q, std::vector<std::uint64_t>{kMaxToken + 1}),
+      simt::SimError);
 }
 
 TEST(QueueVariantNames, ToString) {
@@ -105,9 +154,10 @@ TEST_P(VariantTest, SixtyFourHungryLanesConsumeSixtyFourTokens) {
   std::vector<std::uint64_t> sorted(got.begin(), got.end());
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(sorted, tokens) << "each token delivered exactly once";
-  // Every consumed slot must have its sentinel restored.
+  // Every consumed slot must have its sentinel restored — recycled for
+  // the *next* ring epoch, so the former producer can never double-fill.
   for (unsigned i = 0; i < kWaveWidth; ++i) {
-    EXPECT_EQ(dev.read_word(layout.slot_addr(i)), kDna);
+    EXPECT_EQ(dev.read_word(layout.slot_addr(i)), slot_empty_word(1));
   }
 }
 
@@ -134,14 +184,16 @@ TEST_P(VariantTest, PublishWritesTokensAndAdvancesRear) {
   EXPECT_EQ(result.stats.user[kTokensEnqueued], expected_total);
 
   // All published tokens present (order depends on variant), no sentinel
-  // left inside [0, rear), none clobbered beyond.
+  // left inside [0, rear), none clobbered beyond. First epoch: every
+  // full word carries tag 0.
   std::vector<std::uint64_t> seen;
   for (std::uint64_t i = 0; i < expected_total; ++i) {
     const std::uint64_t v = dev.read_word(layout.slot_addr(i));
-    ASSERT_NE(v, kDna);
-    seen.push_back(v);
+    ASSERT_FALSE(slot_is_empty(v)) << "slot " << i;
+    EXPECT_EQ(slot_epoch_tag(v), 0u);
+    seen.push_back(slot_payload(v));
   }
-  EXPECT_EQ(dev.read_word(layout.slot_addr(expected_total)), kDna);
+  EXPECT_EQ(dev.read_word(layout.slot_addr(expected_total)), slot_empty_word(0));
   std::vector<std::uint64_t> expected;
   for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
     for (unsigned k = 0; k < lane % 3; ++k) expected.push_back(lane * 10 + k);
@@ -151,7 +203,83 @@ TEST_P(VariantTest, PublishWritesTokensAndAdvancesRear) {
   EXPECT_EQ(seen, expected);
 }
 
-TEST_P(VariantTest, QueueFullAborts) {
+TEST_P(VariantTest, QueueFullParksInsteadOfAborting) {
+  // The former abort site: 64 tokens into a capacity-8 ring with no
+  // consumer. The ring accepts what fits and parks the rest; nothing
+  // aborts and no token is lost.
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 8);
+  auto queue = make_queue_variant(GetParam(), layout);
+
+  WaveQueueState st{};
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    st.clear_produce();
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) st.push_token(lane, lane);
+    co_await queue->publish(w, st);  // 64 tokens into capacity 8
+  });
+  EXPECT_FALSE(result.aborted) << result.abort_reason;
+  // All 64 tickets are reserved (termination stays open for parked
+  // tokens), exactly capacity tokens are resident, the rest wait in the
+  // wave's parked buffer.
+  EXPECT_EQ(dev.read_word(layout.rear_addr()), 64u);
+  EXPECT_EQ(queue->resident_tokens(dev), 8u);
+  EXPECT_EQ(result.stats.user[kTokensEnqueued], 8u);
+  EXPECT_EQ(st.n_parked, 64u - 8u);
+}
+
+TEST_P(VariantTest, ParkedTokensDrainThroughConsumersAcrossEpochs) {
+  // Full producer/consumer round trip through a ring 8x smaller than
+  // the burst: publish 64, then alternate consume/flush until every
+  // token has been delivered exactly once. Exercises 8 ring epochs.
+  Device dev(test_config());
+  const QueueLayout layout = make_device_queue(dev, 8);
+  auto queue = make_queue_variant(GetParam(), layout);
+
+  std::vector<std::uint64_t> got;
+  bool drained = false;
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.clear_produce();
+    for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+      st.push_token(lane, 100 + lane);
+    }
+    co_await queue->publish(w, st);
+
+    std::array<std::uint64_t, kWaveWidth> recv{};
+    for (int cycle = 0; cycle < 4000 && got.size() < kWaveWidth; ++cycle) {
+      st.hungry = ~st.assigned;
+      co_await queue->acquire_slots(w, st);
+      const LaneMask arrived = co_await queue->check_arrival(w, st, recv);
+      for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+        if ((arrived >> lane) & 1u) got.push_back(recv[lane]);
+      }
+      st.clear_produce();
+      co_await queue->publish(w, st);  // retries parked leftovers
+      co_await queue->report_complete(
+          w, static_cast<std::uint32_t>(std::popcount(arrived)));
+    }
+    drained = !st.has_parked();
+  });
+
+  EXPECT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_TRUE(drained) << "publish retries must eventually land every token";
+  ASSERT_EQ(got.size(), kWaveWidth);
+  std::sort(got.begin(), got.end());
+  for (unsigned i = 0; i < kWaveWidth; ++i) {
+    EXPECT_EQ(got[i], 100 + i) << "token lost or duplicated at " << i;
+  }
+  EXPECT_EQ(dev.read_word(layout.rear_addr()), 64u);
+  EXPECT_EQ(dev.read_word(layout.completed_addr()), 64u);
+  EXPECT_EQ(queue->resident_tokens(dev), 0u);
+  EXPECT_GT(result.stats.user[kPublishStalls], 0u)
+      << "a burst 8x the ring must register publish backpressure";
+}
+
+TEST_P(VariantTest, PublishDeadlockAbortsViaDetector) {
+  // With no consumer anywhere, a parked token can never land: after
+  // kPublishDeadlockRounds fully-stalled retries with every progress
+  // counter frozen, the detector (the only remaining queue-full abort
+  // site) must fire.
   Device dev(test_config());
   const QueueLayout layout = make_device_queue(dev, 8);
   auto queue = make_queue_variant(GetParam(), layout);
@@ -159,8 +287,12 @@ TEST_P(VariantTest, QueueFullAborts) {
   const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
     WaveQueueState st{};
     st.clear_produce();
-    for (unsigned lane = 0; lane < kWaveWidth; ++lane) st.push_token(lane, lane);
-    co_await queue->publish(w, st);  // 64 tokens into capacity 8
+    for (unsigned lane = 0; lane < 16; ++lane) st.push_token(lane, lane);
+    co_await queue->publish(w, st);  // 8 land, 8 park forever
+    for (std::uint32_t i = 0; i < kPublishDeadlockRounds + 8; ++i) {
+      st.clear_produce();
+      co_await queue->publish(w, st);  // abort_kernel never resumes
+    }
   });
   EXPECT_TRUE(result.aborted);
   EXPECT_NE(result.abort_reason.find("queue full"), std::string::npos);

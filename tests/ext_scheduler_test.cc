@@ -121,7 +121,66 @@ TEST(LockedStackTest, ContendedLockSerializes) {
   EXPECT_GT(result.stats.cas_failures, 0u) << "lock contention must show up";
 }
 
-TEST(LockedStackTest, OverflowAborts) {
+TEST(LockedStackTest, OverflowParksInsteadOfAborting) {
+  // The former abort site: 16 tokens into a capacity-8 stack. The stack
+  // fills, the remainder parks in the wave, and `pushed` covers the
+  // whole batch so termination stays open for the parked half.
+  Device dev(test_config());
+  LockedStack stack(make_device_queue(dev, 8));
+  WaveQueueState st{};
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    st.clear_produce();
+    for (unsigned lane = 0; lane < 16; ++lane) st.push_token(lane, lane);
+    co_await stack.publish(w, st);
+  });
+  EXPECT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_EQ(dev.read_word(stack.layout().ctrl.at(0)), 8u) << "top at capacity";
+  EXPECT_EQ(dev.read_word(stack.layout().ctrl.at(1)), 16u)
+      << "pushed counts the parked remainder too";
+  EXPECT_EQ(st.n_parked, 8u);
+  EXPECT_EQ(result.stats.user[kTokensEnqueued], 8u);
+}
+
+TEST(LockedStackTest, ParkedTokensDrainAfterPops) {
+  // Overflow then consume: parked leftovers land on the next publish
+  // once pops free stack space, and every token is delivered once.
+  Device dev(test_config());
+  LockedStack stack(make_device_queue(dev, 8));
+
+  std::set<std::uint64_t> seen;
+  bool drained = false;
+  const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    WaveQueueState st{};
+    st.clear_produce();
+    for (unsigned lane = 0; lane < 16; ++lane) st.push_token(lane, 50 + lane);
+    co_await stack.publish(w, st);  // 8 land, 8 park
+
+    std::array<std::uint64_t, kWaveWidth> recv{};
+    for (int round = 0; round < 50 && seen.size() < 16; ++round) {
+      st.hungry = 0xffff & ~(st.assigned | st.ready);
+      co_await stack.acquire_slots(w, st);
+      const LaneMask arrived = co_await stack.check_arrival(w, st, recv);
+      for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
+        if ((arrived >> lane) & 1u) seen.insert(recv[lane]);
+      }
+      st.clear_produce();
+      co_await stack.publish(w, st);  // flushes parked into freed space
+      co_await stack.report_complete(
+          w, static_cast<std::uint32_t>(std::popcount(arrived)));
+    }
+    drained = !st.has_parked();
+  });
+
+  EXPECT_FALSE(result.aborted) << result.abort_reason;
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(seen.size(), 16u) << "every token delivered exactly once";
+  for (unsigned i = 0; i < 16; ++i) EXPECT_TRUE(seen.count(50 + i));
+  EXPECT_EQ(dev.read_word(stack.layout().ctrl.at(0)), 0u) << "stack empty";
+}
+
+TEST(LockedStackTest, PublishDeadlockAbortsViaDetector) {
+  // A stack that stays full with no consumer anywhere must eventually
+  // trip the shared deadlock detector rather than spin forever.
   Device dev(test_config());
   LockedStack stack(make_device_queue(dev, 8));
   const auto result = dev.launch(1, [&](Wave& w) -> Kernel<void> {
@@ -129,6 +188,10 @@ TEST(LockedStackTest, OverflowAborts) {
     st.clear_produce();
     for (unsigned lane = 0; lane < 16; ++lane) st.push_token(lane, lane);
     co_await stack.publish(w, st);
+    for (std::uint32_t i = 0; i < kPublishDeadlockRounds + 8; ++i) {
+      st.clear_produce();
+      co_await stack.publish(w, st);
+    }
   });
   EXPECT_TRUE(result.aborted);
   EXPECT_NE(result.abort_reason.find("queue full"), std::string::npos);
@@ -164,8 +227,10 @@ TEST(DistributedQueueTest, PublishGoesToOwnCuQueue) {
   // Every sub-queue rear advanced by 2 and holds its own CU's tokens.
   const std::uint64_t per = q.per_queue_capacity();
   for (std::uint32_t cu = 0; cu < 4; ++cu) {
-    EXPECT_EQ(dev.read_word(q.layout().slot_addr(cu * per)), cu * 10);
-    EXPECT_EQ(dev.read_word(q.layout().slot_addr(cu * per + 1)), cu * 10 + 1);
+    EXPECT_EQ(dev.read_word(q.layout().slot_addr(cu * per)),
+              slot_full_word(0, cu * 10));
+    EXPECT_EQ(dev.read_word(q.layout().slot_addr(cu * per + 1)),
+              slot_full_word(0, cu * 10 + 1));
   }
 }
 
