@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     base.variant = variant;
     base.num_workgroups = dev.paper_workgroups;
     obs.apply(base);
-    const bfs::BfsResult baseline = run_validated(dev.config, g, 0, base);
+    const bfs::BfsResult baseline = run_validated(obs.tuned(dev.config), g, 0, base);
     const std::uint64_t total = baseline.run.stats.user[kTokensEnqueued];
     table.add_row({std::string(to_string(variant)), "auto", "-",
                    util::Table::fmt_ms(baseline.run.seconds), "1.00x",
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       // the machine's natural batch width measures the deadlock
       // detector, not steady-state backpressure.
       opt.queue_capacity = std::max<std::uint64_t>(total / div, 64);
-      const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
+      const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, 0, opt);
       table.add_row(
           {std::string(to_string(variant)),
            std::to_string(opt.queue_capacity),

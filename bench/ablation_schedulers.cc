@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       // headroom up front instead of relying on the retry loop.
       if (variant == QueueVariant::kStack) opt.queue_headroom = 16.0;
       obs.apply(opt);
-      const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
+      const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, 0, opt);
       table.add_row({name, std::string(to_string(variant)),
                      util::Table::fmt_ms(r.run.seconds),
                      std::to_string(r.run.stats.user[kQueueAtomics]),

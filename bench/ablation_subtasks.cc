@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       opt.work_budget = budget;
       opt.num_workgroups = dev.paper_workgroups;
       obs.apply(opt);
-      const auto r = run_validated(dev.config, g, 0, opt);
+      const auto r = run_validated(obs.tuned(dev.config), g, 0, opt);
       row.push_back(util::Table::fmt_ms(r.run.seconds));
     }
     budget_table.add_row(std::move(row));
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       opt.poll_interval = poll;
       opt.num_workgroups = dev.paper_workgroups;
       obs.apply(opt);
-      const auto r = run_validated(dev.config, g, 0, opt);
+      const auto r = run_validated(obs.tuned(dev.config), g, 0, opt);
       row.push_back(util::Table::fmt_ms(r.run.seconds));
     }
     poll_table.add_row(std::move(row));
@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
     bfs::PtBfsOptions opt;
     opt.num_workgroups = dev.paper_workgroups;
     obs.apply(opt);
-    const auto atomic = run_validated(dev.config, g, spec.source, opt);
+    const auto atomic = run_validated(obs.tuned(dev.config), g, spec.source, opt);
     opt.atomic_discovery = false;
-    const auto benign = run_validated(dev.config, g, spec.source, opt);
+    const auto benign = run_validated(obs.tuned(dev.config), g, spec.source, opt);
     disc_table.add_row({name, util::Table::fmt_ms(atomic.run.seconds),
                         util::Table::fmt_ms(benign.run.seconds),
                         bfs::matches_reference(benign.levels, ref) ? "yes"

@@ -90,17 +90,35 @@ inline void add_observability_flags(util::ArgParser& args) {
                   "");
   args.add_int("telemetry-period", "cycles between telemetry samples", 2048);
   args.add_string("trace", "write Chrome/Perfetto trace JSON here", "");
+  args.add_int("sim-seed",
+               "schedule seed: permutes same-cycle event order "
+               "(0 = legacy deterministic schedule)",
+               0);
+  args.add_int("sim-jitter",
+               "bound in cycles for seeded memory/atomic latency jitter "
+               "(ignored when --sim-seed is 0)",
+               0);
 }
 
 class Observability {
  public:
   explicit Observability(const util::ArgParser& args)
       : telemetry_path_(args.get_string("telemetry")),
-        trace_path_(args.get_string("trace")) {
+        trace_path_(args.get_string("trace")),
+        sim_seed_(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, args.get_int("sim-seed")))),
+        sim_jitter_(static_cast<simt::Cycle>(
+            std::max<std::int64_t>(0, args.get_int("sim-jitter")))) {
     simt::Telemetry::Options topt;
     topt.sample_period = static_cast<simt::Cycle>(
         std::max<std::int64_t>(1, args.get_int("telemetry-period")));
     telemetry_ = simt::Telemetry(topt);
+    // Stamp the schedule configuration into every artifact so a capture
+    // always identifies the (seed, jitter) that produced it.
+    telemetry_.set_meta("sim_seed", std::to_string(sim_seed_));
+    telemetry_.set_meta("sim_jitter", std::to_string(sim_jitter_));
+    trace_.set_meta("sim_seed", std::to_string(sim_seed_));
+    trace_.set_meta("sim_jitter", std::to_string(sim_jitter_));
   }
 
   [[nodiscard]] bool enabled() const {
@@ -113,6 +131,18 @@ class Observability {
     if (!telemetry_path_.empty()) opt.telemetry = &telemetry_;
     if (!trace_path_.empty()) opt.trace = &trace_;
   }
+
+  // Applies the --sim-seed/--sim-jitter schedule perturbation to a
+  // device config. Seed 0 (the default) leaves the legacy bit-exact
+  // schedule untouched, so paper-number runs are unaffected.
+  [[nodiscard]] simt::DeviceConfig tuned(simt::DeviceConfig config) const {
+    config.sched_seed = sim_seed_;
+    config.sched_mem_jitter = sim_jitter_;
+    config.sched_atomic_jitter = sim_jitter_;
+    return config;
+  }
+
+  [[nodiscard]] std::uint64_t sim_seed() const { return sim_seed_; }
 
   // Writes the requested artifacts. Returns false (with a message on
   // stderr) if any write failed, so benches can exit non-zero.
@@ -169,6 +199,8 @@ class Observability {
   simt::TraceRecorder trace_;
   std::string telemetry_path_;
   std::string trace_path_;
+  std::uint64_t sim_seed_ = 0;
+  simt::Cycle sim_jitter_ = 0;
 };
 
 }  // namespace scq::bench

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       opt.variant = variant;
       opt.num_workgroups = dev.paper_workgroups;
       obs.apply(opt);
-      const bfs::SsspResult r = bfs::run_pt_sssp(dev.config, g, 0, opt);
+      const bfs::SsspResult r = bfs::run_pt_sssp(obs.tuned(dev.config), g, 0, opt);
       if (r.run.aborted) {
         std::fprintf(stderr, "FATAL: %s aborted: %s\n",
                      std::string(to_string(variant)).c_str(),

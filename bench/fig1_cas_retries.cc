@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       opt.variant = QueueVariant::kBase;
       opt.num_workgroups = wgs;
       obs.apply(opt);
-      const bfs::BfsResult r = run_validated(dev.config, g, 0, opt);
+      const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, 0, opt);
       std::printf("  %-12u %-10u %-14llu %llu\n", wgs, wgs * simt::kWaveWidth,
                   static_cast<unsigned long long>(r.run.stats.cas_failures),
                   static_cast<unsigned long long>(r.run.stats.cas_attempts));

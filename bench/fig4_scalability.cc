@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
           opt.variant = variant;
           opt.num_workgroups = wgs;
           obs.apply(opt);
-          const bfs::BfsResult r = run_validated(dev.config, g, spec.source, opt);
+          const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, spec.source, opt);
           if (wgs == 1) base_seconds[vi] = r.run.seconds;
           const double speedup = base_seconds[vi] / r.run.seconds;
           std::printf(" %12.6f %8.2fx", r.run.seconds, speedup);

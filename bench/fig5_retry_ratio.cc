@@ -40,9 +40,9 @@ int main(int argc, char** argv) {
         opt.num_workgroups = wgs;
         obs.apply(opt);
         opt.variant = QueueVariant::kBase;
-        const auto base = run_validated(dev.config, g, 0, opt);
+        const auto base = run_validated(obs.tuned(dev.config), g, 0, opt);
         opt.variant = QueueVariant::kRfan;
-        const auto rfan = run_validated(dev.config, g, 0, opt);
+        const auto rfan = run_validated(obs.tuned(dev.config), g, 0, opt);
         const auto base_ops = base.run.stats.user[kQueueAtomics];
         const auto rfan_ops = std::max<std::uint64_t>(
             rfan.run.stats.user[kQueueAtomics], 1);

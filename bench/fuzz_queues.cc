@@ -1,0 +1,154 @@
+// Standalone schedule-fuzzing driver.
+//
+// Sweeps seeds through the sim fuzz harness (seeded schedule
+// perturbation + OpHistory + exactly-once/linearizability checker),
+// rotating queue variant, workload shape, and ring capacity per seed,
+// plus periodic host-queue storms with real threads. Every failure
+// prints the exact command line that replays it.
+//
+//   fuzz_queues --seeds 520                 # CI sweep
+//   fuzz_queues --fuzz-seed 77 --variant an --workload random --capacity 8
+//   fuzz_queues --host-seed 13              # replay one host case
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/fuzz_harness.h"
+#include "util/args.h"
+#include "util/prng.h"
+
+namespace {
+
+using scq::QueueVariant;
+
+QueueVariant variant_from_string(const std::string& s) {
+  if (s == "base") return QueueVariant::kBase;
+  if (s == "an") return QueueVariant::kAn;
+  if (s == "rfan") return QueueVariant::kRfan;
+  std::fprintf(stderr, "unknown variant '%s' (base|an|rfan)\n", s.c_str());
+  std::exit(2);
+}
+
+// Sweep-mode case shapes are a pure function of the seed, so a failure
+// replays from the seed alone; the printed replay command additionally
+// pins every parameter explicitly.
+scq::fuzz::SimFuzzCase sim_case_for_seed(std::uint64_t seed) {
+  scq::fuzz::SimFuzzCase c;
+  c.seed = seed;
+  std::uint64_t s = seed ^ 0x5ca1ab1e0ddba11ull;
+  const std::uint64_t h = scq::util::splitmix64(s);
+  constexpr QueueVariant kVariants[] = {QueueVariant::kBase, QueueVariant::kAn,
+                                        QueueVariant::kRfan};
+  constexpr scq::fuzz::Workload kWorkloads[] = {scq::fuzz::Workload::kTree,
+                                                scq::fuzz::Workload::kChain,
+                                                scq::fuzz::Workload::kRandom};
+  constexpr std::uint64_t kCapacities[] = {8, 16, 24, 40, 56};
+  c.variant = kVariants[h % 3];
+  c.workload = kWorkloads[(h / 3) % 3];
+  c.capacity = kCapacities[(h / 9) % 5];
+  return c;
+}
+
+scq::fuzz::HostFuzzCase host_case_for_seed(std::uint64_t seed) {
+  scq::fuzz::HostFuzzCase c;
+  c.seed = seed;
+  std::uint64_t s = seed ^ 0x7057ca5e5ull;
+  const std::uint64_t h = scq::util::splitmix64(s);
+  c.capacity = 8 << (h % 3);
+  c.producers = 1 + static_cast<unsigned>((h / 3) % 4);
+  c.consumers = 1 + static_cast<unsigned>((h / 12) % 4);
+  c.items = 1024;
+  return c;
+}
+
+bool run_one_sim(const scq::fuzz::SimFuzzCase& c, bool verbose) {
+  const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
+  if (!out.ok() || verbose) {
+    std::printf("%s\n", out.describe(c).c_str());
+  }
+  return out.ok();
+}
+
+bool run_one_host(const scq::fuzz::HostFuzzCase& c, bool verbose) {
+  const scq::fuzz::FuzzOutcome out = scq::fuzz::run_host_fuzz_case(c);
+  if (!out.ok()) {
+    std::printf("FAIL host seed=%llu capacity=%zu producers=%u consumers=%u\n"
+                "  replay: fuzz_queues --host-seed %llu\n%s",
+                static_cast<unsigned long long>(c.seed), c.capacity,
+                c.producers, c.consumers,
+                static_cast<unsigned long long>(c.seed),
+                out.check.report().c_str());
+  } else if (verbose) {
+    std::printf("PASS host seed=%llu (%llu records)\n",
+                static_cast<unsigned long long>(c.seed),
+                static_cast<unsigned long long>(out.history_records));
+  }
+  return out.ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scq::util::ArgParser args(
+      "fuzz_queues",
+      "Schedule-fuzz the device queue variants and the host broker queue, "
+      "checking every run's operation history for exactly-once delivery "
+      "and FIFO linearizability.");
+  args.add_int("seeds", "number of sweep seeds", 128);
+  args.add_int("seed-start", "first sweep seed", 1);
+  args.add_int("host-every", "run a host case every Nth seed (0 = never)", 4);
+  args.add_int("fuzz-seed", "replay one sim case with this seed", -1);
+  args.add_int("host-seed", "replay one host case with this seed", -1);
+  args.add_string("variant", "replay: queue variant (base|an|rfan)", "rfan");
+  args.add_string("workload", "replay: workload (tree|chain|random)", "tree");
+  args.add_int("capacity", "replay: ring capacity", 24);
+  args.add_int("tasks", "replay: workload size bound", 96);
+  args.add_flag("verbose", "print every case, not just failures", false);
+  if (!args.parse(argc, argv)) return 2;
+
+  const bool verbose = args.get_flag("verbose");
+
+  if (args.get_int("host-seed") >= 0) {
+    const auto c =
+        host_case_for_seed(static_cast<std::uint64_t>(args.get_int("host-seed")));
+    return run_one_host(c, true) ? 0 : 1;
+  }
+  if (args.get_int("fuzz-seed") >= 0) {
+    scq::fuzz::SimFuzzCase c;
+    c.seed = static_cast<std::uint64_t>(args.get_int("fuzz-seed"));
+    c.variant = variant_from_string(args.get_string("variant"));
+    c.workload = scq::fuzz::workload_from_string(args.get_string("workload"));
+    c.capacity = static_cast<std::uint64_t>(args.get_int("capacity"));
+    c.num_tasks = static_cast<std::uint32_t>(args.get_int("tasks"));
+    const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
+    std::printf("%s\n", out.describe(c).c_str());
+    return out.ok() ? 0 : 1;
+  }
+
+  const std::uint64_t first =
+      static_cast<std::uint64_t>(args.get_int("seed-start"));
+  const std::uint64_t count = static_cast<std::uint64_t>(args.get_int("seeds"));
+  const std::int64_t host_every = args.get_int("host-every");
+  std::uint64_t sim_runs = 0, host_runs = 0, failures = 0;
+  for (std::uint64_t seed = first; seed < first + count; ++seed) {
+    if (!run_one_sim(sim_case_for_seed(seed), verbose)) ++failures;
+    ++sim_runs;
+    if (host_every > 0 && (seed - first) % static_cast<std::uint64_t>(
+                                              host_every) == 0) {
+      if (!run_one_host(host_case_for_seed(seed), verbose)) ++failures;
+      ++host_runs;
+    }
+    if (!verbose && (seed - first + 1) % 64 == 0) {
+      std::printf("... %llu/%llu seeds swept, %llu failure(s)\n",
+                  static_cast<unsigned long long>(seed - first + 1),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(failures));
+    }
+  }
+  std::printf("%s: %llu sim + %llu host cases, %llu failure(s)\n",
+              failures == 0 ? "CLEAN" : "VIOLATIONS",
+              static_cast<unsigned long long>(sim_runs),
+              static_cast<unsigned long long>(host_runs),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 1;
+}

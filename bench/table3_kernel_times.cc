@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
         opt.num_workgroups = dev.paper_workgroups;
         opt.work_budget = static_cast<unsigned>(args.get_int("budget"));
         obs.apply(opt);
-        const bfs::BfsResult r = run_validated(dev.config, g, spec.source, opt);
+        const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, spec.source, opt);
         seconds[variant] = r.run.seconds;
         csv.add_row({dev.config.name, std::to_string(dev.paper_workgroups),
                      spec.name, std::string(to_string(variant)),

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     bfs::PtBfsOptions opt;
     opt.num_workgroups = dev.paper_workgroups;
     obs.apply(opt);
-    const bfs::BfsResult rfan = run_validated(dev.config, g, spec.source, opt);
+    const bfs::BfsResult rfan = run_validated(obs.tuned(dev.config), g, spec.source, opt);
 
     table.add_row({spec.name, util::Table::fmt_ms(chai.run.seconds),
                    util::Table::fmt_ms(rfan.run.seconds),

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       bfs::PtBfsOptions opt;
       opt.num_workgroups = dev.paper_workgroups;
       obs.apply(opt);
-      const bfs::BfsResult rfan = run_validated(dev.config, g, spec.source, opt);
+      const bfs::BfsResult rfan = run_validated(obs.tuned(dev.config), g, spec.source, opt);
 
       table.add_row({spec.name, dev.config.name,
                      util::Table::fmt_ms(rod.bfs.run.seconds),

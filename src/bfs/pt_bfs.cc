@@ -213,6 +213,10 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
       options.trace->clear();
       dev.attach_tracer(options.trace);
     }
+    if (options.history) {
+      options.history->clear();
+      dev.attach_op_history(options.history);
+    }
     if (options.telemetry) {
       options.telemetry->clear_probes();
       options.telemetry->mirror_counters_to(options.trace);

@@ -51,6 +51,9 @@ struct PtBfsOptions {
   // series are mirrored into the trace as Perfetto counter tracks.
   simt::Telemetry* telemetry = nullptr;
   simt::TraceRecorder* trace = nullptr;
+  // Optional queue-operation recording for the fuzz checker (cleared per
+  // attempt, so it holds exactly the final attempt's history).
+  simt::OpHistory* history = nullptr;
 };
 
 // Runs one BFS to completion on a fresh device built from `config`.

@@ -33,6 +33,9 @@ struct PtSsspOptions {
   // PtBfsOptions for the attach-per-attempt semantics.
   simt::Telemetry* telemetry = nullptr;
   simt::TraceRecorder* trace = nullptr;
+  // Optional queue-operation recording for the fuzz checker (cleared per
+  // attempt, so it holds exactly the final attempt's history).
+  simt::OpHistory* history = nullptr;
 };
 
 struct SsspResult {

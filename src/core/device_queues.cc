@@ -73,6 +73,15 @@ void seed_device_queue(simt::Device& dev, const QueueLayout& q,
     dev.write_word(q.slot_addr(i), slot_full_word(0, tokens[i]));
   }
   dev.write_word(q.rear_addr(), tokens.size());
+  if (simt::OpHistory* hist = dev.op_history()) {
+    // Seed tokens occupy tickets 0..n-1 of epoch 0.
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      hist->record({simt::QueueOp::kEnqueueReserve, simt::kHostActor, i,
+                    i, 0, tokens[i], dev.now()});
+      hist->record({simt::QueueOp::kEnqueueWrite, simt::kHostActor, i,
+                    i, 0, tokens[i], dev.now()});
+    }
+  }
 }
 
 // ---- Shared dequeue phase 2: data arrival (paper Listing 2) ----
@@ -112,6 +121,13 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
   });
   const unsigned missed = static_cast<unsigned>(std::popcount(st.assigned & ~arrived));
   if (missed) w.bump(kPolls, missed);
+  if (simt::OpHistory* hist = history_sink(w)) {
+    for_lanes(arrived, [&](unsigned lane) {
+      hist->record({simt::QueueOp::kDequeueDeliver, w.slot_id(),
+                    ticket_of(st.slot[lane], st.epoch[lane]), st.slot[lane],
+                    st.epoch[lane], tokens[lane], w.now()});
+    });
+  }
   if (simt::Telemetry* probes = probe_sink(w); probes && arrived) {
     // Slot-monitor wait: slot assignment to the sentinel clearing.
     simt::Histogram& h = probes->histogram(tel::kSlotWait);
@@ -181,14 +197,19 @@ std::uint64_t DeviceQueue::progress_signature(simt::Device& dev) const {
 
 // ---- Shared enqueue tail: backpressured ring writes ----
 
-void DeviceQueue::park(WaveQueueState& st, std::uint64_t ticket,
-                       std::uint64_t token, simt::Cycle now) {
+void DeviceQueue::park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
+                       std::uint64_t token) {
   if (st.n_parked >= WaveQueueState::kMaxParked) {
     throw simt::SimError(
         "device queue: parked-token overflow — the driver must gate "
         "production while publishes are backpressured");
   }
-  st.parked[st.n_parked++] = {ticket, token, now, false};
+  st.parked[st.n_parked++] = {ticket, token, w.now(), false};
+  if (simt::OpHistory* hist = history_sink(w)) {
+    const SlotRef ref = slot_of(ticket);
+    hist->record({simt::QueueOp::kEnqueueReserve, w.slot_id(), ticket,
+                  ref.index, ref.epoch, token, w.now()});
+  }
 }
 
 Kernel<void> DeviceQueue::stall_tick(Wave& w, WaveQueueState& st,
@@ -254,6 +275,16 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
     }
     if (!writable) break;
 
+    if (simt::OpHistory* hist = history_sink(w)) {
+      // Recorded in the same event-processing slice as the stores below,
+      // so the write records land before any matching deliver record.
+      for_lanes(writable, [&](unsigned i) {
+        const SlotRef ref = slot_of(st.parked[i].ticket);
+        hist->record({simt::QueueOp::kEnqueueWrite, w.slot_id(),
+                      st.parked[i].ticket, ref.index, ref.epoch,
+                      st.parked[i].token, w.now()});
+      });
+    }
     co_await w.store_lanes(writable, addrs, full);
     w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(writable)));
     if (probes) {
@@ -292,12 +323,18 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   w.bump(kQueueAtomics);
   const simt::CasResult r = co_await w.atomic_add(layout_.front_addr(), n);
 
+  simt::OpHistory* hist = history_sink(w);
   unsigned k = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
-    const SlotRef ref = slot_of(r.old_value + k++);
+    const std::uint64_t ticket = r.old_value + k++;
+    const SlotRef ref = slot_of(ticket);
     st.slot[lane] = ref.index;
     st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
+    if (hist) {
+      hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), ticket,
+                    ref.index, ref.epoch, 0, w.now()});
+    }
   });
   st.assigned |= st.hungry;
   st.hungry = 0;
@@ -328,7 +365,7 @@ Kernel<void> RfanQueue::publish(Wave& w, WaveQueueState& st) {
     std::uint64_t ticket = r.old_value;
     for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
       for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
-        park(st, ticket++, st.new_tokens[lane][t], w.now());
+        park(w, st, ticket++, st.new_tokens[lane][t]);
       }
     }
     st.clear_produce();
@@ -391,15 +428,21 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
     w.bump(kEmptyRetries, n);
     co_return;
   }
+  simt::OpHistory* hist = history_sink(w);
   std::uint64_t ticket = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     if (left == 0) return;
-    const SlotRef ref = slot_of(ticket++);
+    const std::uint64_t t = ticket++;
+    const SlotRef ref = slot_of(t);
     st.slot[lane] = ref.index;
     st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
+    if (hist) {
+      hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), t, ref.index,
+                    ref.epoch, 0, w.now()});
+    }
     served |= bit(lane);
     --left;
   });
@@ -441,7 +484,7 @@ Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
     std::uint64_t ticket = r.old_value;
     for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
       for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
-        park(st, ticket++, st.new_tokens[lane][t], w.now());
+        park(w, st, ticket++, st.new_tokens[lane][t]);
       }
     }
     st.clear_produce();
@@ -521,11 +564,16 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   w.bump(kEmptyRetries,
          static_cast<std::uint64_t>(std::popcount(trying & ~claimed)));
 
+  simt::OpHistory* hist = history_sink(w);
   for_lanes(claimed, [&](unsigned lane) {
     const SlotRef ref = slot_of(old[lane]);
     st.slot[lane] = ref.index;
     st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
+    if (hist) {
+      hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), old[lane],
+                    ref.index, ref.epoch, 0, w.now()});
+    }
   });
   if (probes && claimed) {
     probes->histogram(tel::kDequeueLatency).add(w.now() - t0);
@@ -586,7 +634,7 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
     w.bump(kQueueCasFailures, failures);
 
     for_lanes(pending, [&](unsigned lane) {
-      park(st, old[lane], st.new_tokens[lane][cursor[lane]], w.now());
+      park(w, st, old[lane], st.new_tokens[lane][cursor[lane]]);
       if (++cursor[lane] == st.n_new[lane]) pending &= ~bit(lane);
     });
   }

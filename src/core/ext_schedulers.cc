@@ -158,7 +158,7 @@ Kernel<void> LockedStack::publish(Wave& w, WaveQueueState& st) {
             chunk = 0;
           }
         } else {
-          park(st, 0, st.new_tokens[lane][t], w.now());
+          park(w, st, 0, st.new_tokens[lane][t]);
         }
       }
     }
@@ -262,15 +262,21 @@ Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
       n, snap[1] > r.old_value ? snap[1] - r.old_value : 0);
   if (claimed == 0) co_return std::uint64_t{0};
 
+  simt::OpHistory* hist = history_sink(w);
   std::uint64_t local = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     if (left == 0) return;
-    const SlotRef ref = slot_of(encode_ticket(q, local++));
+    const std::uint64_t ticket = encode_ticket(q, local++);
+    const SlotRef ref = slot_of(ticket);
     st.slot[lane] = ref.index;
     st.epoch[lane] = ref.epoch;
     st.assign_cycle[lane] = w.now();
+    if (hist) {
+      hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), ticket,
+                    ref.index, ref.epoch, 0, w.now()});
+    }
     served |= bit(lane);
     --left;
   });
@@ -317,7 +323,7 @@ Kernel<void> DistributedQueue::publish(Wave& w, WaveQueueState& st) {
     std::uint64_t local = r.old_value;
     for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
       for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
-        park(st, encode_ticket(own, local++), st.new_tokens[lane][t], w.now());
+        park(w, st, encode_ticket(own, local++), st.new_tokens[lane][t]);
       }
     }
     st.clear_produce();

@@ -87,6 +87,12 @@ class DistributedQueue final : public DeviceQueue {
     const std::uint64_t local = ticket & kMaxToken;
     return {q * per_queue_ + local % per_queue_, local / per_queue_};
   }
+  [[nodiscard]] std::uint64_t ticket_of(std::uint64_t slot,
+                                        std::uint64_t epoch) const override {
+    const std::uint64_t q = slot / per_queue_;
+    return encode_ticket(static_cast<std::uint32_t>(q),
+                         epoch * per_queue_ + slot % per_queue_);
+  }
   [[nodiscard]] std::uint64_t progress_signature(simt::Device& dev) const override;
 
  private:

@@ -31,7 +31,10 @@
 #include <optional>
 #include <span>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "sim/op_history.h"
 
 namespace scq {
 
@@ -106,6 +109,14 @@ class HostBrokerQueue {
     return t > h ? static_cast<std::size_t>(t - h) : 0;
   }
 
+  // Optional operation-history recording for the fuzz checker (not
+  // owned; nullptr disables). Tickets are sequence numbers; payloads are
+  // recorded when T converts to uint64. Write records precede the
+  // release-store that publishes them and deliver records precede the
+  // recycle store, so the history's (mutex-total) append order is
+  // consistent with the happens-before order of the protocol.
+  void attach_history(simt::OpHistory* history) noexcept { history_ = history; }
+
   // Signals shutdown: blocked enqueue/dequeue calls return false once
   // they can no longer complete. Pending claimed tickets stay valid.
   void close() noexcept { closed_.store(true, std::memory_order_release); }
@@ -127,6 +138,10 @@ class HostBrokerQueue {
     const std::uint64_t first =
         tail_.fetch_add(items.size(), std::memory_order_relaxed);
     for (std::size_t i = 0; i < items.size(); ++i) {
+      record_op(simt::QueueOp::kEnqueueReserve, first + i,
+                history_payload(items[i]));
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
       if (!publish_one(first + i, items[i])) {
         abandon_batch(first + i, first + items.size());
         return false;
@@ -146,6 +161,9 @@ class HostBrokerQueue {
     if (out.empty()) return true;
     const std::uint64_t first =
         head_.fetch_add(out.size(), std::memory_order_relaxed);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      record_op(simt::QueueOp::kDequeueClaim, first + i, 0);
+    }
     for (std::size_t i = 0; i < out.size(); ++i) {
       if (!consume_one(first + i, out[i])) return false;
     }
@@ -178,7 +196,12 @@ class HostBrokerQueue {
   };
 
   [[nodiscard]] Ticket claim_slots(std::uint32_t count) {
-    return Ticket{head_.fetch_add(count, std::memory_order_relaxed), count, 0};
+    const std::uint64_t first =
+        head_.fetch_add(count, std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      record_op(simt::QueueOp::kDequeueClaim, first + i, 0);
+    }
+    return Ticket{first, count, 0};
   }
 
   // Consumes in-order arrivals for this ticket into `out`; returns how
@@ -196,7 +219,10 @@ class HostBrokerQueue {
         break;
       }
       if (seq != seq_no + 1) break;
-      out[got++] = std::move(slot.value);
+      out[got] = std::move(slot.value);
+      record_op(simt::QueueOp::kDequeueDeliver, seq_no,
+                history_payload(out[got]));
+      ++got;
       slot.seq.store(seq_no + capacity(), std::memory_order_release);
       ++ticket.consumed;
     }
@@ -215,7 +241,9 @@ class HostBrokerQueue {
       const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
       if (seq == t) {
         if (tail_.compare_exchange_weak(t, t + 1, std::memory_order_relaxed)) {
+          record_op(simt::QueueOp::kEnqueueReserve, t, history_payload(item));
           slot.value = item;
+          record_op(simt::QueueOp::kEnqueueWrite, t, history_payload(item));
           slot.seq.store(t + 1, std::memory_order_release);
           return true;
         }
@@ -235,7 +263,9 @@ class HostBrokerQueue {
       const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
       if (seq == h + 1) {
         if (head_.compare_exchange_weak(h, h + 1, std::memory_order_relaxed)) {
+          record_op(simt::QueueOp::kDequeueClaim, h, 0);
           T value = std::move(slot.value);
+          record_op(simt::QueueOp::kDequeueDeliver, h, history_payload(value));
           slot.seq.store(h + capacity(), std::memory_order_release);
           return value;
         }
@@ -261,6 +291,7 @@ class HostBrokerQueue {
       backoff.pause();
     }
     slot.value = item;
+    record_op(simt::QueueOp::kEnqueueWrite, seq_no, history_payload(item));
     slot.seq.store(seq_no + 1, std::memory_order_release);
     return true;
   }
@@ -279,8 +310,24 @@ class HostBrokerQueue {
       backoff.pause();
     }
     out = std::move(slot.value);
+    record_op(simt::QueueOp::kDequeueDeliver, seq_no, history_payload(out));
     slot.seq.store(seq_no + capacity(), std::memory_order_release);
     return true;
+  }
+
+  static std::uint64_t history_payload(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::uint64_t>) {
+      return static_cast<std::uint64_t>(v);
+    } else {
+      return 0;
+    }
+  }
+
+  void record_op(simt::QueueOp op, std::uint64_t seq_no,
+                 std::uint64_t payload) const {
+    if (history_ == nullptr) return;
+    history_->record({op, simt::kHostActor, seq_no, seq_no & mask_,
+                      seq_no / capacity(), payload, 0});
   }
 
   // Called by a close()-interrupted enqueue_batch for its unpublished
@@ -301,6 +348,7 @@ class HostBrokerQueue {
 
   const std::uint64_t mask_;
   std::vector<Slot> slots_;
+  simt::OpHistory* history_ = nullptr;
   alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
   alignas(kCacheLine) std::atomic<bool> closed_{false};

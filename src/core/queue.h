@@ -111,6 +111,12 @@ struct QueueLayout {
 // and never simulated cycles).
 inline simt::Telemetry* probe_sink(Wave& w) { return w.device().telemetry(); }
 
+// Operation-history sink for the fuzz checker: the device's attached
+// OpHistory, or nullptr (recording then costs one branch). Records are
+// appended within the same event-processing slice as the memory effect
+// they describe, so append order is consistent with protocol order.
+inline simt::OpHistory* history_sink(Wave& w) { return w.device().op_history(); }
+
 // Allocates and initializes a device queue (host side, pre-launch §3.1).
 QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity);
 
@@ -283,6 +289,14 @@ class DeviceQueue {
     return {ticket % layout_.capacity, ticket / layout_.capacity};
   }
 
+  // Inverse of slot_of: the ticket that maps to (slot index, epoch).
+  // Used by check_arrival to reconstruct the delivered ticket for the
+  // operation history; overridden alongside slot_of.
+  [[nodiscard]] virtual std::uint64_t ticket_of(std::uint64_t slot,
+                                                std::uint64_t epoch) const {
+    return epoch * layout_.capacity + slot;
+  }
+
   // Device progress signature for the deadlock detector: any change
   // anywhere (claims, reservations, completions, processed tasks,
   // relaxed edges) means the system is not deadlocked. Host-side reads,
@@ -292,9 +306,10 @@ class DeviceQueue {
 
   // Appends (ticket, token) to st.parked (throws SimError past
   // kMaxParked — drivers freezing production while parked makes that
-  // unreachable).
-  static void park(WaveQueueState& st, std::uint64_t ticket, std::uint64_t token,
-                   simt::Cycle now);
+  // unreachable) and records the ticket reservation in the attached
+  // operation history.
+  void park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
+            std::uint64_t token);
 
   // Shared enqueue tail: attempt to write every parked entry into its
   // ring slot (oldest ticket first). An entry writes only over the

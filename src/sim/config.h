@@ -57,6 +57,20 @@ struct DeviceConfig {
   // cycles (guards against accidental livelock in kernels under test).
   Cycle max_cycles_per_launch = 50'000'000'000ull;
 
+  // ---- Schedule fuzzing (see TESTING.md) ----
+  // Seed for the schedule-perturbation policy. 0 (the default) keeps the
+  // legacy deterministic order bit-exact: same-cycle events resume in
+  // issue (FIFO) order and no latency jitter is applied. Any non-zero
+  // seed permutes same-cycle tie-breaking — and enables the jitters
+  // below — as a pure function of the seed, so a failing schedule
+  // replays from the seed alone.
+  std::uint64_t sched_seed = 0;
+  // Bounded uniform extra latency (cycles) per memory / atomic operation
+  // when sched_seed != 0. Keep well below mem_latency so perturbed
+  // schedules stay causally plausible.
+  Cycle sched_mem_jitter = 0;
+  Cycle sched_atomic_jitter = 0;
+
   [[nodiscard]] std::uint32_t resident_waves() const {
     return num_cus * waves_per_cu;
   }

@@ -5,7 +5,9 @@
 namespace simt {
 
 Device::Device(DeviceConfig config)
-    : config_(std::move(config)), atomic_unit_(config_.atomic_service) {
+    : config_(std::move(config)),
+      atomic_unit_(config_.atomic_service),
+      sched_(config_) {
   cus_.resize(config_.num_cus);
   for (std::uint32_t i = 0; i < config_.num_cus; ++i) cus_[i].id = i;
   const std::uint32_t resident = config_.resident_waves();
@@ -20,7 +22,8 @@ Device::Device(DeviceConfig config)
 Device::~Device() = default;
 
 void Device::schedule(Cycle t, std::coroutine_handle<> h) {
-  events_.push(Event{t, next_seq_++, h});
+  events_.push(Event{t, sched_.tie_key(next_seq_), next_seq_, h});
+  ++next_seq_;
 }
 
 void Device::request_abort(std::string reason) {

@@ -12,6 +12,8 @@
 
 #include "sim/config.h"
 #include "sim/memory.h"
+#include "sim/op_history.h"
+#include "sim/sched_policy.h"
 #include "sim/stats.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
@@ -77,6 +79,12 @@ class Device {
   // histograms through this accessor.
   void attach_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
   [[nodiscard]] Telemetry* telemetry() { return telemetry_; }
+  // Optional operation-history recording (not owned; nullptr disables).
+  // Queue implementations feed it; the fuzz checker consumes it.
+  void attach_op_history(OpHistory* history) { op_history_ = history; }
+  [[nodiscard]] OpHistory* op_history() { return op_history_; }
+  // Seeded schedule perturbation (identity when sched_seed == 0).
+  [[nodiscard]] SchedulePolicy& sched() { return sched_; }
   void request_abort(std::string reason);
   [[nodiscard]] bool abort_requested() const { return abort_; }
 
@@ -86,10 +94,13 @@ class Device {
 
   struct Event {
     Cycle t;
+    std::uint64_t key;  // tie-break among same-cycle events (seq when unseeded)
     std::uint64_t seq;
     std::coroutine_handle<> h;
     bool operator>(const Event& rhs) const {
-      return t != rhs.t ? t > rhs.t : seq > rhs.seq;
+      if (t != rhs.t) return t > rhs.t;
+      if (key != rhs.key) return key > rhs.key;
+      return seq > rhs.seq;
     }
   };
 
@@ -100,6 +111,8 @@ class Device {
   Cycle now_ = 0;
   TraceRecorder* tracer_ = nullptr;
   Telemetry* telemetry_ = nullptr;
+  OpHistory* op_history_ = nullptr;
+  SchedulePolicy sched_;
 
   std::vector<ComputeUnit> cus_;
   std::vector<std::unique_ptr<Wave>> waves_;

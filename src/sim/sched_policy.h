@@ -1,0 +1,78 @@
+// Seeded schedule perturbation for the discrete-event engine.
+//
+// The engine is deterministic: same-cycle events resume in issue (FIFO)
+// order, so every run exercises exactly one interleaving. That is great
+// for golden tests and terrible for finding concurrency bugs — per-slot
+// sequence protocols (the epoch-tagged dna sentinels) only break under
+// interleavings the default order never produces. SchedulePolicy turns
+// the simulator into a deterministic model-checking rig:
+//
+//   * tie-breaking among same-cycle events is permuted by a seeded hash
+//     (replacing the implicit FIFO sequence order),
+//   * per-address atomic-unit arrival order is perturbed by a bounded
+//     seeded delay, reordering near-simultaneous requests in the FIFO,
+//   * memory completion latencies receive bounded seeded jitter, which
+//     shifts when each wave issues its *next* operation and thereby
+//     walks the global interleaving.
+//
+// Everything is a pure function of DeviceConfig::sched_seed (plus the
+// deterministic call sequence), so any failing schedule replays
+// bit-exactly from the 64-bit seed alone. Seed 0 disables all of it and
+// preserves the legacy order bit-for-bit — existing goldens hold.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.h"
+#include "util/prng.h"
+
+namespace simt {
+
+class SchedulePolicy {
+ public:
+  SchedulePolicy() = default;
+  explicit SchedulePolicy(const DeviceConfig& config)
+      : seed_(config.sched_seed),
+        mem_jitter_(config.sched_mem_jitter),
+        atomic_jitter_(config.sched_atomic_jitter) {}
+
+  [[nodiscard]] bool active() const { return seed_ != 0; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // Tie-break key for the event scheduled with sequence number `seq`:
+  // the identity (FIFO) when inactive, a seeded permutation of the
+  // issue order when active. Pure function of (seed, seq).
+  [[nodiscard]] std::uint64_t tie_key(std::uint64_t seq) const {
+    if (seed_ == 0) return seq;
+    std::uint64_t s = seed_ ^ (seq * 0x9e3779b97f4a7c15ull);
+    return scq::util::splitmix64(s);
+  }
+
+  // Bounded extra completion latency for a memory operation touching
+  // `salt` (an address). Uniform in [0, sched_mem_jitter].
+  [[nodiscard]] Cycle mem_delay(std::uint64_t salt) {
+    return jitter(mem_jitter_, salt);
+  }
+
+  // Bounded extra travel time for an atomic request to `addr`, applied
+  // before the per-address FIFO reservation so that near-simultaneous
+  // requests can swap service order. Uniform in [0, sched_atomic_jitter].
+  [[nodiscard]] Cycle atomic_delay(Addr addr) {
+    return jitter(atomic_jitter_, addr);
+  }
+
+ private:
+  Cycle jitter(Cycle bound, std::uint64_t salt) {
+    if (seed_ == 0 || bound == 0) return 0;
+    std::uint64_t s =
+        seed_ ^ (salt * 0xbf58476d1ce4e5b9ull) ^ (++draws_ * 0x94d049bb133111ebull);
+    return scq::util::splitmix64(s) % (bound + 1);
+  }
+
+  std::uint64_t seed_ = 0;
+  Cycle mem_jitter_ = 0;
+  Cycle atomic_jitter_ = 0;
+  std::uint64_t draws_ = 0;  // draw index: makes repeat calls independent
+};
+
+}  // namespace simt

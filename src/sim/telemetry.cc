@@ -144,8 +144,16 @@ void Telemetry::reset_data() {
 std::string Telemetry::to_json() const {
   std::string out = "{\n  \"sample_period\": " + u64(options_.sample_period) +
                     ",\n  \"dropped_samples\": " + u64(dropped_samples_) +
-                    ",\n  \"histograms\": {";
+                    ",\n  \"meta\": {";
   bool first = true;
+  for (const auto& [key, value] : meta_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+  }
+  if (!first) out += "\n  ";
+  out += "},\n  \"histograms\": {";
+  first = true;
   for (const auto& [name, h] : histograms_) {
     if (!first) out += ',';
     first = false;

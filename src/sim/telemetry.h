@@ -158,8 +158,21 @@ class Telemetry {
   [[nodiscard]] std::uint64_t dropped_samples() const { return dropped_samples_; }
   [[nodiscard]] Cycle sample_period() const { return options_.sample_period; }
 
-  // Clears recorded histograms and series (probes stay registered).
+  // Clears recorded histograms and series (probes stay registered,
+  // metadata stays attached).
   void reset_data();
+
+  // ---- Run metadata ----
+  // Free-form key/value pairs (schedule seed, jitter bounds, device
+  // name) exported in the JSON artifact's "meta" object so an artifact
+  // is reproducible from itself.
+  void set_meta(std::string_view key, std::string value) {
+    meta_[std::string(key)] = std::move(value);
+  }
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& meta()
+      const {
+    return meta_;
+  }
 
   // ---- Exporters ----
   // One self-contained JSON artifact: histograms (summary + non-empty
@@ -174,6 +187,7 @@ class Telemetry {
 
  private:
   Options options_;
+  std::map<std::string, std::string, std::less<>> meta_;
   std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, std::vector<Sample>, std::less<>> series_;
   std::vector<std::pair<std::string, Gauge>> gauges_;

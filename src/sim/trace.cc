@@ -68,6 +68,20 @@ std::string TraceRecorder::to_chrome_json() const {
     out += json_escape(c.name);
     out += buf;
   }
+  // Run-metadata record (schedule seed etc.): a capture identifies the
+  // configuration that produced it.
+  if (!meta_.empty()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"sim_meta\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{";
+    bool first_kv = true;
+    for (const auto& [key, value] : meta_) {
+      if (!first_kv) out += ',';
+      first_kv = false;
+      out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+    }
+    out += "}}";
+  }
   // Metadata record: makes a truncated capture detectable from the file
   // alone (all-zero args == complete trace).
   if (!first) out += ',';

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.h"
@@ -88,6 +89,17 @@ class TraceRecorder {
     dropped_counters_ = 0;
   }
 
+  // Free-form run metadata (schedule seed, jitter bounds), exported as a
+  // "sim_meta" metadata record so a trace is reproducible from itself.
+  // Survives clear(): it describes the run configuration, not the data.
+  void set_meta(std::string key, std::string value) {
+    meta_.emplace_back(std::move(key), std::move(value));
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& meta()
+      const {
+    return meta_;
+  }
+
   // Chrome trace-event JSON: "traceEvents" holds the X-phase slices,
   // the C-phase counter samples, and a final "dropped" metadata record
   // carrying the drop counts (all zero for a complete trace).
@@ -101,6 +113,7 @@ class TraceRecorder {
   std::size_t capacity_;
   std::vector<Event> events_;
   std::vector<Counter> counters_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::uint64_t dropped_ = 0;
   std::uint64_t dropped_counters_ = 0;
 };

@@ -83,7 +83,8 @@ void Wave::LoadAwait::await_suspend(std::coroutine_handle<> h) {
   s.global_loads += 1;
   s.lines_touched += 1;
   const Cycle depart = w.issue();
-  const Cycle trace_end = depart + w.config().mem_latency;
+  const Cycle trace_end =
+      depart + w.config().mem_latency + w.dev_->sched().mem_delay(addr);
   w.trace(trace_begin, trace_end, TraceOp::kLoad);
   w.finish(trace_end, h);
 }
@@ -97,7 +98,8 @@ void Wave::StoreAwait::await_suspend(std::coroutine_handle<> h) {
   // Stores retire through the write buffer; the wave only pays issue cost
   // plus a small handoff.
   const Cycle depart = w.issue();
-  const Cycle trace_end = depart + w.config().line_extra;
+  const Cycle trace_end =
+      depart + w.config().line_extra + w.dev_->sched().mem_delay(addr);
   w.trace(trace_begin, trace_end, TraceOp::kStore);
   w.finish(trace_end, h);
 }
@@ -140,7 +142,8 @@ void Wave::VecLoadAwait::await_suspend(std::coroutine_handle<> h) {
   const DeviceConfig& cfg = w.config();
   const Cycle depart = w.issue();
   const Cycle extra = lines > 1 ? (lines - 1) * cfg.line_extra : 0;
-  const Cycle trace_end = depart + cfg.mem_latency + extra;
+  const Cycle trace_end = depart + cfg.mem_latency + extra +
+                          w.dev_->sched().mem_delay(active ? addrs[0] : 0);
   w.trace(trace_begin, trace_end, TraceOp::kVecLoad);
   w.finish(trace_end, h);
 }
@@ -164,7 +167,8 @@ void Wave::VecStoreAwait::await_suspend(std::coroutine_handle<> h) {
   const DeviceConfig& cfg = w.config();
   const Cycle depart = w.issue();
   const Cycle extra = lines > 1 ? lines * cfg.line_extra : cfg.line_extra;
-  const Cycle trace_end = depart + extra;
+  const Cycle trace_end =
+      depart + extra + w.dev_->sched().mem_delay(active ? addrs[0] : 0);
   w.trace(trace_begin, trace_end, TraceOp::kVecStore);
   w.finish(trace_end, h);
 }
@@ -244,7 +248,10 @@ void Wave::AtomicAwait::await_suspend(std::coroutine_handle<> h) {
   result = apply_atomic(w.dev_->mem(), kind, addr, operand, expected);
   const DeviceConfig& cfg = w.config();
   const Cycle depart = w.issue();
-  const Cycle arrival = depart + cfg.atomic_latency;
+  // Seeded perturbation of the travel time reorders near-simultaneous
+  // requests in the per-address service FIFO.
+  const Cycle arrival =
+      depart + cfg.atomic_latency + w.dev_->sched().atomic_delay(addr);
   Cycle done;
   if ((kind == AtomicKind::kBoundedAdd || kind == AtomicKind::kBoundedSub) &&
       result.success) {
@@ -290,21 +297,26 @@ void Wave::VecAtomicAwait::await_suspend(std::coroutine_handle<> h) {
     const std::uint64_t exp =
         (takes_bound && lane < expected.size()) ? expected[lane] : 0;
     CasResult r = apply_atomic(mem, kind, addrs[lane], operands[lane], exp);
+    const Cycle lane_arrival =
+        arrival + w.dev_->sched().atomic_delay(addrs[lane]);
     // Every lane's request occupies its address FIFO individually: this
     // is the lock-step amplification of per-lane atomics (§3.3).
     Cycle done;
     if ((kind == AtomicKind::kBoundedAdd || kind == AtomicKind::kBoundedSub) &&
         r.success) {
       const Cycle svc = cfg.atomic_service;
-      const Cycle waited = w.dev_->atomic_unit().backlog(addrs[lane], arrival);
+      const Cycle waited =
+          w.dev_->atomic_unit().backlog(addrs[lane], lane_arrival);
       r.retries = std::min<Cycle>(waited / std::max<Cycle>(svc, 1),
                                   kMaxFoldedRetries);
       done = w.dev_->atomic_unit()
-                 .reserve(addrs[lane], arrival, svc * (1 + r.retries))
+                 .reserve(addrs[lane], lane_arrival, svc * (1 + r.retries))
                  .done +
              r.retries * 2 * cfg.atomic_latency;
     } else {
-      done = w.dev_->atomic_unit().reserve(addrs[lane], arrival, cfg.atomic_service).done;
+      done = w.dev_->atomic_unit()
+                 .reserve(addrs[lane], lane_arrival, cfg.atomic_service)
+                 .done;
     }
     count_atomic(s, kind, r);
     if (r.success) success |= LaneMask{1} << lane;

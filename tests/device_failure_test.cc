@@ -1,0 +1,175 @@
+// Failure-path coverage for Device::launch (deadlock detection, kernel
+// exception teardown, runaway-kernel guard) and edge cases of the wave
+// atomic model (span bounds, bounded fetch-add claim arithmetic).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <coroutine>
+#include <stdexcept>
+#include <string>
+
+#include "sim/device.h"
+
+namespace simt {
+namespace {
+
+DeviceConfig tiny_config() {
+  DeviceConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_cus = 2;
+  cfg.waves_per_cu = 2;
+  cfg.mem_latency = 100;
+  cfg.atomic_latency = 50;
+  cfg.atomic_service = 4;
+  cfg.issue_cost = 2;
+  cfg.kernel_launch_overhead = 1000;
+  return cfg;
+}
+
+// ---- Device::launch failure paths ----
+
+TEST(DeviceFailure, DeadlockReportsOutstandingWorkgroups) {
+  Device dev(tiny_config());
+  // Workgroup 0 suspends without ever scheduling a wake-up event; the
+  // others complete, the event queue drains, and the launch must fail
+  // loudly instead of returning a bogus result.
+  try {
+    (void)dev.launch(3, [](Wave& w) -> Kernel<void> {
+      if (w.workgroup_id() == 0) co_await std::suspend_always{};
+      co_await w.compute(10);
+    });
+    FAIL() << "deadlocked launch returned normally";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("simulation deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 workgroups outstanding"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(DeviceFailure, KernelExceptionPreservesTypeAndTearsDown) {
+  Device dev(tiny_config());
+  // One workgroup throws a non-SimError exception while the others spin
+  // forever: the error must propagate with its original type even
+  // though live events and suspended frames remain.
+  EXPECT_THROW(
+      (void)dev.launch(4,
+                       [](Wave& w) -> Kernel<void> {
+                         co_await w.compute(5);
+                         if (w.workgroup_id() == 1) {
+                           throw std::runtime_error("bad kernel");
+                         }
+                         for (;;) co_await w.idle(100);
+                       }),
+      std::runtime_error);
+
+  // Teardown must leave the device relaunchable: pending events dropped,
+  // every suspended kernel frame released.
+  const auto result = dev.launch(4, [](Wave& w) -> Kernel<void> {
+    co_await w.compute(10);
+  });
+  EXPECT_EQ(result.stats.waves_completed, 4u);
+  EXPECT_FALSE(result.aborted);
+}
+
+TEST(DeviceFailure, RunawayKernelHitsMaxCyclesGuard) {
+  DeviceConfig cfg = tiny_config();
+  cfg.max_cycles_per_launch = 50'000;
+  Device dev(cfg);
+  try {
+    (void)dev.launch(1, [](Wave& w) -> Kernel<void> {
+      for (;;) co_await w.idle(100);  // never terminates
+    });
+    FAIL() << "runaway kernel returned normally";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_cycles_per_launch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- Wave atomic edge cases ----
+
+TEST(WaveAtomics, LaneIndexBeyondSpanThrows) {
+  Device dev(tiny_config());
+  const Buffer buf = dev.alloc(4);
+  // Spans cover 4 lanes but the full 64-lane mask is active: lane 4
+  // must be rejected instead of reading past the span.
+  std::array<Addr, 4> addrs{};
+  addrs.fill(buf.at(0));
+  std::array<std::uint64_t, 4> ones{};
+  ones.fill(1);
+  EXPECT_THROW(
+      (void)dev.launch(1,
+                       [&](Wave& w) -> Kernel<void> {
+                         co_await w.atomic_lanes(AtomicKind::kAdd, kAllLanes,
+                                                 addrs, ones);
+                       }),
+      SimError);
+}
+
+TEST(WaveAtomics, BoundedAddClaimsOnlyWhatRemains) {
+  Device dev(tiny_config());
+  const Buffer buf = dev.alloc(1);
+  dev.write_word(buf.at(0), 10);
+  CasResult partial{}, exhausted{};
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    partial = co_await w.atomic_bounded_add(buf.at(0), 5, 12);    // 2 left
+    exhausted = co_await w.atomic_bounded_add(buf.at(0), 5, 12);  // 0 left
+  });
+  EXPECT_TRUE(partial.success);
+  EXPECT_EQ(partial.old_value, 10u);
+  EXPECT_FALSE(exhausted.success);
+  EXPECT_EQ(exhausted.old_value, 12u);
+  // Never overshoots the bound.
+  EXPECT_EQ(dev.read_word(buf.at(0)), 12u);
+}
+
+TEST(WaveAtomics, BoundedSubStopsAtFloor) {
+  Device dev(tiny_config());
+  const Buffer buf = dev.alloc(1);
+  dev.write_word(buf.at(0), 10);
+  CasResult partial{}, exhausted{};
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    partial = co_await w.atomic_bounded_sub(buf.at(0), 5, 8);    // 2 above
+    exhausted = co_await w.atomic_bounded_sub(buf.at(0), 5, 8);  // at floor
+  });
+  EXPECT_TRUE(partial.success);
+  EXPECT_EQ(partial.old_value, 10u);
+  EXPECT_FALSE(exhausted.success);
+  EXPECT_EQ(exhausted.old_value, 8u);
+  EXPECT_EQ(dev.read_word(buf.at(0)), 8u);
+}
+
+TEST(WaveAtomics, VecBoundedAddSplitsTheRemainingBudget) {
+  // Four lanes each request 3 against a shared counter bounded at 8:
+  // the per-address FIFO serializes them, so claims are 3, 3, 2, 0 —
+  // three winners, the bound never overshot, distinct old values.
+  Device dev(tiny_config());
+  const Buffer buf = dev.alloc(1);
+  std::array<Addr, 4> addrs{};
+  addrs.fill(buf.at(0));
+  std::array<std::uint64_t, 4> want{};
+  want.fill(3);
+  std::array<std::uint64_t, 4> bound{};
+  bound.fill(8);
+  std::array<std::uint64_t, 4> old{};
+  LaneMask winners = 0;
+  (void)dev.launch(1, [&](Wave& w) -> Kernel<void> {
+    w.set_lane_count(4);
+    winners = co_await w.atomic_lanes(AtomicKind::kBoundedAdd, kAllLanes,
+                                      addrs, want, bound, old);
+  });
+  EXPECT_EQ(std::popcount(winners), 3);
+  EXPECT_EQ(dev.read_word(buf.at(0)), 8u);
+  std::uint64_t claimed = 0;
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    const std::uint64_t next = lane + 1 < 4 ? old[lane + 1] : 8;
+    if ((winners >> lane) & 1u) claimed += next - old[lane];
+  }
+  EXPECT_EQ(claimed, 8u);
+}
+
+}  // namespace
+}  // namespace simt

@@ -1,0 +1,217 @@
+#include "support/fuzz_harness.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/host_queue.h"
+#include "core/pt_driver.h"
+#include "util/prng.h"
+
+namespace scq::fuzz {
+
+namespace {
+
+std::uint64_t hash2(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ull);
+  return util::splitmix64(s);
+}
+
+const char* variant_cli_name(QueueVariant v) {
+  switch (v) {
+    case QueueVariant::kBase: return "base";
+    case QueueVariant::kAn: return "an";
+    case QueueVariant::kRfan: return "rfan";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kTree: return "tree";
+    case Workload::kChain: return "chain";
+    case Workload::kRandom: return "random";
+  }
+  return "?";
+}
+
+Workload workload_from_string(const std::string& s) {
+  if (s == "tree") return Workload::kTree;
+  if (s == "chain") return Workload::kChain;
+  if (s == "random") return Workload::kRandom;
+  throw simt::SimError("unknown workload '" + s + "' (tree|chain|random)");
+}
+
+std::string FuzzOutcome::describe(const SimFuzzCase& c) const {
+  std::string out = std::string(ok() ? "PASS" : "FAIL") +
+                    " variant=" + variant_cli_name(c.variant) +
+                    " workload=" + to_string(c.workload) +
+                    " capacity=" + std::to_string(c.capacity) +
+                    " tasks=" + std::to_string(c.num_tasks) +
+                    " seed=" + std::to_string(c.seed) + " (" +
+                    std::to_string(history_records) + " records, " +
+                    std::to_string(run.cycles) + " cycles)";
+  if (!ok()) {
+    out += "\n  replay: fuzz_queues --fuzz-seed " + std::to_string(c.seed) +
+           " --variant " + variant_cli_name(c.variant) + " --workload " +
+           to_string(c.workload) + " --capacity " + std::to_string(c.capacity) +
+           " --tasks " + std::to_string(c.num_tasks);
+    if (!error.empty()) out += "\n  error: " + error;
+    if (!check.ok()) out += "\n" + check.report();
+  }
+  return out;
+}
+
+FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
+                              std::vector<simt::OpRecord>* raw_history) {
+  simt::DeviceConfig cfg;
+  cfg.name = "fuzz";
+  cfg.num_cus = 2;
+  cfg.waves_per_cu = 2;
+  cfg.sched_seed = c.seed;
+  // Bounded jitter, small relative to mem_latency: perturbed schedules
+  // stay causally plausible while same-cycle races get reshuffled.
+  cfg.sched_mem_jitter = 48;
+  cfg.sched_atomic_jitter = 24;
+
+  simt::Device dev(cfg);
+  simt::OpHistory history;
+  dev.attach_op_history(&history);
+
+  QueueLayout layout = make_device_queue(dev, c.capacity);
+  std::unique_ptr<DeviceQueue> queue = make_queue_variant(c.variant, layout);
+
+  // Deterministic irregular task graphs. Children always carry larger
+  // ids than their parent, so every workload terminates; kRandom allows
+  // duplicate children (several parents emit the same id) with a global
+  // emission cap to bound the blow-up.
+  const std::uint64_t n = c.num_tasks;
+  std::uint64_t emitted = 0;
+  const std::uint64_t emit_cap = 4 * n;
+  TaskFn task = [&](std::uint64_t token,
+                    const std::function<void(std::uint64_t)>& emit) {
+    switch (c.workload) {
+      case Workload::kTree:
+        if (2 * token + 1 < n) emit(2 * token + 1);
+        if (2 * token + 2 < n) emit(2 * token + 2);
+        break;
+      case Workload::kChain:
+        if (token + 1 < n) emit(token + 1);
+        break;
+      case Workload::kRandom: {
+        const std::uint64_t fanout = hash2(c.seed, token) % 4;
+        for (std::uint64_t j = 0; j < fanout && emitted < emit_cap; ++j) {
+          const std::uint64_t child =
+              token + 1 + hash2(c.seed ^ token, j) % 7;
+          if (child < n) {
+            emit(child);
+            ++emitted;
+          }
+        }
+        break;
+      }
+    }
+  };
+
+  std::vector<std::uint64_t> seeds;
+  if (c.workload == Workload::kRandom) {
+    for (std::uint64_t s = 0; s < 4 && s < n; ++s) seeds.push_back(s);
+  } else {
+    seeds.push_back(0);
+  }
+
+  PtDriverOptions opt;
+  opt.num_workgroups = c.num_workgroups;
+
+  FuzzOutcome out;
+  try {
+    out.run = run_persistent_tasks(dev, *queue, seeds, task, opt);
+    if (out.run.aborted) out.error = "aborted: " + out.run.abort_reason;
+  } catch (const simt::SimError& e) {
+    out.error = std::string("SimError: ") + e.what();
+  }
+
+  CheckOptions check_opt;
+  check_opt.capacity = c.capacity;
+  // On an abort the run stopped mid-flight: tokens legally remain
+  // undelivered, but the hard invariants (exactly-once, payload match,
+  // slot/epoch mapping) must still hold for everything recorded.
+  check_opt.expect_drained = out.error.empty();
+  const std::vector<simt::OpRecord> records = history.snapshot();
+  out.check = check_history(records, check_opt);
+  out.history_records = records.size();
+  if (raw_history != nullptr) *raw_history = records;
+  return out;
+}
+
+FuzzOutcome run_host_fuzz_case(const HostFuzzCase& c) {
+  simt::OpHistory history;
+  HostBrokerQueue<std::uint64_t> queue(c.capacity);
+  queue.attach_history(&history);
+
+  const unsigned producers = std::max(1u, c.producers);
+  const unsigned consumers = std::max(1u, c.consumers);
+
+  // Partition the item range among producers and the consumption quota
+  // among consumers; batch sizes are seed-derived so the interleaving
+  // pressure varies per seed even under identical thread counts.
+  std::vector<std::thread> threads;
+  threads.reserve(producers + consumers);
+  for (unsigned p = 0; p < producers; ++p) {
+    const std::uint64_t lo = c.items * p / producers;
+    const std::uint64_t hi = c.items * (p + 1) / producers;
+    threads.emplace_back([&, p, lo, hi] {
+      std::uint64_t prng = c.seed ^ (0x50c1a1u + p);
+      std::vector<std::uint64_t> batch;
+      std::uint64_t next = lo;
+      while (next < hi) {
+        const std::uint64_t want = 1 + util::splitmix64(prng) % 8;
+        batch.clear();
+        for (std::uint64_t i = 0; i < want && next < hi; ++i) {
+          batch.push_back(next++);
+        }
+        if (!queue.enqueue_batch(batch)) return;
+      }
+    });
+  }
+  for (unsigned k = 0; k < consumers; ++k) {
+    const std::uint64_t quota =
+        c.items * (k + 1) / consumers - c.items * k / consumers;
+    const bool use_monitor_api = k == 0;  // exercise claim_slots/poll too
+    threads.emplace_back([&, k, quota, use_monitor_api] {
+      std::uint64_t prng = c.seed ^ (0xc0517u + k);
+      std::uint64_t left = quota;
+      std::vector<std::uint64_t> out(16);
+      while (left > 0) {
+        const std::uint32_t want = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(left, 1 + util::splitmix64(prng) % 8));
+        if (use_monitor_api) {
+          auto ticket = queue.claim_slots(want);
+          while (!ticket.done()) {
+            if (queue.poll(ticket, std::span<std::uint64_t>(out)) == 0) {
+              std::this_thread::yield();
+            }
+          }
+        } else {
+          if (!queue.dequeue_batch(std::span<std::uint64_t>(out.data(), want))) {
+            return;
+          }
+        }
+        left -= want;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  FuzzOutcome out;
+  CheckOptions check_opt;
+  check_opt.capacity = queue.capacity();  // power-of-two rounded
+  check_opt.expect_drained = true;
+  out.check = check_history(history.snapshot(), check_opt);
+  out.history_records = history.size();
+  return out;
+}
+
+}  // namespace scq::fuzz

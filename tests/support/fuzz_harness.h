@@ -1,0 +1,71 @@
+// Schedule-fuzzing case runners shared by tests/schedule_fuzz_test.cc
+// and bench/fuzz_queues.cc.
+//
+// A sim fuzz case builds a small device with a seeded SchedulePolicy
+// (perturbed event tie-breaking plus bounded memory/atomic jitter),
+// attaches an OpHistory, runs a deterministic irregular workload through
+// one queue variant with a capacity deliberately below the wave width,
+// and replays the recorded history against the checker. Everything is a
+// pure function of the case parameters, so a failing case reproduces
+// from its printed command line alone.
+//
+// A host fuzz case storms a HostBrokerQueue with real producer/consumer
+// threads (workload shape seed-derived; interleavings OS-scheduled) and
+// checks the same per-ticket invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/queue.h"
+#include "sim/device.h"
+#include "support/queue_checker.h"
+
+namespace scq::fuzz {
+
+enum class Workload {
+  kTree,    // binary tree: token t spawns 2t+1, 2t+2 below N
+  kChain,   // serial chain: token t spawns t+1 (stresses empty polling)
+  kRandom,  // seeded irregular fan-out with duplicate children
+};
+[[nodiscard]] const char* to_string(Workload w);
+// Parses "tree" / "chain" / "random"; throws simt::SimError otherwise.
+[[nodiscard]] Workload workload_from_string(const std::string& s);
+
+struct SimFuzzCase {
+  std::uint64_t seed = 1;
+  QueueVariant variant = QueueVariant::kRfan;
+  Workload workload = Workload::kTree;
+  std::uint64_t capacity = 24;   // deliberately below kWaveWidth
+  std::uint32_t num_tasks = 96;  // workload size bound
+  std::uint32_t num_workgroups = 4;
+};
+
+struct FuzzOutcome {
+  CheckResult check;
+  simt::RunResult run;
+  std::uint64_t history_records = 0;
+  std::string error;  // abort / SimError text; empty == clean completion
+
+  [[nodiscard]] bool ok() const { return error.empty() && check.ok(); }
+  // One-line verdict plus a replay command for fuzz_queues.
+  [[nodiscard]] std::string describe(const SimFuzzCase& c) const;
+};
+
+// raw_history (optional) receives the recorded OpHistory snapshot —
+// used by tests that tamper with a real history to prove the checker
+// catches injected mutations.
+[[nodiscard]] FuzzOutcome run_sim_fuzz_case(
+    const SimFuzzCase& c, std::vector<simt::OpRecord>* raw_history = nullptr);
+
+struct HostFuzzCase {
+  std::uint64_t seed = 1;
+  std::size_t capacity = 16;  // rounded up to a power of two by the queue
+  unsigned producers = 3;
+  unsigned consumers = 3;
+  std::uint32_t items = 1024;
+};
+
+[[nodiscard]] FuzzOutcome run_host_fuzz_case(const HostFuzzCase& c);
+
+}  // namespace scq::fuzz

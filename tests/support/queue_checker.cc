@@ -1,0 +1,210 @@
+#include "support/queue_checker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scq::fuzz {
+
+namespace {
+
+constexpr std::size_t kNone = ~std::size_t{0};
+constexpr std::size_t kMaxReported = 20;
+
+// Per-ticket bookkeeping for one side of the protocol.
+struct TicketState {
+  std::size_t reserve_idx = kNone;
+  std::size_t write_idx = kNone;
+  std::size_t claim_idx = kNone;
+  std::size_t deliver_idx = kNone;
+  std::uint64_t reserve_payload = 0;
+  std::uint64_t write_payload = 0;
+};
+
+std::string actor_name(std::uint32_t actor) {
+  return actor == simt::kHostActor ? std::string("host")
+                                   : "wave" + std::to_string(actor);
+}
+
+}  // namespace
+
+std::string format_record(std::size_t index, const simt::OpRecord& r) {
+  return "#" + std::to_string(index) + " " + to_string(r.op) + " " +
+         actor_name(r.actor) + " ticket=" + std::to_string(r.ticket) +
+         " slot=" + std::to_string(r.slot) +
+         " epoch=" + std::to_string(r.epoch) +
+         " payload=" + std::to_string(r.payload) +
+         " cycle=" + std::to_string(r.cycle);
+}
+
+std::string CheckResult::report() const {
+  std::string out;
+  out += "checker: " + std::to_string(violations.size()) + " violation(s); " +
+         std::to_string(reserved) + " reserved, " + std::to_string(written) +
+         " written, " + std::to_string(claimed) + " claimed, " +
+         std::to_string(delivered) + " delivered\n";
+  const std::size_t shown = std::min(violations.size(), kMaxReported);
+  for (std::size_t i = 0; i < shown; ++i) out += "  " + violations[i] + "\n";
+  if (violations.size() > shown) {
+    out += "  ... and " + std::to_string(violations.size() - shown) +
+           " more\n";
+  }
+  if (!counterexample.empty()) {
+    out += "history around first violation:\n" + counterexample;
+  }
+  return out;
+}
+
+CheckResult check_history(const std::vector<simt::OpRecord>& records,
+                          const CheckOptions& options) {
+  CheckResult result;
+  std::unordered_map<std::uint64_t, TicketState> tickets;
+  tickets.reserve(records.size() / 2 + 1);
+  std::size_t first_violation_record = kNone;
+
+  auto violate = [&](std::size_t idx, const std::string& what) {
+    result.violations.push_back(format_record(idx, records[idx]) + ": " + what);
+    if (first_violation_record == kNone) first_violation_record = idx;
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const simt::OpRecord& r = records[i];
+    TicketState& t = tickets[r.ticket];
+
+    if (options.capacity != 0) {
+      if (r.slot != r.ticket % options.capacity ||
+          r.epoch != r.ticket / options.capacity) {
+        violate(i, "slot/epoch mapping broken: ticket " +
+                       std::to_string(r.ticket) + " must map to slot " +
+                       std::to_string(r.ticket % options.capacity) +
+                       " epoch " +
+                       std::to_string(r.ticket / options.capacity));
+      }
+    }
+
+    switch (r.op) {
+      case simt::QueueOp::kEnqueueReserve:
+        if (t.reserve_idx != kNone) {
+          violate(i, "ticket reserved twice (first at " +
+                         std::to_string(t.reserve_idx) + ")");
+          break;
+        }
+        t.reserve_idx = i;
+        t.reserve_payload = r.payload;
+        ++result.reserved;
+        break;
+
+      case simt::QueueOp::kEnqueueWrite:
+        if (t.write_idx != kNone) {
+          violate(i, "ticket written twice (first at " +
+                         std::to_string(t.write_idx) + ")");
+          break;
+        }
+        if (t.reserve_idx == kNone) {
+          violate(i, "write without a prior ticket reservation");
+        } else if (r.payload != t.reserve_payload) {
+          violate(i, "payload changed between reservation (" +
+                         std::to_string(t.reserve_payload) +
+                         ") and ring write");
+        }
+        t.write_idx = i;
+        t.write_payload = r.payload;
+        ++result.written;
+        break;
+
+      case simt::QueueOp::kDequeueClaim:
+        if (t.claim_idx != kNone) {
+          violate(i, "ticket claimed twice (first at " +
+                         std::to_string(t.claim_idx) + ")");
+          break;
+        }
+        t.claim_idx = i;
+        ++result.claimed;
+        break;
+
+      case simt::QueueOp::kDequeueDeliver:
+        if (t.deliver_idx != kNone) {
+          violate(i, "ticket delivered twice — exactly-once violated "
+                     "(first at " +
+                         std::to_string(t.deliver_idx) + ")");
+          break;
+        }
+        if (t.write_idx == kNone) {
+          violate(i, "delivery of a ticket never written — fabricated "
+                     "payload (cross-epoch theft?)");
+        } else if (r.payload != t.write_payload) {
+          violate(i, "delivered payload " + std::to_string(r.payload) +
+                         " != written payload " +
+                         std::to_string(t.write_payload) +
+                         " — wrong epoch's token consumed");
+        }
+        if (t.claim_idx == kNone) {
+          violate(i, "delivery of a ticket never claimed");
+        }
+        t.deliver_idx = i;
+        ++result.delivered;
+        break;
+    }
+  }
+
+  // End-state invariants.
+  std::uint64_t max_reserve = 0, max_claim = 0;
+  bool any_reserve = false, any_claim = false;
+  for (const auto& [ticket, t] : tickets) {
+    if (t.reserve_idx != kNone) {
+      any_reserve = true;
+      max_reserve = std::max(max_reserve, ticket);
+    }
+    if (t.claim_idx != kNone) {
+      any_claim = true;
+      max_claim = std::max(max_claim, ticket);
+    }
+    if (options.expect_drained) {
+      if (t.reserve_idx != kNone && t.write_idx == kNone) {
+        result.violations.push_back(
+            "ticket " + std::to_string(ticket) +
+            " reserved but never written — token lost in a parked "
+            "publish");
+      }
+      if (t.write_idx != kNone && t.deliver_idx == kNone) {
+        result.violations.push_back(
+            "ticket " + std::to_string(ticket) +
+            " written but never delivered — lost token (payload " +
+            std::to_string(t.write_payload) + ")");
+      }
+    }
+  }
+  if (options.require_contiguous_tickets) {
+    if (any_reserve && max_reserve + 1 != result.reserved) {
+      result.violations.push_back(
+          "enqueue tickets not contiguous: max ticket " +
+          std::to_string(max_reserve) + " but only " +
+          std::to_string(result.reserved) + " reservations");
+    }
+    if (any_claim && max_claim + 1 != result.claimed) {
+      result.violations.push_back(
+          "dequeue tickets not contiguous: max ticket " +
+          std::to_string(max_claim) + " but only " +
+          std::to_string(result.claimed) + " claims");
+    }
+  }
+
+  if (!result.violations.empty()) {
+    // Counterexample dump: a window of the raw history around the first
+    // violating record (end-state violations have no record to anchor
+    // on; fall back to the tail of the history).
+    constexpr std::size_t kContext = 6;
+    const std::size_t anchor = first_violation_record != kNone
+                                   ? first_violation_record
+                                   : (records.empty() ? 0 : records.size() - 1);
+    const std::size_t lo = anchor > kContext ? anchor - kContext : 0;
+    const std::size_t hi = std::min(records.size(), anchor + kContext + 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      result.counterexample +=
+          (i == first_violation_record ? "> " : "  ") +
+          format_record(i, records[i]) + "\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace scq::fuzz

@@ -1,0 +1,67 @@
+// History checker for the schedule-fuzzing harness.
+//
+// Validates a recorded simt::OpHistory against the sequential FIFO
+// ticket-queue specification. The atomic ticket claims (Rear/Front AFA,
+// host fetch_add) are the linearization points, so checking reduces to
+// per-ticket invariants over the append-ordered history:
+//
+//   * each ticket is reserved/written/claimed/delivered at most once
+//     (exactly-once delivery),
+//   * a write carries its reservation's payload, a delivery carries its
+//     write's payload (no fabricated or stolen tokens),
+//   * every record maps ticket t to slot t % capacity in epoch
+//     t / capacity (slot/epoch consistency),
+//   * causality by append index: reserve < write < deliver, claim <
+//     deliver (the history records effects in event-processing order,
+//     so index order is happens-before order — cycles are diagnostic),
+//   * reserve tickets and claim tickets are each contiguous from 0
+//     (tickets come from fetch-add counters starting at 0),
+//   * when the run drained: every written ticket was delivered
+//     (claims beyond the final Rear legally never deliver — that is
+//     RF/AN's claim-ahead behaviour).
+//
+// Together these are linearizability to the FIFO spec: ticket order is
+// the linearization order, and every consumer observes exactly the
+// payload the spec assigns its ticket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/op_history.h"
+
+namespace scq::fuzz {
+
+struct CheckOptions {
+  // Ring capacity for the slot/epoch mapping check (0 skips it — used
+  // for schedulers with non-standard ticket encodings).
+  std::uint64_t capacity = 0;
+  // The run completed cleanly: every written ticket must be delivered.
+  bool expect_drained = true;
+  // Reserve/claim tickets must each form a contiguous range [0, N).
+  // Disable for schedulers whose tickets are not raw counter values.
+  bool require_contiguous_tickets = true;
+};
+
+struct CheckResult {
+  std::vector<std::string> violations;
+  // Counterexample dump: the history window around the first violation.
+  std::string counterexample;
+  std::uint64_t reserved = 0;
+  std::uint64_t written = 0;
+  std::uint64_t claimed = 0;
+  std::uint64_t delivered = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  // Human-readable report: all violations plus the counterexample.
+  [[nodiscard]] std::string report() const;
+};
+
+[[nodiscard]] std::string format_record(std::size_t index,
+                                        const simt::OpRecord& r);
+
+CheckResult check_history(const std::vector<simt::OpRecord>& records,
+                          const CheckOptions& options);
+
+}  // namespace scq::fuzz
