@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -13,10 +14,14 @@
 #include "core/counters.h"
 #include "graph/bfs_ref.h"
 #include "sim/config.h"
+#include "sim/critical_path.h"
+#include "sim/task_trace.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "util/args.h"
 #include "util/csv.h"
+#include "util/json.h"
+#include "util/perf_diff.h"
 #include "util/table.h"
 
 namespace scq::bench {
@@ -72,17 +77,25 @@ inline std::vector<std::uint32_t> workgroup_sweep(std::uint32_t max_wgs) {
   return sweep;
 }
 
-// ---- Observability (--telemetry / --trace) ------------------------------
+// ---- Observability (--telemetry / --trace / --task-trace) ---------------
 //
-// Every harness takes the same three flags:
+// Every harness takes the same flags:
 //   --telemetry out.json     telemetry artifact (plus out.hist.csv and
 //                            out.series.csv siblings for plotting)
 //   --telemetry-period N     cycles between time-series samples
 //   --trace out.json         Chrome/Perfetto trace of the run
+//   --task-trace out.json    per-task lifecycle trace of the last run,
+//                            plus attribution/critical-path console
+//                            reports (and spawn flow arrows in --trace)
+//   --json out.json          machine-readable bench metrics
+//   --baseline base.json     diff metrics against this file; the bench
+//                            exits non-zero when a metric regressed
+//   --diff-tolerance P       allowed relative increase (percent)
 //
 // Telemetry histograms and series accumulate over every run the bench
 // executes (each run restarts its cycle clock at 0, so a sweep's series
-// concatenates per-run segments); the trace holds the last run only.
+// concatenates per-run segments); the trace and the task trace hold the
+// last run only, while attribution tables accumulate per variant label.
 
 inline void add_observability_flags(util::ArgParser& args) {
   args.add_string("telemetry",
@@ -90,6 +103,18 @@ inline void add_observability_flags(util::ArgParser& args) {
                   "");
   args.add_int("telemetry-period", "cycles between telemetry samples", 2048);
   args.add_string("trace", "write Chrome/Perfetto trace JSON here", "");
+  args.add_string("task-trace",
+                  "write per-task lifecycle trace JSON here (enables "
+                  "critical-path and attribution reports)",
+                  "");
+  args.add_string("json", "write machine-readable bench metrics JSON here", "");
+  args.add_string("baseline",
+                  "compare metrics against this baseline JSON "
+                  "(non-zero exit on regression)",
+                  "");
+  args.add_double("diff-tolerance",
+                  "allowed relative metric increase for --baseline (percent)",
+                  0.0);
   args.add_int("sim-seed",
                "schedule seed: permutes same-cycle event order "
                "(0 = legacy deterministic schedule)",
@@ -102,9 +127,15 @@ inline void add_observability_flags(util::ArgParser& args) {
 
 class Observability {
  public:
-  explicit Observability(const util::ArgParser& args)
-      : telemetry_path_(args.get_string("telemetry")),
+  explicit Observability(const util::ArgParser& args,
+                         std::string bench_name = "bench")
+      : bench_name_(std::move(bench_name)),
+        telemetry_path_(args.get_string("telemetry")),
         trace_path_(args.get_string("trace")),
+        task_trace_path_(args.get_string("task-trace")),
+        json_path_(args.get_string("json")),
+        baseline_path_(args.get_string("baseline")),
+        diff_tolerance_(args.get_double("diff-tolerance")),
         sim_seed_(static_cast<std::uint64_t>(
             std::max<std::int64_t>(0, args.get_int("sim-seed")))),
         sim_jitter_(static_cast<simt::Cycle>(
@@ -119,17 +150,49 @@ class Observability {
     telemetry_.set_meta("sim_jitter", std::to_string(sim_jitter_));
     trace_.set_meta("sim_seed", std::to_string(sim_seed_));
     trace_.set_meta("sim_jitter", std::to_string(sim_jitter_));
+    task_trace_.set_meta("sim_seed", std::to_string(sim_seed_));
   }
 
   [[nodiscard]] bool enabled() const {
-    return !telemetry_path_.empty() || !trace_path_.empty();
+    return !telemetry_path_.empty() || !trace_path_.empty() ||
+           task_tracing();
   }
+  [[nodiscard]] bool task_tracing() const { return !task_trace_path_.empty(); }
 
-  // Points a run's option struct at the sinks the user asked for.
+  // Points a run's option struct at the sinks the user asked for. The
+  // constraint keeps this usable with option types that predate task
+  // tracing (the kernel-style CHAI/Rodinia ports).
   template <typename Options>
   void apply(Options& opt) {
     if (!telemetry_path_.empty()) opt.telemetry = &telemetry_;
     if (!trace_path_.empty()) opt.trace = &trace_;
+    if constexpr (requires { opt.task_trace; }) {
+      if (task_tracing()) opt.task_trace = &task_trace_;
+    }
+  }
+
+  // Call after each run that had task tracing applied: folds the run's
+  // per-phase attribution into the `label` column (the run clears the
+  // trace on entry, so the trace holds exactly that run) and keeps the
+  // run's task records for the critical-path/flow reports in finish().
+  void after_run(const std::string& label) {
+    if (!task_tracing()) return;
+    last_records_ = simt::build_task_records(task_trace_.snapshot());
+    const simt::AttributionSummary s = simt::total_attribution(last_records_);
+    for (auto& [name, column] : attribution_columns_) {
+      if (name == label) {
+        column.attr.add(s.attr);
+        column.tasks += s.tasks;
+        return;
+      }
+    }
+    attribution_columns_.emplace_back(label, s);
+  }
+
+  // Accumulates one machine-readable metric for --json / --baseline.
+  // All metrics are treated as higher-is-worse by the regression diff.
+  void record_metric(const std::string& key, double value) {
+    metrics_[key] = value;
   }
 
   // Applies the --sim-seed/--sim-jitter schedule perturbation to a
@@ -144,10 +207,35 @@ class Observability {
 
   [[nodiscard]] std::uint64_t sim_seed() const { return sim_seed_; }
 
-  // Writes the requested artifacts. Returns false (with a message on
-  // stderr) if any write failed, so benches can exit non-zero.
+  // Writes the requested artifacts, prints the task-trace reports, and
+  // runs the --baseline regression diff. Returns false (with a message
+  // on stderr) if any write failed or a metric regressed, so benches
+  // can exit non-zero.
   [[nodiscard]] bool finish() {
     bool ok = true;
+    if (task_tracing()) {
+      // Spawn flows ride in the Chrome trace, so export before the
+      // trace write below.
+      if (!last_records_.empty() && !trace_path_.empty()) {
+        simt::export_flows(last_records_, trace_);
+      }
+      if (!attribution_columns_.empty()) {
+        std::printf("\nPer-phase latency attribution (cycles, %% of summed "
+                    "task latency):\n%s",
+                    simt::attribution_table(attribution_columns_).c_str());
+      }
+      if (!last_records_.empty()) {
+        std::printf("\nCritical path (last run):\n%s",
+                    simt::critical_path_report(
+                        simt::critical_path(last_records_)).c_str());
+      }
+      if (task_trace_.write_json(task_trace_path_)) {
+        std::printf("task trace -> %s\n", task_trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", task_trace_path_.c_str());
+        ok = false;
+      }
+    }
     if (!telemetry_path_.empty()) {
       if (telemetry_.write_json(telemetry_path_)) {
         std::printf("telemetry -> %s\n", telemetry_path_.c_str());
@@ -167,10 +255,65 @@ class Observability {
         ok = false;
       }
     }
+    if (!json_path_.empty()) {
+      if (write_text(json_path_, metrics_json())) {
+        std::printf("metrics -> %s\n", json_path_.c_str());
+      } else {
+        ok = false;
+      }
+    }
+    if (!baseline_path_.empty()) ok &= check_baseline();
     return ok;
   }
 
+  // {"bench":...,"sim_seed":N,"metrics":{...}} — the artifact the
+  // perf_diff guard consumes (util::flatten_metrics reads "metrics").
+  [[nodiscard]] std::string metrics_json() const {
+    std::string out = "{\"bench\":\"" + bench_name_ + "\"";
+    out += ",\"sim_seed\":" + std::to_string(sim_seed_);
+    out += ",\"metrics\":{";
+    bool first = true;
+    char buf[64];
+    for (const auto& [key, value] : metrics_) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out += "\"" + key + "\":" + buf;
+    }
+    out += "}}\n";
+    return out;
+  }
+
  private:
+  // --baseline: diff the bench's own metrics (or, when the bench
+  // recorded none, the telemetry summary) against the checked-in file.
+  [[nodiscard]] bool check_baseline() {
+    const std::optional<util::JsonValue> base_doc =
+        util::parse_json_file(baseline_path_);
+    if (!base_doc) {
+      std::fprintf(stderr, "cannot read or parse baseline %s\n",
+                   baseline_path_.c_str());
+      return false;
+    }
+    std::map<std::string, double> current = metrics_;
+    if (current.empty()) {
+      const std::optional<util::JsonValue> own =
+          util::parse_json(telemetry_.to_json());
+      if (own) current = util::flatten_metrics(*own);
+    }
+    const util::DiffResult diff = util::diff_metrics(
+        util::flatten_metrics(*base_doc), current, diff_tolerance_);
+    std::printf("\nbaseline diff vs %s (tolerance %.2f%%):\n%s",
+                baseline_path_.c_str(), diff_tolerance_,
+                util::render_diff(diff, false).c_str());
+    if (!diff.ok()) {
+      std::fprintf(stderr, "FAIL: performance regressed past baseline %s\n",
+                   baseline_path_.c_str());
+      return false;
+    }
+    return true;
+  }
+
   static std::string strip_json_suffix(const std::string& path) {
     constexpr std::string_view kSuffix = ".json";
     if (path.size() > kSuffix.size() && path.ends_with(kSuffix)) {
@@ -197,10 +340,20 @@ class Observability {
 
   simt::Telemetry telemetry_;
   simt::TraceRecorder trace_;
+  simt::TaskTrace task_trace_;
+  std::string bench_name_;
   std::string telemetry_path_;
   std::string trace_path_;
+  std::string task_trace_path_;
+  std::string json_path_;
+  std::string baseline_path_;
+  double diff_tolerance_ = 0.0;
   std::uint64_t sim_seed_ = 0;
   simt::Cycle sim_jitter_ = 0;
+  std::map<std::string, double> metrics_;
+  std::vector<std::pair<std::string, simt::AttributionSummary>>
+      attribution_columns_;
+  std::vector<simt::TaskRecord> last_records_;
 };
 
 }  // namespace scq::bench

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   args.add_string("csv", "dump raw series to this CSV file", "");
   add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
-  Observability obs(args);
+  Observability obs(args, "fig4_scalability");
 
   const double scale = args.get_double("scale");
   std::vector<DeviceEntry> devices;
@@ -61,6 +61,11 @@ int main(int argc, char** argv) {
           opt.num_workgroups = wgs;
           obs.apply(opt);
           const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, spec.source, opt);
+          obs.after_run(std::string(to_string(variant)));
+          obs.record_metric(dev.config.name + "." + spec.name + "." +
+                                std::string(to_string(variant)) + ".wg" +
+                                std::to_string(wgs) + ".cycles",
+                            static_cast<double>(r.run.cycles));
           if (wgs == 1) base_seconds[vi] = r.run.seconds;
           const double speedup = base_seconds[vi] / r.run.seconds;
           std::printf(" %12.6f %8.2fx", r.run.seconds, speedup);

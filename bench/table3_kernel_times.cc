@@ -16,11 +16,12 @@ int main(int argc, char** argv) {
                        "Table 3/4: queue-variant kernel times");
   args.add_double("scale", "dataset scale factor in (0,1]; 1 = paper size", 0.05);
   args.add_string("device", "Fiji, Spectre, or all", "all");
+  args.add_string("dataset", "one dataset name, or 'all'", "all");
   args.add_string("csv", "also dump raw rows to this CSV file", "");
   args.add_int("budget", "work-cycle sub-task budget", 4);
   add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
-  Observability obs(args);
+  Observability obs(args, "table3_kernel_times");
 
   const double scale = args.get_double("scale");
   std::vector<DeviceEntry> devices;
@@ -28,6 +29,12 @@ int main(int argc, char** argv) {
     devices = paper_devices();
   } else {
     devices = {device_by_name(args.get_string("device"))};
+  }
+  std::vector<bfs::DatasetSpec> datasets;
+  if (args.get_string("dataset") == "all") {
+    datasets = bfs::paper_datasets();
+  } else {
+    datasets = {bfs::dataset_by_name(args.get_string("dataset"))};
   }
 
   const QueueVariant variants[] = {QueueVariant::kBase, QueueVariant::kAn,
@@ -42,7 +49,7 @@ int main(int argc, char** argv) {
               scale);
 
   for (const DeviceEntry& dev : devices) {
-    for (const bfs::DatasetSpec& spec : bfs::paper_datasets()) {
+    for (const bfs::DatasetSpec& spec : datasets) {
       const graph::Graph g = spec.build(scale);
       std::map<QueueVariant, double> seconds;
       for (const QueueVariant variant : variants) {
@@ -53,6 +60,14 @@ int main(int argc, char** argv) {
         obs.apply(opt);
         const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, spec.source, opt);
         seconds[variant] = r.run.seconds;
+        obs.after_run(std::string(to_string(variant)));
+        const std::string key = dev.config.name + "." + spec.name + "." +
+                                std::string(to_string(variant));
+        obs.record_metric(key + ".cycles", static_cast<double>(r.run.cycles));
+        obs.record_metric(key + ".queue_atomics",
+                          static_cast<double>(r.run.stats.user[kQueueAtomics]));
+        obs.record_metric(key + ".cas_failures",
+                          static_cast<double>(r.run.stats.cas_failures));
         csv.add_row({dev.config.name, std::to_string(dev.paper_workgroups),
                      spec.name, std::string(to_string(variant)),
                      util::Table::fmt_double(r.run.seconds, 6),

@@ -7,6 +7,7 @@
 
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
+#include "core/task_probes.h"
 #include "core/telemetry_probes.h"
 
 namespace scq::bfs {
@@ -36,6 +37,9 @@ struct LaneWork {
   std::array<std::uint64_t, kWaveWidth> cursor{};   // next edge index
   std::array<std::uint64_t, kWaveWidth> row_end{};  // one past last edge
   std::array<std::uint64_t, kWaveWidth> cost{};     // this vertex's level
+  // Trace identity of the vertex-task each lane is enumerating
+  // (kNoTask when untraceable).
+  std::array<std::uint64_t, kWaveWidth> ticket = filled_lanes(kNoTask);
 };
 
 Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
@@ -82,10 +86,16 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
           a[lane] = g.cost.at(lw.vertex[lane]);
         });
         co_await w.load_lanes(arrived, a, vcost);
+        const bool tasks_traced = task_sink(w) != nullptr;
         for_lanes(arrived, [&](unsigned lane) {
           lw.cursor[lane] = row_begin[lane];
           lw.row_end[lane] = row_end[lane];
           lw.cost[lane] = vcost[lane];
+          lw.ticket[lane] = st.deliver_ticket[lane];
+          if (tasks_traced) {
+            trace_task(w, simt::TaskPhase::kExecStart, lw.ticket[lane],
+                       lw.vertex[lane]);
+          }
         });
         working |= arrived;
       }
@@ -155,15 +165,21 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
           if (improved) co_await w.store_lanes(improved, ca, newcost);
         }
         for_lanes(improved, [&](unsigned lane) {
-          st.push_token(lane, child[lane]);
+          st.push_token(lane, child[lane], lw.ticket[lane]);
           if (oldcost[lane] != kUnvisited) w.bump(kDupEnqueues);
         });
       }
 
       // Lanes whose enumeration finished become hungry next cycle.
       LaneMask done_lanes = 0;
+      const bool tasks_traced = task_sink(w) != nullptr;
       for_lanes(run, [&](unsigned lane) {
-        if (lw.cursor[lane] >= lw.row_end[lane]) done_lanes |= bit(lane);
+        if (lw.cursor[lane] >= lw.row_end[lane]) {
+          done_lanes |= bit(lane);
+          if (tasks_traced) {
+            trace_task(w, simt::TaskPhase::kExecEnd, lw.ticket[lane]);
+          }
+        }
       });
       finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
       working &= ~done_lanes;
@@ -216,6 +232,11 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
     if (options.history) {
       options.history->clear();
       dev.attach_op_history(options.history);
+    }
+    if (options.task_trace) {
+      options.task_trace->clear();
+      stamp_task_meta(*options.task_trace, *queue);
+      dev.attach_task_trace(options.task_trace);
     }
     if (options.telemetry) {
       options.telemetry->clear_probes();

@@ -54,6 +54,10 @@ struct PtBfsOptions {
   // Optional queue-operation recording for the fuzz checker (cleared per
   // attempt, so it holds exactly the final attempt's history).
   simt::OpHistory* history = nullptr;
+  // Optional per-task lifecycle recording (cleared per attempt): every
+  // traceable token gets reserve/write/claim/arrival/exec events plus a
+  // parent spawn edge, feeding sim/critical_path.h analysis.
+  simt::TaskTrace* task_trace = nullptr;
 };
 
 // Runs one BFS to completion on a fresh device built from `config`.

@@ -6,6 +6,7 @@
 
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
+#include "core/task_probes.h"
 #include "core/telemetry_probes.h"
 #include "graph/sssp_ref.h"
 
@@ -35,6 +36,8 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
   WaveQueueState st{};
   std::array<std::uint64_t, kWaveWidth> tokens{};
   std::array<std::uint64_t, kWaveWidth> vertex{}, cursor{}, row_end{}, vdist{};
+  // Trace identity of each working lane's vertex-task.
+  std::array<std::uint64_t, kWaveWidth> ticket = filled_lanes(kNoTask);
   LaneMask working = 0;
 
   for (;;) {
@@ -70,10 +73,16 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
           a[lane] = g.cost.at(vertex[lane]);
         });
         co_await w.load_lanes(arrived, a, dist_now);
+        const bool tasks_traced = task_sink(w) != nullptr;
         for_lanes(arrived, [&](unsigned lane) {
           cursor[lane] = row_begin[lane];
           row_end[lane] = re[lane];
           vdist[lane] = dist_now[lane];
+          ticket[lane] = st.deliver_ticket[lane];
+          if (tasks_traced) {
+            trace_task(w, simt::TaskPhase::kExecStart, ticket[lane],
+                       vertex[lane]);
+          }
         });
         working |= arrived;
       }
@@ -129,15 +138,21 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
         co_await w.atomic_lanes(simt::AtomicKind::kMin, active, ca, nd, {}, old);
         for_lanes(active, [&](unsigned lane) {
           if (old[lane] > nd[lane]) {
-            st.push_token(lane, child[lane]);
+            st.push_token(lane, child[lane], ticket[lane]);
             if (old[lane] != kUnvisited) w.bump(kDupEnqueues);
           }
         });
       }
 
       LaneMask done_lanes = 0;
+      const bool tasks_traced = task_sink(w) != nullptr;
       for_lanes(run, [&](unsigned lane) {
-        if (cursor[lane] >= row_end[lane]) done_lanes |= bit(lane);
+        if (cursor[lane] >= row_end[lane]) {
+          done_lanes |= bit(lane);
+          if (tasks_traced) {
+            trace_task(w, simt::TaskPhase::kExecEnd, ticket[lane]);
+          }
+        }
       });
       finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
       working &= ~done_lanes;
@@ -183,6 +198,11 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
     if (options.history) {
       options.history->clear();
       dev.attach_op_history(options.history);
+    }
+    if (options.task_trace) {
+      options.task_trace->clear();
+      stamp_task_meta(*options.task_trace, *queue);
+      dev.attach_task_trace(options.task_trace);
     }
     if (options.telemetry) {
       options.telemetry->clear_probes();

@@ -36,6 +36,9 @@ struct PtSsspOptions {
   // Optional queue-operation recording for the fuzz checker (cleared per
   // attempt, so it holds exactly the final attempt's history).
   simt::OpHistory* history = nullptr;
+  // Optional per-task lifecycle recording (cleared per attempt); see
+  // PtBfsOptions::task_trace.
+  simt::TaskTrace* task_trace = nullptr;
 };
 
 struct SsspResult {

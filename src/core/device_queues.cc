@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/counters.h"
+#include "core/task_probes.h"
 
 namespace scq {
 
@@ -93,7 +94,10 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
   LaneMask eager = 0;
   if (st.ready) {
     eager = st.ready;
-    for_lanes(eager, [&](unsigned lane) { tokens[lane] = st.ready_tokens[lane]; });
+    for_lanes(eager, [&](unsigned lane) {
+      tokens[lane] = st.ready_tokens[lane];
+      st.deliver_ticket[lane] = st.ready_tickets[lane];
+    });
     st.ready = 0;
   }
   if (!st.assigned) co_return eager;
@@ -112,11 +116,14 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
   // ring epoch; a full word with another tag is a previous epoch's token
   // this lane must not consume (the ABA the tag exists to prevent).
   LaneMask arrived = 0;
+  const bool traceable = traceable_tickets();
   for_lanes(st.assigned, [&](unsigned lane) {
     if (!slot_is_empty(values[lane]) &&
         slot_epoch_tag(values[lane]) == (st.epoch[lane] & kEpochTagMask)) {
       arrived |= bit(lane);
       tokens[lane] = slot_payload(values[lane]);
+      st.deliver_ticket[lane] =
+          traceable ? ticket_of(st.slot[lane], st.epoch[lane]) : kNoTask;
     }
   });
   const unsigned missed = static_cast<unsigned>(std::popcount(st.assigned & ~arrived));
@@ -126,6 +133,12 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
       hist->record({simt::QueueOp::kDequeueDeliver, w.slot_id(),
                     ticket_of(st.slot[lane], st.epoch[lane]), st.slot[lane],
                     st.epoch[lane], tokens[lane], w.now()});
+    });
+  }
+  if (task_sink(w) != nullptr && traceable) {
+    for_lanes(arrived, [&](unsigned lane) {
+      trace_task(w, simt::TaskPhase::kArrival, st.deliver_ticket[lane],
+                 tokens[lane]);
     });
   }
   if (simt::Telemetry* probes = probe_sink(w); probes && arrived) {
@@ -153,6 +166,7 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
 
 void DeviceQueue::seed(simt::Device& dev, std::span<const std::uint64_t> tokens) {
   seed_device_queue(dev, layout_, tokens);
+  trace_seed_tasks(dev, *this, tokens);
 }
 
 std::uint64_t DeviceQueue::occupancy(const simt::Device& dev) const {
@@ -198,17 +212,22 @@ std::uint64_t DeviceQueue::progress_signature(simt::Device& dev) const {
 // ---- Shared enqueue tail: backpressured ring writes ----
 
 void DeviceQueue::park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
-                       std::uint64_t token) {
+                       std::uint64_t token, std::uint64_t parent) {
   if (st.n_parked >= WaveQueueState::kMaxParked) {
     throw simt::SimError(
         "device queue: parked-token overflow — the driver must gate "
         "production while publishes are backpressured");
   }
-  st.parked[st.n_parked++] = {ticket, token, w.now(), false};
+  st.parked[st.n_parked++] = {ticket, token, w.now(), false, parent};
   if (simt::OpHistory* hist = history_sink(w)) {
     const SlotRef ref = slot_of(ticket);
     hist->record({simt::QueueOp::kEnqueueReserve, w.slot_id(), ticket,
                   ref.index, ref.epoch, token, w.now()});
+  }
+  // The reservation is where a task's trace id is born: stamp it with
+  // the parent edge from the spawning task.
+  if (traceable_tickets()) {
+    trace_task(w, simt::TaskPhase::kReserve, ticket, token, parent);
   }
 }
 
@@ -285,6 +304,12 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
                       st.parked[i].token, w.now()});
       });
     }
+    if (task_sink(w) != nullptr && traceable_tickets()) {
+      for_lanes(writable, [&](unsigned i) {
+        trace_task(w, simt::TaskPhase::kPayloadWrite, st.parked[i].ticket,
+                   st.parked[i].token);
+      });
+    }
     co_await w.store_lanes(writable, addrs, full);
     w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(writable)));
     if (probes) {
@@ -324,6 +349,7 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   const simt::CasResult r = co_await w.atomic_add(layout_.front_addr(), n);
 
   simt::OpHistory* hist = history_sink(w);
+  const bool tasks = task_sink(w) != nullptr;
   unsigned k = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     const std::uint64_t ticket = r.old_value + k++;
@@ -335,6 +361,7 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
       hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), ticket,
                     ref.index, ref.epoch, 0, w.now()});
     }
+    if (tasks) trace_task(w, simt::TaskPhase::kClaim, ticket);
   });
   st.assigned |= st.hungry;
   st.hungry = 0;
@@ -365,7 +392,7 @@ Kernel<void> RfanQueue::publish(Wave& w, WaveQueueState& st) {
     std::uint64_t ticket = r.old_value;
     for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
       for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
-        park(w, st, ticket++, st.new_tokens[lane][t]);
+        park(w, st, ticket++, st.new_tokens[lane][t], st.new_parents[lane][t]);
       }
     }
     st.clear_produce();
@@ -429,6 +456,7 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
     co_return;
   }
   simt::OpHistory* hist = history_sink(w);
+  const bool tasks = task_sink(w) != nullptr;
   std::uint64_t ticket = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;
@@ -443,6 +471,7 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
       hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), t, ref.index,
                     ref.epoch, 0, w.now()});
     }
+    if (tasks) trace_task(w, simt::TaskPhase::kClaim, t);
     served |= bit(lane);
     --left;
   });
@@ -484,7 +513,7 @@ Kernel<void> AnQueue::publish(Wave& w, WaveQueueState& st) {
     std::uint64_t ticket = r.old_value;
     for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
       for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
-        park(w, st, ticket++, st.new_tokens[lane][t]);
+        park(w, st, ticket++, st.new_tokens[lane][t], st.new_parents[lane][t]);
       }
     }
     st.clear_produce();
@@ -565,6 +594,7 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
          static_cast<std::uint64_t>(std::popcount(trying & ~claimed)));
 
   simt::OpHistory* hist = history_sink(w);
+  const bool tasks = task_sink(w) != nullptr;
   for_lanes(claimed, [&](unsigned lane) {
     const SlotRef ref = slot_of(old[lane]);
     st.slot[lane] = ref.index;
@@ -574,6 +604,7 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
       hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), old[lane],
                     ref.index, ref.epoch, 0, w.now()});
     }
+    if (tasks) trace_task(w, simt::TaskPhase::kClaim, old[lane]);
   });
   if (probes && claimed) {
     probes->histogram(tel::kDequeueLatency).add(w.now() - t0);
@@ -634,7 +665,8 @@ Kernel<void> BaseQueue::publish(Wave& w, WaveQueueState& st) {
     w.bump(kQueueCasFailures, failures);
 
     for_lanes(pending, [&](unsigned lane) {
-      park(w, st, old[lane], st.new_tokens[lane][cursor[lane]]);
+      park(w, st, old[lane], st.new_tokens[lane][cursor[lane]],
+           st.new_parents[lane][cursor[lane]]);
       if (++cursor[lane] == st.n_new[lane]) pending &= ~bit(lane);
     });
   }

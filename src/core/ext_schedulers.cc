@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/counters.h"
+#include "core/task_probes.h"
 
 namespace scq {
 
@@ -70,6 +71,7 @@ Kernel<void> LockedStack::acquire_slots(Wave& w, WaveQueueState& st) {
 
     for_lanes(served, [&](unsigned lane) {
       st.ready_tokens[lane] = slot_payload(values[lane]);
+      st.ready_tickets[lane] = kNoTask;  // LIFO pops carry no task identity
     });
     st.ready |= served;
     st.hungry &= ~served;
@@ -263,6 +265,7 @@ Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
   if (claimed == 0) co_return std::uint64_t{0};
 
   simt::OpHistory* hist = history_sink(w);
+  const bool tasks = task_sink(w) != nullptr;
   std::uint64_t local = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;
@@ -277,6 +280,7 @@ Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
       hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), ticket,
                     ref.index, ref.epoch, 0, w.now()});
     }
+    if (tasks) trace_task(w, simt::TaskPhase::kClaim, ticket);
     served |= bit(lane);
     --left;
   });
@@ -323,7 +327,8 @@ Kernel<void> DistributedQueue::publish(Wave& w, WaveQueueState& st) {
     std::uint64_t local = r.old_value;
     for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
       for (std::uint32_t t = 0; t < st.n_new[lane]; ++t) {
-        park(w, st, encode_ticket(own, local++), st.new_tokens[lane][t]);
+        park(w, st, encode_ticket(own, local++), st.new_tokens[lane][t],
+             st.new_parents[lane][t]);
       }
     }
     st.clear_produce();
@@ -370,6 +375,9 @@ void DistributedQueue::seed(simt::Device& dev,
                    slot_full_word(0, tokens[i]));  // sub-queue 0
   }
   dev.write_word(rear_of(0), tokens.size());
+  // Sub-queue 0, local tickets 0..n-1: encode_ticket(0, i) == i, so the
+  // shared seed tracer's plain indices are already correct.
+  trace_seed_tasks(dev, *this, tokens);
 }
 
 // ---------------------------------------------------------------------

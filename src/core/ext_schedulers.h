@@ -34,6 +34,9 @@ class LockedStack final : public DeviceQueue {
   [[nodiscard]] QueueVariant variant() const override {
     return QueueVariant::kStack;
   }
+  // The LIFO reuses indices under the lock instead of handing out
+  // monotone tickets, so there is no per-task identity to trace.
+  [[nodiscard]] bool traceable_tickets() const override { return false; }
   Kernel<void> acquire_slots(Wave& w, WaveQueueState& st) override;
   Kernel<void> publish(Wave& w, WaveQueueState& st) override;
   Kernel<void> report_complete(Wave& w, std::uint32_t count) override;

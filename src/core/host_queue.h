@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "sim/op_history.h"
+#include "sim/task_trace.h"
 
 namespace scq {
 
@@ -116,6 +118,15 @@ class HostBrokerQueue {
   // recycle store, so the history's (mutex-total) append order is
   // consistent with the happens-before order of the protocol.
   void attach_history(simt::OpHistory* history) noexcept { history_ = history; }
+
+  // Optional per-task lifecycle recording (not owned; nullptr disables).
+  // Tickets are sequence numbers; the host has no simulated clock, so
+  // event cycles are steady-clock nanoseconds since this attach — fine
+  // for attribution ratios, not comparable across processes.
+  void attach_task_trace(simt::TaskTrace* trace) noexcept {
+    task_trace_ = trace;
+    task_epoch_ = std::chrono::steady_clock::now();
+  }
 
   // Signals shutdown: blocked enqueue/dequeue calls return false once
   // they can no longer complete. Pending claimed tickets stay valid.
@@ -323,11 +334,33 @@ class HostBrokerQueue {
     }
   }
 
+  static constexpr simt::TaskPhase task_phase_of(simt::QueueOp op) noexcept {
+    switch (op) {
+      case simt::QueueOp::kEnqueueReserve:
+        return simt::TaskPhase::kReserve;
+      case simt::QueueOp::kEnqueueWrite:
+        return simt::TaskPhase::kPayloadWrite;
+      case simt::QueueOp::kDequeueClaim:
+        return simt::TaskPhase::kClaim;
+      case simt::QueueOp::kDequeueDeliver:
+      default:
+        return simt::TaskPhase::kArrival;
+    }
+  }
+
   void record_op(simt::QueueOp op, std::uint64_t seq_no,
                  std::uint64_t payload) const {
-    if (history_ == nullptr) return;
-    history_->record({op, simt::kHostActor, seq_no, seq_no & mask_,
-                      seq_no / capacity(), payload, 0});
+    if (history_ != nullptr) {
+      history_->record({op, simt::kHostActor, seq_no, seq_no & mask_,
+                        seq_no / capacity(), payload, 0});
+    }
+    if (task_trace_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - task_epoch_);
+      task_trace_->record({task_phase_of(op), seq_no, simt::kNoTask, payload,
+                           simt::kHostActor, 0,
+                           static_cast<simt::Cycle>(ns.count())});
+    }
   }
 
   // Called by a close()-interrupted enqueue_batch for its unpublished
@@ -349,6 +382,8 @@ class HostBrokerQueue {
   const std::uint64_t mask_;
   std::vector<Slot> slots_;
   simt::OpHistory* history_ = nullptr;
+  simt::TaskTrace* task_trace_ = nullptr;
+  std::chrono::steady_clock::time_point task_epoch_{};
   alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
   alignas(kCacheLine) std::atomic<bool> closed_{false};

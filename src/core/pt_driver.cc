@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/counters.h"
+#include "core/task_probes.h"
 #include "core/telemetry_probes.h"
 
 namespace scq {
@@ -19,6 +20,8 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
   // produce more children than the parked buffer can absorb.
   LaneMask held = 0;
   std::array<std::uint64_t, kWaveWidth> held_tokens{};
+  // Trace identity of each held token (kNoTask when untraceable).
+  std::array<std::uint64_t, kWaveWidth> held_tickets = filled_lanes(kNoTask);
 
   for (;;) {  // Algorithm 1: while WorkRemains()
     w.bump(kWorkCycles);
@@ -46,6 +49,7 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
       merge &= merge - 1;
       held |= LaneMask{1} << lane;
       held_tokens[lane] = tokens[lane];
+      held_tickets[lane] = st.deliver_ticket[lane];
     }
 
     if (!held && !st.has_parked()) {
@@ -58,29 +62,42 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
     // worst-case output fits may run while tokens are parked.
     st.clear_produce();
     std::uint32_t finished = 0;
+    std::array<std::uint64_t, kWaveWidth> done_tickets{};
     std::uint32_t allowed =
         (WaveQueueState::kMaxParked - st.n_parked) / kMaxWorkBudget;
     LaneMask run = held;
+    const bool tasks_traced = task_sink(w) != nullptr;
     while (run) {
       if (allowed == 0) break;
       const unsigned lane = static_cast<unsigned>(std::countr_zero(run));
       run &= run - 1;
       --allowed;
+      if (tasks_traced) {
+        trace_task(w, simt::TaskPhase::kExecStart, held_tickets[lane],
+                   held_tokens[lane]);
+      }
       std::uint32_t emitted = 0;
       task(held_tokens[lane], [&](std::uint64_t child) {
         if (emitted >= kMaxWorkBudget) {
           throw simt::SimError(
               "run_persistent_tasks: task emitted more than kMaxWorkBudget children");
         }
-        st.push_token(lane, child);
+        st.push_token(lane, child, held_tickets[lane]);
         ++emitted;
       });
       held &= ~(LaneMask{1} << lane);
-      ++finished;
+      done_tickets[finished++] = held_tickets[lane];
     }
     if (finished > 0) {
       w.bump(kTasksProcessed, finished);
       co_await w.compute(options.task_compute);
+      if (tasks_traced) {
+        // Stamped after the compute await, so exec-end lands at the
+        // cycle the batch actually retired.
+        for (std::uint32_t i = 0; i < finished; ++i) {
+          trace_task(w, simt::TaskPhase::kExecEnd, done_tickets[i]);
+        }
+      }
     }
 
     // ScheduleNewlyDiscoveredWorkTokens() — publish retries any parked

@@ -41,6 +41,7 @@ using simt::Addr;
 using simt::Kernel;
 using simt::LaneMask;
 using simt::Wave;
+using simt::kNoTask;
 using simt::kWaveWidth;
 
 // ---- Slot-word encoding (epoch-tagged dna sentinel) ----
@@ -132,6 +133,13 @@ void reset_device_queue(simt::Device& dev, const QueueLayout& q);
 void seed_device_queue(simt::Device& dev, const QueueLayout& q,
                        std::span<const std::uint64_t> tokens);
 
+[[nodiscard]] constexpr std::array<std::uint64_t, kWaveWidth> filled_lanes(
+    std::uint64_t v) {
+  std::array<std::uint64_t, kWaveWidth> a{};
+  for (auto& x : a) x = v;
+  return a;
+}
+
 // Per-wave queue registers, kept in the kernel coroutine frame.
 struct WaveQueueState {
   // Dequeue side.
@@ -148,10 +156,20 @@ struct WaveQueueState {
   // here; check_arrival() drains them first.
   LaneMask ready = 0;
   std::array<std::uint64_t, kWaveWidth> ready_tokens{};
+  std::array<std::uint64_t, kWaveWidth> ready_tickets = filled_lanes(kNoTask);
 
-  // Enqueue side: lane i publishes n_new[i] tokens this cycle.
+  // Causal task tracing: the trace id (enqueue ticket) of the token each
+  // lane most recently received. Drivers read it as the parent id when
+  // the lane's task spawns children, and for exec-start/exec-end events.
+  // kNoTask for untraceable schedulers (the locked stack reuses
+  // indices, so its tokens cannot carry identities).
+  std::array<std::uint64_t, kWaveWidth> deliver_ticket = filled_lanes(kNoTask);
+
+  // Enqueue side: lane i publishes n_new[i] tokens this cycle, each
+  // carrying the trace id of the task that spawned it.
   std::array<std::uint32_t, kWaveWidth> n_new{};
   std::array<std::array<std::uint64_t, kMaxWorkBudget>, kWaveWidth> new_tokens{};
+  std::array<std::array<std::uint64_t, kMaxWorkBudget>, kWaveWidth> new_parents{};
 
   // Enqueue backpressure (the enqueue-side mirror of the dequeue slot
   // monitor): tokens whose Rear ticket is reserved but whose ring slot
@@ -165,6 +183,7 @@ struct WaveQueueState {
     std::uint64_t token = 0;
     simt::Cycle since = 0;     // reservation cycle (publish-stall telemetry)
     bool stalled = false;      // survived at least one failed flush attempt
+    std::uint64_t parent = kNoTask;  // spawning task's trace id
   };
   static constexpr std::uint32_t kMaxParked = kWaveWidth * kMaxWorkBudget;
   std::uint32_t n_parked = 0;
@@ -189,11 +208,16 @@ struct WaveQueueState {
   std::array<std::uint8_t, kWaveWidth> backoff_wait{};
 
   void clear_produce() { n_new.fill(0); }
-  void push_token(unsigned lane, std::uint64_t token) {
+  // `parent` is the trace id of the task whose execution discovered this
+  // token (drivers pass the lane's deliver_ticket); it flows into the
+  // child's kReserve task-trace event as the causal spawn edge.
+  void push_token(unsigned lane, std::uint64_t token,
+                  std::uint64_t parent = kNoTask) {
     if (token > kMaxToken) {
       throw simt::SimError(
           "push_token: token exceeds the 48-bit ring payload (kMaxToken)");
     }
+    new_parents[lane][n_new[lane]] = parent;
     new_tokens[lane][n_new[lane]++] = token;
   }
   [[nodiscard]] std::uint32_t total_new() const {
@@ -276,6 +300,13 @@ class DeviceQueue {
 
   [[nodiscard]] const QueueLayout& layout() const { return layout_; }
 
+  // True when tickets are globally unique for the life of a run and can
+  // therefore serve as task-trace ids (BASE/AN/RF-AN: unbounded
+  // counters; DISTRIB: sub-queue-encoded counters). The locked stack
+  // reuses LIFO indices and overrides to false — it records no task
+  // events.
+  [[nodiscard]] virtual bool traceable_tickets() const { return true; }
+
  protected:
   // Ring placement of a Rear/Front ticket. The default is the single
   // shared ring; DistributedQueue overrides to decode its per-CU
@@ -307,9 +338,11 @@ class DeviceQueue {
   // Appends (ticket, token) to st.parked (throws SimError past
   // kMaxParked — drivers freezing production while parked makes that
   // unreachable) and records the ticket reservation in the attached
-  // operation history.
+  // operation history and task trace. `parent` is the spawning task's
+  // trace id: reservation is where a task's identity is born, so the
+  // causal edge is stamped here.
   void park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
-            std::uint64_t token);
+            std::uint64_t token, std::uint64_t parent = kNoTask);
 
   // Shared enqueue tail: attempt to write every parked entry into its
   // ring slot (oldest ticket first). An entry writes only over the

@@ -1,0 +1,26 @@
+#include "core/task_probes.h"
+
+#include <string>
+
+namespace scq {
+
+void stamp_task_meta(simt::TaskTrace& trace, const DeviceQueue& queue) {
+  trace.set_meta("variant", std::string(to_string(queue.variant())));
+  trace.set_meta("capacity", std::to_string(queue.layout().capacity));
+}
+
+void trace_seed_tasks(simt::Device& dev, const DeviceQueue& queue,
+                      std::span<const std::uint64_t> tokens) {
+  simt::TaskTrace* trace = dev.task_trace();
+  if (trace == nullptr || !queue.traceable_tickets()) return;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    // Seeds are written directly into the ring by the host, so their
+    // reservation and payload write coincide.
+    trace->record({simt::TaskPhase::kReserve, i, simt::kNoTask, tokens[i],
+                   simt::kHostActor, 0, dev.now()});
+    trace->record({simt::TaskPhase::kPayloadWrite, i, simt::kNoTask,
+                   tokens[i], simt::kHostActor, 0, dev.now()});
+  }
+}
+
+}  // namespace scq

@@ -1,0 +1,38 @@
+// Task-lifecycle probes: the glue between the schedulers/drivers and
+// simt::TaskTrace (the causal per-task tracing subsystem).
+//
+// Like the telemetry probes, recording is host-side bookkeeping — it
+// costs no simulated cycles and one branch when detached. Every helper
+// stamps the wave's identity (slot, CU) and the device clock, so the
+// queue code only names the phase and the ticket.
+#pragma once
+
+#include "core/queue.h"
+
+namespace scq {
+
+// The device's attached task trace, or nullptr (recording disabled).
+inline simt::TaskTrace* task_sink(Wave& w) { return w.device().task_trace(); }
+
+// Records one lifecycle event from wave context. No-op when no trace is
+// attached or the ticket is kNoTask (untraceable scheduler).
+inline void trace_task(Wave& w, simt::TaskPhase phase, std::uint64_t ticket,
+                       std::uint64_t payload = 0,
+                       std::uint64_t parent = simt::kNoTask) {
+  if (simt::TaskTrace* trace = task_sink(w)) {
+    trace->record({phase, ticket, parent, payload, w.slot_id(), w.cu_id(),
+                   w.now()});
+  }
+}
+
+// Stamps run-identifying metadata (queue variant, capacity) into an
+// attached task trace; drivers call it once per attach.
+void stamp_task_meta(simt::TaskTrace& trace, const DeviceQueue& queue);
+
+// Host-side seeding: records reserve + payload-write for the seed
+// tokens (tickets 0..n-1 of epoch 0, no parent — they root the spawn
+// forest). No-op for untraceable schedulers.
+void trace_seed_tasks(simt::Device& dev, const DeviceQueue& queue,
+                      std::span<const std::uint64_t> tokens);
+
+}  // namespace scq

@@ -1,0 +1,277 @@
+#include "sim/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace simt {
+
+namespace {
+
+constexpr std::size_t kNone = ~std::size_t{0};
+
+// The milestones a record has, as (cycle, bucket) in canonical
+// lifecycle order. The bucket names the phase *ending* at the milestone.
+using Milestones = std::vector<std::pair<Cycle, PhaseBucket>>;
+
+Milestones milestones_of(const TaskRecord& r) {
+  Milestones m;
+  if (r.reserve != TaskRecord::kUnset) m.emplace_back(r.reserve, PhaseBucket::kReserveWait);
+  if (r.write != TaskRecord::kUnset) m.emplace_back(r.write, PhaseBucket::kPublishWait);
+  if (r.claim != TaskRecord::kUnset) m.emplace_back(r.claim, PhaseBucket::kQueueWait);
+  if (r.arrival != TaskRecord::kUnset) m.emplace_back(r.arrival, PhaseBucket::kDnaSpin);
+  if (r.exec_start != TaskRecord::kUnset) m.emplace_back(r.exec_start, PhaseBucket::kDispatch);
+  if (r.exec_end != TaskRecord::kUnset) m.emplace_back(r.exec_end, PhaseBucket::kExecute);
+  // Stable: same-cycle milestones keep lifecycle order, so attribution
+  // is deterministic and zero-length intervals land in the later phase.
+  std::stable_sort(m.begin(), m.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return m;
+}
+
+}  // namespace
+
+Cycle TaskRecord::birth() const {
+  const Milestones m = milestones_of(*this);
+  return m.empty() ? 0 : m.front().first;
+}
+
+Cycle TaskRecord::death() const {
+  const Milestones m = milestones_of(*this);
+  return m.empty() ? 0 : m.back().first;
+}
+
+std::vector<TaskRecord> build_task_records(const std::vector<TaskEvent>& events) {
+  std::vector<TaskRecord> records;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(events.size());
+  for (const TaskEvent& e : events) {
+    if (e.ticket == kNoTask) continue;
+    const auto [it, inserted] = index.emplace(e.ticket, records.size());
+    if (inserted) {
+      records.emplace_back();
+      records.back().ticket = e.ticket;
+    }
+    TaskRecord& r = records[it->second];
+    if (r.payload == 0 && e.payload != 0) r.payload = e.payload;
+    switch (e.phase) {
+      case TaskPhase::kReserve:
+        if (r.reserve == TaskRecord::kUnset) {
+          r.reserve = e.cycle;
+          r.parent = e.parent;
+          r.reserve_actor = e.actor;
+          r.reserve_cu = e.cu;
+        }
+        break;
+      case TaskPhase::kPayloadWrite:
+        if (r.write == TaskRecord::kUnset) r.write = e.cycle;
+        break;
+      case TaskPhase::kClaim:
+        if (r.claim == TaskRecord::kUnset) r.claim = e.cycle;
+        break;
+      case TaskPhase::kArrival:
+        if (r.arrival == TaskRecord::kUnset) r.arrival = e.cycle;
+        break;
+      case TaskPhase::kExecStart:
+        if (r.exec_start == TaskRecord::kUnset) {
+          r.exec_start = e.cycle;
+          r.exec_actor = e.actor;
+          r.exec_cu = e.cu;
+        }
+        break;
+      case TaskPhase::kExecEnd:
+        if (r.exec_end == TaskRecord::kUnset) r.exec_end = e.cycle;
+        break;
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.ticket < b.ticket;
+            });
+  return records;
+}
+
+Attribution attribute(const TaskRecord& r) {
+  Attribution a;
+  const Milestones m = milestones_of(r);
+  for (std::size_t i = 1; i < m.size(); ++i) {
+    // Telescoping by construction: these intervals partition
+    // [first, last], so the buckets sum to the task's total latency.
+    a[m[i].second] += m[i].first - m[i - 1].first;
+  }
+  return a;
+}
+
+CriticalPath critical_path(const std::vector<TaskRecord>& records) {
+  const std::size_t n = records.size();
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(records[i].ticket, i);
+
+  std::vector<std::size_t> parent_of(n, kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (records[i].parent == kNoTask) continue;
+    const auto it = index.find(records[i].parent);
+    // A parent missing from the record set (dropped events) roots the
+    // chain here instead of failing.
+    if (it != index.end() && it->second != i) parent_of[i] = it->second;
+  }
+
+  // depth[i] = latency(i) + depth(parent): resolve each parent chain
+  // iteratively (chains can be graph-diameter long). The spawn relation
+  // is a forest by construction; the n-step cap makes a corrupt trace
+  // with a parent cycle terminate instead of spinning.
+  constexpr Cycle kUnresolved = ~Cycle{0};
+  std::vector<Cycle> depth(n, kUnresolved);
+  std::vector<std::size_t> chain;
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.clear();
+    std::size_t cur = i;
+    while (cur != kNone && depth[cur] == kUnresolved && chain.size() <= n) {
+      chain.push_back(cur);
+      cur = parent_of[cur];
+    }
+    Cycle base = (cur == kNone || depth[cur] == kUnresolved) ? 0 : depth[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      base += records[*it].latency();
+      depth[*it] = base;
+    }
+  }
+
+  CriticalPath best;
+  std::size_t best_leaf = kNone;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Records iterate in ticket order, so the strict > keeps the
+    // smallest-ticket leaf on ties — deterministic output.
+    if (best_leaf == kNone || depth[i] > best.weight) {
+      best.weight = depth[i];
+      best_leaf = i;
+    }
+  }
+  if (best_leaf == kNone) return best;
+
+  std::vector<std::size_t> members;
+  for (std::size_t cur = best_leaf;
+       cur != kNone && members.size() <= n; cur = parent_of[cur]) {
+    members.push_back(cur);
+  }
+  std::reverse(members.begin(), members.end());
+  for (const std::size_t i : members) {
+    best.tickets.push_back(records[i].ticket);
+    best.attribution.add(attribute(records[i]));
+  }
+  return best;
+}
+
+AttributionSummary total_attribution(const std::vector<TaskRecord>& records) {
+  AttributionSummary s;
+  for (const TaskRecord& r : records) {
+    s.attr.add(attribute(r));
+    ++s.tasks;
+  }
+  return s;
+}
+
+std::string attribution_table(
+    const std::vector<std::pair<std::string, AttributionSummary>>& columns) {
+  std::string out;
+  char buf[128];
+  out += "  phase         ";
+  for (const auto& [label, summary] : columns) {
+    std::snprintf(buf, sizeof(buf), " %20s", label.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (unsigned b = 0; b < kNumPhaseBuckets; ++b) {
+    std::snprintf(buf, sizeof(buf), "  %-14s",
+                  to_string(static_cast<PhaseBucket>(b)));
+    out += buf;
+    for (const auto& [label, summary] : columns) {
+      const Cycle total = summary.attr.total();
+      const double pct =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(summary.attr.cycles[b]) /
+                           static_cast<double>(total);
+      std::snprintf(buf, sizeof(buf), " %13llu (%5.1f%%)",
+                    static_cast<unsigned long long>(summary.attr.cycles[b]),
+                    pct);
+      out += buf;
+    }
+    out += '\n';
+  }
+  out += "  total         ";
+  for (const auto& [label, summary] : columns) {
+    std::snprintf(buf, sizeof(buf), " %13llu /%6llu tasks",
+                  static_cast<unsigned long long>(summary.attr.total()),
+                  static_cast<unsigned long long>(summary.tasks));
+    out += buf;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string critical_path_report(const CriticalPath& path) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  critical path: %llu tasks, %llu cycles of summed task "
+                "latency\n",
+                static_cast<unsigned long long>(path.tickets.size()),
+                static_cast<unsigned long long>(path.weight));
+  out += buf;
+  out += "  tickets: ";
+  constexpr std::size_t kShow = 6;
+  for (std::size_t i = 0; i < path.tickets.size(); ++i) {
+    if (path.tickets.size() > 2 * kShow && i == kShow) {
+      std::snprintf(buf, sizeof(buf), "... (%llu more) ",
+                    static_cast<unsigned long long>(path.tickets.size() -
+                                                    2 * kShow));
+      out += buf;
+      i = path.tickets.size() - kShow - 1;
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%llu ",
+                  static_cast<unsigned long long>(path.tickets[i]));
+    out += buf;
+  }
+  out += '\n';
+  const Cycle total = path.attribution.total();
+  out += "  path attribution: ";
+  for (unsigned b = 0; b < kNumPhaseBuckets; ++b) {
+    const double pct =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(path.attribution.cycles[b]) /
+                         static_cast<double>(total);
+    std::snprintf(buf, sizeof(buf), "%s%s %.1f%%", b == 0 ? "" : ", ",
+                  to_string(static_cast<PhaseBucket>(b)), pct);
+    out += buf;
+  }
+  out += '\n';
+  return out;
+}
+
+void export_flows(const std::vector<TaskRecord>& records, TraceRecorder& trace) {
+  std::unordered_map<std::uint64_t, const TaskRecord*> index;
+  index.reserve(records.size());
+  for (const TaskRecord& r : records) index.emplace(r.ticket, &r);
+
+  for (const TaskRecord& r : records) {
+    if (r.executed()) {
+      trace.record_async({r.exec_start, r.exec_end, r.ticket, r.parent,
+                          r.payload, r.exec_cu, r.exec_actor});
+    }
+    // Spawn arrow: the reservation happened on the spawning (parent)
+    // wave's track — precisely where the parent was executing when it
+    // discovered this child.
+    if (r.parent != kNoTask && r.reserve != TaskRecord::kUnset &&
+        r.exec_start != TaskRecord::kUnset && index.count(r.parent) != 0) {
+      trace.record_flow({r.reserve, r.ticket, true, r.reserve_cu,
+                         r.reserve_actor});
+      trace.record_flow({r.exec_start, r.ticket, false, r.exec_cu,
+                         r.exec_actor});
+    }
+  }
+}
+
+}  // namespace simt

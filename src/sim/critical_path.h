@@ -1,0 +1,159 @@
+// Offline analysis of a TaskTrace causality DAG: per-task lifecycle
+// records, per-phase latency attribution, longest (critical) path, and
+// Perfetto async-flow export.
+//
+// Attribution model. A task's lifecycle milestones (reserve, payload-
+// write, claim, arrival, exec-start, exec-end) are sorted by cycle —
+// stably, so the canonical lifecycle order breaks ties — and each
+// interval between consecutive milestones is attributed to the phase
+// *ending* at the later milestone:
+//
+//   ... -> reserve        reserve-wait   (birth to ticket reservation)
+//   reserve -> write      publish-wait   (enqueue backpressure: parked
+//                                         until the ring slot recycled)
+//   write -> claim        queue-wait     (sitting in the ring until a
+//                                         consumer claimed the ticket)
+//   claim -> arrival      dna-spin       (consumer monitoring the slot
+//                                         sentinel for data arrival)
+//   arrival -> exec-start dispatch       (driver held the token, e.g.
+//                                         production throttling)
+//   exec-start -> end     execute        (application work)
+//
+// Sorting first makes the attribution total *telescoping*: the buckets
+// provably sum to (last milestone - first milestone) == the task's
+// total latency, for every task, even where the retry-free queue's
+// protocol inverts phases (an RF/AN claim can precede the reservation
+// of the ticket it monitors — Front passes Rear, §4.3).
+//
+// Critical path. Parent->child spawn edges give every task at most one
+// parent, so the causality DAG is a forest; the heaviest root-to-leaf
+// chain (weight = sum of member task latencies) falls out of a linear
+// walk. Ties break toward the smallest leaf ticket, records iterate in
+// ticket order — the result is bit-exact reproducible for a bit-exact
+// schedule (seed 0).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/task_trace.h"
+#include "sim/trace.h"
+
+namespace simt {
+
+struct TaskRecord {
+  static constexpr Cycle kUnset = ~Cycle{0};
+
+  std::uint64_t ticket = kNoTask;
+  std::uint64_t parent = kNoTask;
+  std::uint64_t payload = 0;
+  Cycle reserve = kUnset;
+  Cycle write = kUnset;
+  Cycle claim = kUnset;
+  Cycle arrival = kUnset;
+  Cycle exec_start = kUnset;
+  Cycle exec_end = kUnset;
+  std::uint32_t reserve_actor = 0;  // spawning wave slot (or kHostActor)
+  std::uint32_t reserve_cu = 0;
+  std::uint32_t exec_actor = 0;     // executing wave slot
+  std::uint32_t exec_cu = 0;
+
+  [[nodiscard]] bool executed() const {
+    return exec_start != kUnset && exec_end != kUnset;
+  }
+  // Earliest / latest recorded milestone (0 when none recorded).
+  [[nodiscard]] Cycle birth() const;
+  [[nodiscard]] Cycle death() const;
+  [[nodiscard]] Cycle latency() const { return death() - birth(); }
+};
+
+enum class PhaseBucket : std::uint8_t {
+  kReserveWait,
+  kPublishWait,
+  kQueueWait,
+  kDnaSpin,
+  kDispatch,
+  kExecute,
+};
+inline constexpr unsigned kNumPhaseBuckets = 6;
+
+[[nodiscard]] constexpr const char* to_string(PhaseBucket b) {
+  switch (b) {
+    case PhaseBucket::kReserveWait: return "reserve-wait";
+    case PhaseBucket::kPublishWait: return "publish-wait";
+    case PhaseBucket::kQueueWait: return "queue-wait";
+    case PhaseBucket::kDnaSpin: return "dna-spin";
+    case PhaseBucket::kDispatch: return "dispatch";
+    case PhaseBucket::kExecute: return "execute";
+  }
+  return "?";
+}
+
+struct Attribution {
+  std::array<Cycle, kNumPhaseBuckets> cycles{};
+
+  [[nodiscard]] Cycle& operator[](PhaseBucket b) {
+    return cycles[static_cast<unsigned>(b)];
+  }
+  [[nodiscard]] Cycle operator[](PhaseBucket b) const {
+    return cycles[static_cast<unsigned>(b)];
+  }
+  [[nodiscard]] Cycle total() const {
+    Cycle t = 0;
+    for (Cycle c : cycles) t += c;
+    return t;
+  }
+  void add(const Attribution& rhs) {
+    for (unsigned i = 0; i < kNumPhaseBuckets; ++i) cycles[i] += rhs.cycles[i];
+  }
+};
+
+// Folds a task trace into one record per ticket, sorted by ticket. The
+// first occurrence of each phase wins (phases are unique per ticket by
+// protocol; a corrupt trace degrades gracefully).
+[[nodiscard]] std::vector<TaskRecord> build_task_records(
+    const std::vector<TaskEvent>& events);
+
+// Per-phase latency attribution for one task; buckets sum to latency().
+[[nodiscard]] Attribution attribute(const TaskRecord& r);
+
+struct CriticalPath {
+  std::vector<std::uint64_t> tickets;  // root -> leaf
+  Cycle weight = 0;                    // sum of member latencies
+  Attribution attribution;             // summed over members
+};
+
+// Heaviest root-to-leaf chain of the spawn forest. Deterministic:
+// equal-weight ties resolve to the smallest leaf ticket.
+[[nodiscard]] CriticalPath critical_path(const std::vector<TaskRecord>& records);
+
+// Attribution summed over a record set (plus the task count, for
+// variant breakdown tables).
+struct AttributionSummary {
+  Attribution attr;
+  std::uint64_t tasks = 0;
+};
+[[nodiscard]] AttributionSummary total_attribution(
+    const std::vector<TaskRecord>& records);
+
+// Printable breakdown: one column per (label, summary) pair — benches
+// pass one column per queue variant — one row per phase bucket, each
+// cell "cycles (share%)".
+[[nodiscard]] std::string attribution_table(
+    const std::vector<std::pair<std::string, AttributionSummary>>& columns);
+
+// Printable critical-path summary (length, weight, ticket chain, the
+// path's own phase attribution).
+[[nodiscard]] std::string critical_path_report(const CriticalPath& path);
+
+// Exports executed tasks as Perfetto async spans ("b"/"e", id = ticket,
+// track = executing wave) and each spawn edge as a flow arrow: "s" on
+// the spawning wave's track at the child's ticket reservation, "f"
+// (bp:"e") on the child's executor track at its exec start — a frontier
+// cascade becomes visually traceable in the existing Chrome-JSON trace.
+void export_flows(const std::vector<TaskRecord>& records,
+                  TraceRecorder& trace);
+
+}  // namespace simt

@@ -15,6 +15,7 @@
 #include "sim/op_history.h"
 #include "sim/sched_policy.h"
 #include "sim/stats.h"
+#include "sim/task_trace.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
 #include "sim/wave.h"
@@ -83,6 +84,10 @@ class Device {
   // Queue implementations feed it; the fuzz checker consumes it.
   void attach_op_history(OpHistory* history) { op_history_ = history; }
   [[nodiscard]] OpHistory* op_history() { return op_history_; }
+  // Optional per-task causal tracing (not owned; nullptr disables).
+  // Queues and drivers feed it; sim/critical_path.h consumes it.
+  void attach_task_trace(TaskTrace* trace) { task_trace_ = trace; }
+  [[nodiscard]] TaskTrace* task_trace() { return task_trace_; }
   // Seeded schedule perturbation (identity when sched_seed == 0).
   [[nodiscard]] SchedulePolicy& sched() { return sched_; }
   void request_abort(std::string reason);
@@ -112,6 +117,7 @@ class Device {
   TraceRecorder* tracer_ = nullptr;
   Telemetry* telemetry_ = nullptr;
   OpHistory* op_history_ = nullptr;
+  TaskTrace* task_trace_ = nullptr;
   SchedulePolicy sched_;
 
   std::vector<ComputeUnit> cus_;

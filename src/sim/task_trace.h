@@ -1,0 +1,143 @@
+// Per-task causal lifecycle tracing: the fourth observability sibling
+// (tracer, telemetry, op-history, task trace).
+//
+// Every task token gets a trace id the moment its enqueue ticket is
+// reserved — for the BASE/AN/RF-AN rings and the distributed queue the
+// ticket itself is that id: tickets are unbounded counters, so they are
+// globally unique for the life of a run (the locked stack reuses LIFO
+// indices and is therefore not traceable; it records nothing). The
+// queues, drivers, and the host broker queue append timestamped
+// lifecycle events:
+//
+//   kReserve       enqueue ticket reserved (carries the parent edge:
+//                  the task whose execution spawned this token)
+//   kPayloadWrite  payload written into the ring slot
+//   kClaim         dequeue ticket claimed (a consumer lane now monitors
+//                  this task's slot)
+//   kArrival       payload observed by the consumer (dna sentinel
+//                  cleared)
+//   kExecStart     the driver began executing the task
+//   kExecEnd       execution finished (children were spawned between
+//                  start and end, each recording its own kReserve with
+//                  this task as parent)
+//
+// The events of one run form a causality DAG: per-task lifecycle chains
+// plus parent->child spawn edges. sim/critical_path.h consumes it for
+// longest-path analysis, per-phase latency attribution, and Perfetto
+// flow export; it is also the substrate for the seed-0 bit-exactness
+// guarantee (the recorder's JSON is deterministic byte-for-byte).
+//
+// Recording is opt-in (Device::attach_task_trace) and bounded: events
+// past `capacity` are counted as drops, surfaced in the JSON and as a
+// one-line stderr warning at export — never silently truncated.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace simt {
+
+// Sentinel for "no task": root tasks have no parent, and schedulers
+// without stable tickets (the locked stack) deliver it as the ticket.
+inline constexpr std::uint64_t kNoTask = ~std::uint64_t{0};
+
+enum class TaskPhase : std::uint8_t {
+  kReserve,
+  kPayloadWrite,
+  kClaim,
+  kArrival,
+  kExecStart,
+  kExecEnd,
+};
+inline constexpr unsigned kNumTaskPhases = 6;
+
+[[nodiscard]] constexpr const char* to_string(TaskPhase p) {
+  switch (p) {
+    case TaskPhase::kReserve: return "reserve";
+    case TaskPhase::kPayloadWrite: return "payload-write";
+    case TaskPhase::kClaim: return "claim";
+    case TaskPhase::kArrival: return "arrival";
+    case TaskPhase::kExecStart: return "exec-start";
+    case TaskPhase::kExecEnd: return "exec-end";
+  }
+  return "?";
+}
+
+struct TaskEvent {
+  TaskPhase phase = TaskPhase::kReserve;
+  std::uint64_t ticket = kNoTask;  // trace id (enqueue ticket)
+  std::uint64_t parent = kNoTask;  // spawning task (kReserve events only)
+  std::uint64_t payload = 0;       // token value (0 where unknown)
+  std::uint32_t actor = 0;         // wave slot id, or kHostActor
+  std::uint32_t cu = 0;            // compute unit (0 for host actors)
+  Cycle cycle = 0;                 // device clock (host: ns since attach)
+};
+
+class TaskTrace {
+ public:
+  explicit TaskTrace(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  // Appends one lifecycle event. Events with ticket == kNoTask are
+  // ignored (untraceable scheduler), events past capacity are counted
+  // as drops. Mutex-protected: the simulator is single-threaded but the
+  // host broker queue records from real threads.
+  void record(const TaskEvent& e) {
+    if (e.ticket == kNoTask) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(e);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::vector<TaskEvent> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // Run metadata (queue variant, seed, ...), exported in the JSON.
+  // Survives clear(): it describes the configuration, not the data.
+  void set_meta(std::string key, std::string value);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& meta()
+      const {
+    return meta_;
+  }
+
+  // Deterministic JSON export: {"meta":{...},"dropped":N,"events":[...]}
+  // with events in append order. Two bit-exact schedules produce two
+  // byte-identical documents.
+  [[nodiscard]] std::string to_json() const;
+  // Writes to_json() to `path`; false on any write failure. Prints a
+  // one-line stderr warning when events were dropped (the drop count is
+  // in the document either way).
+  bool write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TaskEvent> events_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace simt

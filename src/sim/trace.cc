@@ -68,6 +68,45 @@ std::string TraceRecorder::to_chrome_json() const {
     out += json_escape(c.name);
     out += buf;
   }
+  // Task lifetimes as nestable async spans on their executor's track;
+  // the matching flow arrows bind each parent span to its children.
+  for (const Async& a : asyncs_) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"task\",\"cat\":\"task\",\"ph\":\"b\","
+                  "\"id\":\"0x%llx\",\"ts\":%llu,\"pid\":%u,\"tid\":%u,"
+                  "\"args\":{\"ticket\":%llu,\"parent\":%lld,\"payload\":%llu}}",
+                  static_cast<unsigned long long>(a.id),
+                  static_cast<unsigned long long>(a.begin), a.pid, a.tid,
+                  static_cast<unsigned long long>(a.id),
+                  a.parent == ~std::uint64_t{0}
+                      ? -1ll
+                      : static_cast<long long>(a.parent),
+                  static_cast<unsigned long long>(a.payload));
+    out += buf;
+    out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"task\",\"cat\":\"task\",\"ph\":\"e\","
+                  "\"id\":\"0x%llx\",\"ts\":%llu,\"pid\":%u,\"tid\":%u}",
+                  static_cast<unsigned long long>(a.id),
+                  static_cast<unsigned long long>(a.end), a.pid, a.tid);
+    out += buf;
+  }
+  for (const Flow& fl : flows_) {
+    if (!first) out += ',';
+    first = false;
+    // The consuming end carries bp:"e" so the arrow binds to the
+    // enclosing slice/span rather than the next one.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"spawn\",\"cat\":\"task_flow\",\"ph\":\"%s\","
+                  "\"id\":\"0x%llx\",\"ts\":%llu,\"pid\":%u,\"tid\":%u%s}",
+                  fl.start ? "s" : "f",
+                  static_cast<unsigned long long>(fl.id),
+                  static_cast<unsigned long long>(fl.cycle), fl.pid, fl.tid,
+                  fl.start ? "" : ",\"bp\":\"e\"");
+    out += buf;
+  }
   // Run-metadata record (schedule seed etc.): a capture identifies the
   // configuration that produced it.
   if (!meta_.empty()) {
@@ -78,7 +117,11 @@ std::string TraceRecorder::to_chrome_json() const {
     for (const auto& [key, value] : meta_) {
       if (!first_kv) out += ',';
       first_kv = false;
-      out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+      out += '"';
+      out += json_escape(key);
+      out += "\":\"";
+      out += json_escape(value);
+      out += '"';
     }
     out += "}}";
   }
@@ -87,15 +130,25 @@ std::string TraceRecorder::to_chrome_json() const {
   if (!first) out += ',';
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"dropped\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-                "\"args\":{\"slices\":%llu,\"counters\":%llu}}",
+                "\"args\":{\"slices\":%llu,\"counters\":%llu,\"flows\":%llu}}",
                 static_cast<unsigned long long>(dropped_),
-                static_cast<unsigned long long>(dropped_counters_));
+                static_cast<unsigned long long>(dropped_counters_),
+                static_cast<unsigned long long>(dropped_flows_));
   out += buf;
   out += "]}";
   return out;
 }
 
 bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  if (total_dropped() > 0) {
+    std::fprintf(stderr,
+                 "trace: %llu event(s) dropped past capacity (slices %llu, "
+                 "counters %llu, flows %llu) — the export is truncated\n",
+                 static_cast<unsigned long long>(total_dropped()),
+                 static_cast<unsigned long long>(dropped_),
+                 static_cast<unsigned long long>(dropped_counters_),
+                 static_cast<unsigned long long>(dropped_flows_));
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   const std::string body = to_chrome_json();

@@ -62,6 +62,30 @@ class TraceRecorder {
     double value;
   };
 
+  // A nestable async span ("ph":"b"/"e"): one per task lifetime on its
+  // executor's track, identified by the task's trace id (ticket). The
+  // critical-path analyzer emits these from the task trace.
+  struct Async {
+    Cycle begin = 0;
+    Cycle end = 0;
+    std::uint64_t id = 0;       // trace id (ticket)
+    std::uint64_t parent = 0;   // spawning task's id (~0 = root)
+    std::uint64_t payload = 0;  // token value
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+  };
+
+  // A producer->consumer flow arrow ("ph":"s" at the spawn site,
+  // "ph":"f" with bp:"e" at the child's exec start), binding a parent
+  // task's span to each child it spawned.
+  struct Flow {
+    Cycle cycle = 0;
+    std::uint64_t id = 0;  // child's trace id (unique per arrow)
+    bool start = false;    // true = "s" (spawn), false = "f" (consume)
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+  };
+
   void record(const Event& e) {
     if (events_.size() < capacity_) {
       events_.push_back(e);
@@ -78,15 +102,41 @@ class TraceRecorder {
     }
   }
 
+  void record_async(const Async& a) {
+    if (asyncs_.size() < capacity_) {
+      asyncs_.push_back(a);
+    } else {
+      ++dropped_flows_;
+    }
+  }
+
+  void record_flow(const Flow& f) {
+    if (flows_.size() < capacity_) {
+      flows_.push_back(f);
+    } else {
+      ++dropped_flows_;
+    }
+  }
+
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] const std::vector<Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::vector<Async>& asyncs() const { return asyncs_; }
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t dropped_counters() const { return dropped_counters_; }
+  [[nodiscard]] std::uint64_t dropped_flows() const { return dropped_flows_; }
+  // Events lost across every record kind; the export warning keys on it.
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    return dropped_ + dropped_counters_ + dropped_flows_;
+  }
   void clear() {
     events_.clear();
     counters_.clear();
+    asyncs_.clear();
+    flows_.clear();
     dropped_ = 0;
     dropped_counters_ = 0;
+    dropped_flows_ = 0;
   }
 
   // Free-form run metadata (schedule seed, jitter bounds), exported as a
@@ -101,21 +151,26 @@ class TraceRecorder {
   }
 
   // Chrome trace-event JSON: "traceEvents" holds the X-phase slices,
-  // the C-phase counter samples, and a final "dropped" metadata record
-  // carrying the drop counts (all zero for a complete trace).
+  // the C-phase counter samples, the b/e async task spans with their
+  // s/f flow arrows, and a final "dropped" metadata record carrying the
+  // drop counts (all zero for a complete trace).
   // Timestamps are simulated cycles reported as microseconds.
   [[nodiscard]] std::string to_chrome_json() const;
   // Writes the JSON to `path`. Returns false on open failure, short
   // write, or close failure — a truncated trace is never reported ok.
+  // Prints a one-line stderr warning when any events were dropped.
   bool write_chrome_json(const std::string& path) const;
 
  private:
   std::size_t capacity_;
   std::vector<Event> events_;
   std::vector<Counter> counters_;
+  std::vector<Async> asyncs_;
+  std::vector<Flow> flows_;
   std::vector<std::pair<std::string, std::string>> meta_;
   std::uint64_t dropped_ = 0;
   std::uint64_t dropped_counters_ = 0;
+  std::uint64_t dropped_flows_ = 0;
 };
 
 }  // namespace simt

@@ -1,0 +1,41 @@
+// Minimal JSON parser shared by tests and tools.
+//
+// Just enough to round-trip this repo's own exporters (telemetry JSON,
+// Chrome trace JSON, bench BENCH_*.json): objects, arrays, strings with
+// basic escapes, numbers, booleans, null. Returns nullopt on any error.
+// Originally test-only inside telemetry_test.cc; promoted so the
+// perf-regression guard (util/perf_diff.h, bench/perf_diff.cc) can read
+// artifacts without a third-party dependency.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scq::util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return object.count(key) != 0;
+  }
+  // Missing keys read as a null value, keeping lookup chains total.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+};
+
+// Parses a complete JSON document (trailing garbage is an error).
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+// Reads and parses a JSON file; nullopt on open/read/parse failure.
+[[nodiscard]] std::optional<JsonValue> parse_json_file(const std::string& path);
+
+}  // namespace scq::util

@@ -1,0 +1,112 @@
+#include "util/perf_diff.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scq::util {
+
+namespace {
+
+void flatten_leaves(const JsonValue& v, const std::string& prefix,
+                    std::map<std::string, double>& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNumber:
+      out[prefix] = v.number;
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, child] : v.object) {
+        flatten_leaves(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    default:
+      break;  // strings/bools/nulls/arrays are not metrics
+  }
+}
+
+constexpr const char* kHistogramSummaryKeys[] = {
+    "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+};
+
+}  // namespace
+
+std::map<std::string, double> flatten_metrics(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (doc.kind != JsonValue::Kind::kObject) return out;
+
+  if (doc.has("metrics")) {
+    for (const auto& [key, v] : doc.at("metrics").object) {
+      if (v.kind == JsonValue::Kind::kNumber) out[key] = v.number;
+    }
+    return out;
+  }
+
+  if (doc.has("histograms")) {
+    for (const auto& [name, h] : doc.at("histograms").object) {
+      for (const char* key : kHistogramSummaryKeys) {
+        if (h.has(key) && h.at(key).kind == JsonValue::Kind::kNumber) {
+          out[name + "." + key] = h.at(key).number;
+        }
+      }
+    }
+    if (doc.has("dropped_samples") &&
+        doc.at("dropped_samples").kind == JsonValue::Kind::kNumber) {
+      out["dropped_samples"] = doc.at("dropped_samples").number;
+    }
+    return out;
+  }
+
+  flatten_leaves(doc, "", out);
+  return out;
+}
+
+DiffResult diff_metrics(const std::map<std::string, double>& baseline,
+                        const std::map<std::string, double>& current,
+                        double tolerance_pct) {
+  DiffResult result;
+  for (const auto& [key, base] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      result.missing.push_back(key);
+      continue;
+    }
+    MetricDelta d;
+    d.key = key;
+    d.baseline = base;
+    d.current = it->second;
+    const double denom = std::max(base, 1.0);
+    d.delta_pct = base == 0.0 && d.current == 0.0
+                      ? 0.0
+                      : 100.0 * (d.current - base) / denom;
+    d.regressed = d.current > base + denom * tolerance_pct / 100.0;
+    result.deltas.push_back(std::move(d));
+  }
+  return result;
+}
+
+std::string render_diff(const DiffResult& diff, bool all) {
+  std::string out;
+  char buf[256];
+  std::size_t regressed = 0;
+  for (const MetricDelta& d : diff.deltas) regressed += d.regressed;
+
+  for (const std::string& key : diff.missing) {
+    std::snprintf(buf, sizeof(buf),
+                  "  MISSING    %-40s (in baseline, absent from current)\n",
+                  key.c_str());
+    out += buf;
+  }
+  for (const MetricDelta& d : diff.deltas) {
+    if (!d.regressed && !all) continue;
+    std::snprintf(buf, sizeof(buf), "  %-10s %-40s %14g -> %14g (%+.2f%%)\n",
+                  d.regressed ? "REGRESSED" : "ok", d.key.c_str(), d.baseline,
+                  d.current, d.delta_pct);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  %zu metric(s) compared, %zu regressed, %zu missing\n",
+                diff.deltas.size(), regressed, diff.missing.size());
+  out += buf;
+  return out;
+}
+
+}  // namespace scq::util

@@ -1,0 +1,66 @@
+// Perf-regression guard: compares two performance artifacts (telemetry
+// JSON exports or bench BENCH_*.json files) metric-by-metric against a
+// tolerance.
+//
+// The simulator is integer-deterministic, so a same-seed rerun
+// reproduces every metric bit-exactly and baselines can be checked into
+// the repo and compared across machines. The diff treats every metric
+// as higher-is-worse (they are cycle counts, retry counts, and latency
+// percentiles); a metric present in the baseline but missing from the
+// current run is itself a regression — a silently vanished measurement
+// must not pass the guard.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace scq::util {
+
+// Extracts the comparable metrics of a performance artifact as a flat
+// name → value map:
+//   - bench JSON ({"bench":..., "metrics":{...}}): each metrics entry;
+//   - telemetry JSON ({"histograms":{...}, ...}): per histogram the
+//     count/sum/min/max/mean/p50/p90/p99 summary, dot-joined
+//     ("enq_latency.p99"), plus the top-level dropped_samples;
+//   - anything else: every numeric leaf, dot-joined path, arrays
+//     skipped (bucket vectors are shape, not metrics).
+[[nodiscard]] std::map<std::string, double> flatten_metrics(
+    const JsonValue& doc);
+
+struct MetricDelta {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  // Signed percent change relative to the baseline (0 when both are 0).
+  double delta_pct = 0.0;
+  bool regressed = false;
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> deltas;         // baseline key order
+  std::vector<std::string> missing;        // in baseline, not in current
+  [[nodiscard]] bool ok() const {
+    if (!missing.empty()) return false;
+    for (const MetricDelta& d : deltas) {
+      if (d.regressed) return false;
+    }
+    return true;
+  }
+};
+
+// Compares current against baseline. A metric regresses when
+//   current > baseline + max(baseline, 1) * tolerance_pct / 100
+// (the max() keeps a zero baseline from demanding exact zero forever).
+// Metrics only in `current` are ignored — new measurements must not
+// fail old baselines.
+[[nodiscard]] DiffResult diff_metrics(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& current, double tolerance_pct);
+
+// Human-readable report; `all` includes non-regressed metrics too.
+[[nodiscard]] std::string render_diff(const DiffResult& diff, bool all);
+
+}  // namespace scq::util

@@ -28,12 +28,20 @@ std::string actor_name(std::uint32_t actor) {
 }  // namespace
 
 std::string format_record(std::size_t index, const simt::OpRecord& r) {
-  return "#" + std::to_string(index) + " " + to_string(r.op) + " " +
-         actor_name(r.actor) + " ticket=" + std::to_string(r.ticket) +
-         " slot=" + std::to_string(r.slot) +
-         " epoch=" + std::to_string(r.epoch) +
-         " payload=" + std::to_string(r.payload) +
-         " cycle=" + std::to_string(r.cycle);
+  // Appends, not one operator+ chain: GCC 12's -Wrestrict false-fires on
+  // the char* + std::string&& overload under -O3 (PR105651).
+  std::string out = "#";
+  out += std::to_string(index);
+  out += ' ';
+  out += to_string(r.op);
+  out += ' ';
+  out += actor_name(r.actor);
+  out += " ticket=" + std::to_string(r.ticket);
+  out += " slot=" + std::to_string(r.slot);
+  out += " epoch=" + std::to_string(r.epoch);
+  out += " payload=" + std::to_string(r.payload);
+  out += " cycle=" + std::to_string(r.cycle);
+  return out;
 }
 
 std::string CheckResult::report() const {

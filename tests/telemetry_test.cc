@@ -1,176 +1,23 @@
 // Tests for the telemetry subsystem: histogram bucket boundaries and
 // percentile math, the cycle-driven sampler (period, rollover, shards,
 // caps), device integration, and a JSON round-trip that parses the
-// exported artifacts with a real (minimal) JSON parser.
+// exported artifacts with the shared util/json.h parser (which started
+// life in this file before being promoted for the perf-diff tooling).
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "sim/device.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
+#include "util/json.h"
 
 namespace simt {
 namespace {
 
-// ---- Minimal JSON parser (test-only) ------------------------------------
-// Just enough to round-trip the exporters: objects, arrays, strings with
-// basic escapes, numbers, booleans, null. Returns nullopt on any error.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return object.count(key) != 0;
-  }
-  // Missing keys read as a null value, keeping test chains total.
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    static const JsonValue empty;
-    const auto it = object.find(key);
-    return it == object.end() ? empty : it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  std::optional<JsonValue> parse() {
-    auto v = value();
-    skip_ws();
-    if (!v.has_value() || pos_ != text_.size()) return std::nullopt;
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<JsonValue> value() {
-    skip_ws();
-    if (pos_ >= text_.size()) return std::nullopt;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return keyword("true", JsonValue::Kind::kBool, true);
-      case 'f': return keyword("false", JsonValue::Kind::kBool, false);
-      case 'n': return keyword("null", JsonValue::Kind::kNull, false);
-      default: return number();
-    }
-  }
-
-  static JsonValue make(JsonValue::Kind kind) {
-    JsonValue v;
-    v.kind = kind;
-    return v;
-  }
-
-  std::optional<JsonValue> keyword(std::string_view word,
-                                   JsonValue::Kind kind, bool boolean) {
-    if (text_.substr(pos_, word.size()) != word) return std::nullopt;
-    pos_ += word.size();
-    JsonValue v = make(kind);
-    v.boolean = boolean;
-    return v;
-  }
-
-  std::optional<JsonValue> number() {
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    const double parsed = std::strtod(begin, &end);
-    if (end == begin) return std::nullopt;
-    pos_ += static_cast<std::size_t>(end - begin);
-    JsonValue v = make(JsonValue::Kind::kNumber);
-    v.number = parsed;
-    return v;
-  }
-
-  std::optional<JsonValue> string_value() {
-    if (!consume('"')) return std::nullopt;
-    JsonValue v = make(JsonValue::Kind::kString);
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'u':
-            if (pos_ + 4 > text_.size()) return std::nullopt;
-            pos_ += 4;  // keep the replacement crude; names are ASCII
-            c = '?';
-            break;
-          default: return std::nullopt;
-        }
-      }
-      v.str += c;
-    }
-    if (!consume('"')) return std::nullopt;
-    return v;
-  }
-
-  std::optional<JsonValue> array() {
-    if (!consume('[')) return std::nullopt;
-    JsonValue v = make(JsonValue::Kind::kArray);
-    if (consume(']')) return v;
-    for (;;) {
-      auto item = value();
-      if (!item.has_value()) return std::nullopt;
-      v.array.push_back(std::move(*item));
-      if (consume(']')) return v;
-      if (!consume(',')) return std::nullopt;
-    }
-  }
-
-  std::optional<JsonValue> object() {
-    if (!consume('{')) return std::nullopt;
-    JsonValue v = make(JsonValue::Kind::kObject);
-    if (consume('}')) return v;
-    for (;;) {
-      skip_ws();
-      auto key = string_value();
-      if (!key.has_value() || !consume(':')) return std::nullopt;
-      auto item = value();
-      if (!item.has_value()) return std::nullopt;
-      v.object.emplace(std::move(key->str), std::move(*item));
-      if (consume('}')) return v;
-      if (!consume(',')) return std::nullopt;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+using scq::util::JsonValue;
+using scq::util::parse_json;
 
 // ---- Histogram ----------------------------------------------------------
 
@@ -396,7 +243,7 @@ TEST(TelemetryTest, JsonRoundTrips) {
   t.sample_now(0);
   t.sample_now(50);
 
-  const auto parsed = JsonParser(t.to_json()).parse();
+  const auto parsed = parse_json(t.to_json());
   ASSERT_TRUE(parsed.has_value()) << "export must be valid JSON";
   ASSERT_EQ(parsed->kind, JsonValue::Kind::kObject);
   EXPECT_EQ(parsed->at("sample_period").number, 50.0);
@@ -436,7 +283,7 @@ TEST(TelemetryTest, TraceCounterEventsRoundTrip) {
   t.sample_now(100);
   t.sample_now(200);
 
-  const auto parsed = JsonParser(trace.to_chrome_json()).parse();
+  const auto parsed = parse_json(trace.to_chrome_json());
   ASSERT_TRUE(parsed.has_value()) << "trace export must be valid JSON";
   ASSERT_TRUE(parsed->has("traceEvents"));
   const JsonValue& events = parsed->at("traceEvents");

@@ -139,7 +139,8 @@ TEST(TraceTest, DroppedMetadataRecordIsAlwaysPresent) {
   EXPECT_NE(complete.to_chrome_json().find(
                 "\"name\":\"dropped\",\"ph\":\"M\""),
             std::string::npos);
-  EXPECT_NE(complete.to_chrome_json().find("\"slices\":0,\"counters\":0"),
+  EXPECT_NE(complete.to_chrome_json().find(
+                "\"slices\":0,\"counters\":0,\"flows\":0"),
             std::string::npos);
 
   TraceRecorder truncated(1);
@@ -147,9 +148,13 @@ TEST(TraceTest, DroppedMetadataRecordIsAlwaysPresent) {
   truncated.record({1, 2, 0, 0, 0, TraceOp::kCompute});
   truncated.record_counter({0, "c", 1.0});
   truncated.record_counter({1, "c", 2.0});
-  EXPECT_NE(truncated.to_chrome_json().find("\"slices\":1,\"counters\":1"),
+  truncated.record_flow({0, 7, true, 0, 0});
+  truncated.record_flow({1, 7, false, 0, 0});
+  EXPECT_NE(truncated.to_chrome_json().find(
+                "\"slices\":1,\"counters\":1,\"flows\":1"),
             std::string::npos)
       << "truncation is reported, not silent";
+  EXPECT_EQ(truncated.total_dropped(), 3u);
 }
 
 TEST(TraceTest, OpNames) {
