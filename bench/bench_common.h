@@ -165,7 +165,9 @@ class Observability {
   template <typename Options>
   void apply(Options& opt) {
     if (!telemetry_path_.empty()) opt.telemetry = &telemetry_;
-    if (!trace_path_.empty()) opt.trace = &trace_;
+    if constexpr (requires { opt.trace; }) {
+      if (!trace_path_.empty()) opt.trace = &trace_;
+    }
     if constexpr (requires { opt.task_trace; }) {
       if (task_tracing()) opt.task_trace = &task_trace_;
     }
@@ -206,6 +208,18 @@ class Observability {
   }
 
   [[nodiscard]] std::uint64_t sim_seed() const { return sim_seed_; }
+
+  // Device count stamped into the --json meta (and telemetry meta) so a
+  // cluster artifact identifies the configuration that produced it.
+  // Single-device benches keep the default 1.
+  void set_device_count(std::uint32_t n) {
+    device_count_ = n;
+    telemetry_.set_meta("device_count", std::to_string(n));
+  }
+  [[nodiscard]] std::uint32_t device_count() const { return device_count_; }
+
+  [[nodiscard]] simt::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] simt::TaskTrace& task_trace() { return task_trace_; }
 
   // Writes the requested artifacts, prints the task-trace reports, and
   // runs the --baseline regression diff. Returns false (with a message
@@ -266,11 +280,15 @@ class Observability {
     return ok;
   }
 
-  // {"bench":...,"sim_seed":N,"metrics":{...}} — the artifact the
-  // perf_diff guard consumes (util::flatten_metrics reads "metrics").
+  // {"bench":...,"sim_seed":N,"sim_jitter":J,"device_count":D,
+  //  "metrics":{...}} — the artifact the perf_diff guard consumes
+  // (util::flatten_metrics reads "metrics"; the meta scalars identify
+  // the configuration that produced the numbers).
   [[nodiscard]] std::string metrics_json() const {
     std::string out = "{\"bench\":\"" + bench_name_ + "\"";
     out += ",\"sim_seed\":" + std::to_string(sim_seed_);
+    out += ",\"sim_jitter\":" + std::to_string(sim_jitter_);
+    out += ",\"device_count\":" + std::to_string(device_count_);
     out += ",\"metrics\":{";
     bool first = true;
     char buf[64];
@@ -350,6 +368,7 @@ class Observability {
   double diff_tolerance_ = 0.0;
   std::uint64_t sim_seed_ = 0;
   simt::Cycle sim_jitter_ = 0;
+  std::uint32_t device_count_ = 1;
   std::map<std::string, double> metrics_;
   std::vector<std::pair<std::string, simt::AttributionSummary>>
       attribution_columns_;

@@ -1,0 +1,191 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "core/ext_schedulers.h"
+#include "core/telemetry_probes.h"
+#include "sim/task_trace.h"
+#include "sim/telemetry.h"
+
+namespace scq::cluster {
+
+namespace {
+
+// Backstop against a livelocked superstep loop (a barrier that never
+// reaches quiescence). Far above anything a real workload needs: the
+// deadlock detectors inside the device queues fire long before this.
+constexpr std::uint64_t kMaxSupersteps = std::uint64_t{1} << 22;
+
+}  // namespace
+
+Cluster::Cluster(const simt::DeviceConfig& config,
+                 const ClusterOptions& options)
+    : options_(options) {
+  if (options_.num_devices == 0) {
+    throw simt::SimError("Cluster: num_devices must be >= 1");
+  }
+  if (options_.queue_capacity == 0 || options_.xfer_capacity == 0) {
+    throw simt::SimError("Cluster: queue and transfer capacities must be > 0");
+  }
+  if (options_.variant != QueueVariant::kBase &&
+      options_.variant != QueueVariant::kAn &&
+      options_.variant != QueueVariant::kRfan) {
+    // The host router injects through the shared-ring slot protocol and
+    // reads the Front/Rear/Completed control block directly; the
+    // extension schedulers have other layouts.
+    throw simt::SimError(
+        "Cluster supports the BASE/AN/RF-AN ring schedulers only");
+  }
+
+  const std::uint32_t n = options_.num_devices;
+  const bool prefixed = n > 1;
+  for (std::uint32_t d = 0; d < n; ++d) {
+    devices_.push_back(std::make_unique<simt::Device>(config));
+    queues_.push_back(
+        make_scheduler(*devices_[d], options_.variant, options_.queue_capacity));
+    stop_flags_.push_back(devices_[d]->alloc(1).base);
+    devices_[d]->write_word(stop_flags_[d], 0);
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    rings_.emplace_back();
+    for (std::uint32_t d = 0; d < n; ++d) {
+      // Self-rings are allocated for uniform indexing but never used.
+      rings_[s].push_back(TransferRing::create(*devices_[s],
+                                               options_.xfer_capacity));
+    }
+  }
+
+  if (options_.telemetry != nullptr) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      auto dev_tel = std::make_unique<simt::Telemetry>(
+          options_.telemetry->options());
+      if (prefixed) dev_tel->set_prefix("dev" + std::to_string(d) + ".");
+      register_scheduler_probes(*dev_tel, *devices_[d], *queues_[d]);
+      if (n > 1) {
+        Cluster* self = this;
+        dev_tel->register_gauge(tel::kXferBacklog, [self, d](simt::Cycle) {
+          std::uint64_t sum = 0;
+          for (std::uint32_t t = 0; t < self->num_devices(); ++t) {
+            if (t != d) sum += self->rings_[d][t].backlog(*self->devices_[d]);
+          }
+          return sum;
+        });
+      }
+      devices_[d]->attach_telemetry(dev_tel.get());
+      telemetry_.push_back(std::move(dev_tel));
+    }
+  }
+  if (options_.task_trace != nullptr) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      auto trace = std::make_unique<simt::TaskTrace>();
+      if (prefixed) {
+        trace->set_ticket_namespace(static_cast<std::uint64_t>(d)
+                                    << simt::TaskTrace::kTicketNamespaceShift);
+      }
+      devices_[d]->attach_task_trace(trace.get());
+      task_traces_.push_back(std::move(trace));
+    }
+  }
+}
+
+bool Cluster::quiescent(const Router& router) const {
+  if (!router.pending_empty()) return false;
+  const std::uint32_t n = num_devices();
+  for (std::uint32_t d = 0; d < n; ++d) {
+    const QueueLayout& q = queues_[d]->layout();
+    if (devices_[d]->read_word(q.completed_addr()) !=
+        devices_[d]->read_word(q.rear_addr())) {
+      return false;
+    }
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (s != d && !rings_[s][d].quiescent(*devices_[s])) return false;
+    }
+  }
+  return true;
+}
+
+ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
+                        std::uint32_t workgroups) {
+  const std::uint32_t n = num_devices();
+  ClusterRun result;
+  Router router(n, options_.balance, options_.steal_trigger);
+
+  for (std::uint32_t d = 0; d < n; ++d) {
+    devices_[d]->write_word(stop_flags_[d], 0);
+    devices_[d]->launch_begin(workgroups, make_factory(d));
+  }
+
+  simt::Cycle horizon = 0;
+  bool guard_tripped = false;
+  for (std::uint64_t step = 1;; ++step) {
+    horizon += options_.quantum;
+    bool any_dead = false;
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (!devices_[d]->step_until(horizon)) any_dead = true;
+    }
+    result.supersteps = step;
+
+    // Superstep barrier: move cross-device work while every device is
+    // parked between events. Host operations cost no simulated cycles;
+    // the transfer latency the model charges is the quantum itself.
+    router.collect(devices_, rings_);
+    if (options_.balance == BalancePolicy::kSteal) {
+      std::vector<std::uint64_t> backlog(n);
+      for (std::uint32_t d = 0; d < n; ++d) {
+        const QueueLayout& q = queues_[d]->layout();
+        const std::uint64_t rear = devices_[d]->read_word(q.rear_addr());
+        const std::uint64_t done = devices_[d]->read_word(q.completed_addr());
+        backlog[d] = rear > done ? rear - done : 0;
+      }
+      router.balance(backlog);
+    }
+    router.deliver(devices_, queues_);
+
+    guard_tripped = step >= kMaxSupersteps;
+    if (any_dead || guard_tripped || quiescent(router)) break;
+  }
+
+  // Release the persistent waves and drain every device to completion.
+  // At quiescence no work remains, so the drain only lets waves observe
+  // the flag and exit; after an abort it tears the survivors down.
+  for (std::uint32_t d = 0; d < n; ++d) {
+    devices_[d]->write_word(stop_flags_[d], 1);
+  }
+  for (std::uint32_t d = 0; d < n; ++d) {
+    while (devices_[d]->step_until(~simt::Cycle{0})) {
+    }
+  }
+  for (std::uint32_t d = 0; d < n; ++d) {
+    result.device_runs.push_back(devices_[d]->launch_end());
+    result.cycles = std::max(result.cycles, result.device_runs[d].cycles);
+    if (result.device_runs[d].aborted && !result.aborted) {
+      result.aborted = true;
+      result.abort_reason = "device " + std::to_string(d) + ": " +
+                            result.device_runs[d].abort_reason;
+    }
+  }
+  if (guard_tripped && !result.aborted) {
+    result.aborted = true;
+    result.abort_reason = "cluster superstep guard: no quiescence after " +
+                          std::to_string(kMaxSupersteps) + " supersteps";
+  }
+  result.router = router.stats();
+
+  if (options_.telemetry != nullptr) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      options_.telemetry->merge_from(*telemetry_[d]);
+      telemetry_[d]->reset_data();
+    }
+  }
+  if (options_.task_trace != nullptr) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      options_.task_trace->merge_from(*task_traces_[d]);
+      task_traces_[d]->clear();
+    }
+  }
+  return result;
+}
+
+}  // namespace scq::cluster

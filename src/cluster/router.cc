@@ -1,0 +1,131 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/token.h"
+#include "sim/op_history.h"
+
+namespace scq::cluster {
+
+std::string_view to_string(BalancePolicy policy) {
+  switch (policy) {
+    case BalancePolicy::kOwnerOnly: return "owner-only";
+    case BalancePolicy::kSteal: return "steal";
+  }
+  return "?";
+}
+
+BalancePolicy balance_policy_from_string(std::string_view name) {
+  if (name == "owner-only") return BalancePolicy::kOwnerOnly;
+  if (name == "steal") return BalancePolicy::kSteal;
+  throw std::invalid_argument("unknown balance policy: " + std::string(name));
+}
+
+void Router::collect(std::span<const std::unique_ptr<simt::Device>> devices,
+                     const std::vector<std::vector<TransferRing>>& rings) {
+  const std::uint32_t n = static_cast<std::uint32_t>(pending_.size());
+  std::vector<std::uint64_t> batch;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      batch.clear();
+      rings[s][d].drain(*devices[s], batch);
+      stats_.drained += batch.size();
+      pending_[d].insert(pending_[d].end(), batch.begin(), batch.end());
+    }
+  }
+}
+
+void Router::balance(std::span<const std::uint64_t> backlog) {
+  if (policy_ != BalancePolicy::kSteal) return;
+  const std::uint32_t n = static_cast<std::uint32_t>(pending_.size());
+  if (n < 2) return;
+
+  // Load metric: incomplete main-queue tokens plus the work this barrier
+  // is about to hand the device. The mean is fixed for the barrier; the
+  // per-device loads update as enumerations move, so one barrier cannot
+  // pile every steal onto the same thief.
+  std::vector<double> load(n);
+  double total = 0.0;
+  for (std::uint32_t d = 0; d < n; ++d) {
+    load[d] = static_cast<double>(backlog[d]) +
+              static_cast<double>(pending_[d].size());
+    total += load[d];
+  }
+  const double mean = total / static_cast<double>(n);
+  if (mean <= 0.0) return;
+
+  for (std::uint32_t d = 0; d < n; ++d) {
+    if (load[d] <= steal_trigger_ * mean) continue;
+    // Walk the overloaded owner's FIFO once; convert candidates while an
+    // under-loaded thief exists and the owner stays above trigger.
+    for (auto it = pending_[d].begin(); it != pending_[d].end(); ++it) {
+      if (token_kind(*it) != TokenKind::kCandidate) continue;
+      if (load[d] <= steal_trigger_ * mean) break;
+      // Steal only candidates that improve on the best cost ever stolen
+      // for this vertex. A stolen enumeration bypasses the owner's
+      // atomic-min dedup gate, so stealing duplicates would re-enumerate
+      // the same vertex once per duplicate — on cyclic graphs that feeds
+      // back into more candidates and explodes. Strictly decreasing
+      // costs bound steals per vertex by its distance from the source.
+      const std::uint64_t vertex = token_vertex(*it);
+      const std::uint64_t cost = token_cost(*it);
+      const auto best = stolen_best_.find(vertex);
+      if (best != stolen_best_.end() && best->second <= cost) continue;
+      std::uint32_t thief = n;
+      for (std::uint32_t t = 0; t < n; ++t) {
+        if (t == d || load[t] >= mean) continue;
+        if (thief == n || load[t] < load[thief]) thief = t;
+      }
+      if (thief == n) break;
+      stolen_best_[vertex] = cost;
+      // The thief enumerates; the owner keeps the cost authority.
+      pending_[thief].push_back(with_kind(*it, TokenKind::kStolen));
+      *it = with_kind(*it, TokenKind::kUpdate);
+      load[thief] += 1.0;
+      load[d] -= 1.0;
+      ++stats_.stolen;
+    }
+  }
+}
+
+void Router::deliver(std::span<const std::unique_ptr<simt::Device>> devices,
+                     std::span<const std::unique_ptr<DeviceQueue>> queues) {
+  const std::uint32_t n = static_cast<std::uint32_t>(pending_.size());
+  for (std::uint32_t d = 0; d < n; ++d) {
+    simt::Device& dev = *devices[d];
+    const QueueLayout& q = queues[d]->layout();
+    while (!pending_[d].empty()) {
+      const std::uint64_t rear = dev.read_word(q.rear_addr());
+      const std::uint64_t index = rear % q.capacity;
+      const std::uint64_t epoch = rear / q.capacity;
+      if (dev.read_word(q.slot_addr(index)) != slot_empty_word(epoch)) {
+        // The ring slot has not recycled — same backpressure rule the
+        // device producers obey. Retry the remainder next barrier.
+        ++stats_.inject_retries;
+        break;
+      }
+      const std::uint64_t token = pending_[d].front();
+      pending_[d].pop_front();
+      dev.write_word(q.slot_addr(index), slot_full_word(epoch, token));
+      dev.write_word(q.rear_addr(), rear + 1);
+      ++stats_.delivered;
+      if (simt::OpHistory* hist = dev.op_history()) {
+        hist->record({simt::QueueOp::kEnqueueReserve, simt::kHostActor, rear,
+                      index, epoch, token, dev.now()});
+        hist->record({simt::QueueOp::kEnqueueWrite, simt::kHostActor, rear,
+                      index, epoch, token, dev.now()});
+      }
+    }
+  }
+}
+
+bool Router::pending_empty() const {
+  for (const auto& q : pending_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace scq::cluster

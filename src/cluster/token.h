@@ -1,0 +1,99 @@
+// The cluster task-token protocol: what the 48-bit ring payload means
+// when devices exchange work through the cluster runtime.
+//
+// Intra-device, a queue token is whatever the driver wants (pt_bfs packs
+// a bare vertex id). Across devices the router must understand enough of
+// the payload to forward and re-balance it, so the cluster fixes one
+// packing for every token that can cross a device boundary:
+//
+//   bits 47..46  kind   (TokenKind below)
+//   bits 45..24  cost   tentative cost/level/distance, 22 bits
+//   bits 23..0   vertex 24 bits
+//
+// The four kinds implement ownership-aware label correcting. Every
+// vertex has exactly one owner device whose cost-array entry is
+// authoritative; replicas on other devices are never read or written
+// for vertices they do not own.
+//
+//   kLocal      owner-discovered improvement, enqueued on the owner
+//               after its authoritative atomic-min already succeeded.
+//               Dequeue reloads the (authoritative) cost and enumerates.
+//   kCandidate  a remote device discovered cost x for a vertex it does
+//               not own. The owner atomic-mins x into its cost word at
+//               dequeue and enumerates only if x improved it.
+//   kStolen     a candidate whose *enumeration* the balancer redirected
+//               to an under-loaded non-owner. The thief enumerates
+//               unconditionally with base cost x — it has no authority
+//               to gate on — which may duplicate work but never
+//               produces a wrong result (non-improving candidates die
+//               at their owners' atomic-min).
+//   kUpdate     the authority half of a steal: the owner still receives
+//               the candidate's cost so its array converges, but must
+//               not enumerate (the thief does).
+#pragma once
+
+#include <cstdint>
+
+#include "core/queue.h"
+
+namespace scq::cluster {
+
+enum class TokenKind : std::uint64_t {
+  kLocal = 0,
+  kCandidate = 1,
+  kStolen = 2,
+  kUpdate = 3,
+};
+
+inline constexpr unsigned kVertexBits = 24;
+inline constexpr unsigned kCostBits = 22;
+inline constexpr std::uint64_t kMaxPackVertex =
+    (std::uint64_t{1} << kVertexBits) - 1;
+inline constexpr std::uint64_t kMaxPackCost =
+    (std::uint64_t{1} << kCostBits) - 1;
+
+[[nodiscard]] constexpr std::uint64_t pack_token(TokenKind kind,
+                                                 std::uint64_t cost,
+                                                 std::uint64_t vertex) {
+  return (static_cast<std::uint64_t>(kind) << (kVertexBits + kCostBits)) |
+         (cost << kVertexBits) | vertex;
+}
+
+// Overflow-checked packing for values computed at runtime (relaxed
+// costs). Throws SimError: a cost past 22 bits cannot round-trip the
+// ring, and silently truncating it would corrupt the result.
+[[nodiscard]] inline std::uint64_t pack_token_checked(TokenKind kind,
+                                                      std::uint64_t cost,
+                                                      std::uint64_t vertex) {
+  if (vertex > kMaxPackVertex) {
+    throw simt::SimError("cluster token: vertex exceeds 24-bit payload field");
+  }
+  if (cost > kMaxPackCost) {
+    throw simt::SimError("cluster token: cost exceeds 22-bit payload field");
+  }
+  return pack_token(kind, cost, vertex);
+}
+
+[[nodiscard]] constexpr TokenKind token_kind(std::uint64_t token) {
+  return static_cast<TokenKind>((token >> (kVertexBits + kCostBits)) & 0x3);
+}
+[[nodiscard]] constexpr std::uint64_t token_cost(std::uint64_t token) {
+  return (token >> kVertexBits) & kMaxPackCost;
+}
+[[nodiscard]] constexpr std::uint64_t token_vertex(std::uint64_t token) {
+  return token & kMaxPackVertex;
+}
+
+// Rewrites only the kind bits (the router's steal conversion).
+[[nodiscard]] constexpr std::uint64_t with_kind(std::uint64_t token,
+                                                TokenKind kind) {
+  constexpr std::uint64_t kPayloadMask =
+      (std::uint64_t{1} << (kVertexBits + kCostBits)) - 1;
+  return (static_cast<std::uint64_t>(kind) << (kVertexBits + kCostBits)) |
+         (token & kPayloadMask);
+}
+
+static_assert(kVertexBits + kCostBits + 2 == kTokenBits,
+              "cluster token packing must fill the 48-bit ring payload");
+
+}  // namespace scq::cluster

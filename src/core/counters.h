@@ -19,6 +19,7 @@ enum UserCounter : unsigned {
   kQueueAtomics = 8,     // atomic ops issued by queue operations
   kQueueCasFailures = 9, // failed CASes among them (retry driver)
   kPublishStalls = 10,   // parked-token publish retries (backpressure)
+  kXferTokens = 11,      // tokens emitted into inter-device transfer rings
 };
 
 // Telemetry metric names (simt::Telemetry). The histograms are the

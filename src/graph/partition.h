@@ -1,0 +1,71 @@
+// Vertex partitioning for the multi-device cluster runtime.
+//
+// A partition assigns every vertex an owning device (edge-cut model:
+// vertices are divided, the adjacency stays replicated on every device
+// and only *ownership* — the right to relax a vertex's cost word and
+// enumerate its neighbors as local work — is divided). Three policies:
+//
+//   kBlock          contiguous vertex ranges of near-equal cardinality.
+//                   Preserves locality in renumbered graphs; degree skew
+//                   can leave one part with most of the edges.
+//   kRoundRobin     vertex v -> v % parts. Statistically degree-balanced
+//                   on shuffled graphs; destroys locality (worst cut).
+//   kDegreeBalanced greedy bin-packing by descending degree: each vertex
+//                   goes to the currently lightest part (ties broken by
+//                   lowest part index, so the result is deterministic).
+//                   Best degree balance, cut comparable to round-robin.
+//
+// The partitioner also reports cut quality (edges whose endpoints live
+// in different parts) and a degree-imbalance factor so benches can
+// correlate scaling with partition quality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+enum class PartitionPolicy {
+  kBlock,
+  kRoundRobin,
+  kDegreeBalanced,
+};
+
+[[nodiscard]] std::string_view to_string(PartitionPolicy policy);
+// Parses "block" / "round-robin" / "degree"; throws std::invalid_argument
+// on anything else.
+[[nodiscard]] PartitionPolicy partition_policy_from_string(
+    std::string_view name);
+
+struct Partition {
+  std::uint32_t num_parts = 0;
+  // owner[v] in [0, num_parts) for every vertex of the source graph.
+  std::vector<std::uint32_t> owner;
+  // Vertices owned by each part, ascending within a part.
+  std::vector<std::vector<Vertex>> part_vertices;
+  // Sum of out-degrees of each part's vertices (the part's share of the
+  // enumeration work).
+  std::vector<std::uint64_t> part_degree;
+  // Edges (u, v) with owner[u] != owner[v]; every such edge forces an
+  // inter-device transfer when u's relaxation improves v.
+  std::uint64_t cut_edges = 0;
+
+  // max part degree / mean part degree; 1.0 is perfect balance. Returns
+  // 1.0 for empty graphs (no work to imbalance).
+  [[nodiscard]] double degree_imbalance() const;
+
+  // cut_edges / num_edges in [0, 1]; 0 for edgeless graphs.
+  [[nodiscard]] double cut_fraction(const Graph& g) const;
+};
+
+// Partitions g's vertices into `num_parts` parts. num_parts must be >= 1;
+// more parts than vertices is allowed (the surplus parts own nothing).
+[[nodiscard]] Partition partition_graph(const Graph& g,
+                                        std::uint32_t num_parts,
+                                        PartitionPolicy policy);
+
+}  // namespace scq::graph

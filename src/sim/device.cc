@@ -44,47 +44,55 @@ void Device::reset_clock_and_stats() {
   for (auto& cu : cus_) cu.port_free = 0;
 }
 
-RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& factory) {
-  stats_.kernel_launches += 1;
-  const DeviceStats before = stats_;
-  const Cycle begin = now_;
+void Device::dispatch_wave(Wave& wave, Cycle at) {
+  const std::uint32_t wg = next_workgroup_++;
+  wave.workgroup_id_ = wg;  // visible to the factory
+  wave.bind(wg, factory_(wave), at);
+}
 
-  RunResult result;
-  if (num_workgroups == 0) {
-    result.stats = stats_ - before;
-    return result;
+void Device::launch_begin(std::uint32_t num_workgroups, KernelFactory factory) {
+  if (launch_active_) {
+    throw SimError("launch_begin: a launch is already active on device " +
+                   config_.name);
   }
-
+  stats_.kernel_launches += 1;
+  launch_before_ = stats_;
+  launch_begin_cycle_ = now_;
+  launch_active_ = true;
+  kernel_error_ = nullptr;
+  events_processed_ = 0;
   abort_ = false;
   abort_reason_.clear();
-  factory_ = &factory;
+  factory_ = std::move(factory);
   total_workgroups_ = num_workgroups;
   next_workgroup_ = 0;
   completed_workgroups_ = 0;
   finished_waves_.clear();
-  atomic_unit_.prune(begin);
+  launch_start_ = now_;
+  launch_end_time_ = now_;
+  if (num_workgroups == 0) return;
 
-  const Cycle start = begin + config_.kernel_launch_overhead;
-  for (auto& cu : cus_) cu.port_free = std::max(cu.port_free, start);
-
-  auto dispatch = [&](Wave& wave, Cycle at) {
-    const std::uint32_t wg = next_workgroup_++;
-    wave.workgroup_id_ = wg;  // visible to the factory
-    wave.bind(wg, factory(wave), at);
-  };
+  atomic_unit_.prune(now_);
+  launch_start_ = now_ + config_.kernel_launch_overhead;
+  launch_end_time_ = launch_start_;
+  for (auto& cu : cus_) cu.port_free = std::max(cu.port_free, launch_start_);
 
   const std::uint32_t initial =
       std::min(num_workgroups, config_.resident_waves());
-  for (std::uint32_t s = 0; s < initial; ++s) dispatch(*waves_[s], start);
+  for (std::uint32_t s = 0; s < initial; ++s) {
+    dispatch_wave(*waves_[s], launch_start_);
+  }
+}
 
-  Cycle end_time = start;
-  std::uint64_t events_processed = 0;
-  std::exception_ptr kernel_error{};
-
-  while (!events_.empty() && !abort_ && !kernel_error) {
+bool Device::step_until(Cycle horizon) {
+  if (!launch_active_) {
+    throw SimError("step_until: no active launch on device " + config_.name);
+  }
+  while (!events_.empty() && !abort_ && !kernel_error_ &&
+         events_.top().t <= horizon) {
     const Event ev = events_.top();
     events_.pop();
-    if (ev.t > start + config_.max_cycles_per_launch) {
+    if (ev.t > launch_start_ + config_.max_cycles_per_launch) {
       throw SimError("kernel exceeded max_cycles_per_launch on device " +
                      config_.name);
     }
@@ -92,48 +100,86 @@ RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& fact
     if (telemetry_) telemetry_->on_advance(now_);
     ev.h.resume();
 
-    if ((++events_processed & ((1u << 22) - 1)) == 0) atomic_unit_.prune(now_);
+    if ((++events_processed_ & ((1u << 22) - 1)) == 0) atomic_unit_.prune(now_);
 
     // Handle waves whose top-level kernel just finished.
     for (Wave* w : finished_waves_) {
-      end_time = std::max(end_time, w->now_);
+      launch_end_time_ = std::max(launch_end_time_, w->now_);
       stats_.waves_completed += 1;
       completed_workgroups_ += 1;
-      if (w->top_.promise().error && !kernel_error) {
-        kernel_error = w->top_.promise().error;
+      if (w->top_.promise().error && !kernel_error_) {
+        kernel_error_ = w->top_.promise().error;
       }
       w->release_kernel();
-      if (!kernel_error && next_workgroup_ < total_workgroups_) {
-        dispatch(*w, w->now_);
+      if (!kernel_error_ && next_workgroup_ < total_workgroups_) {
+        dispatch_wave(*w, w->now_);
       }
     }
     finished_waves_.clear();
   }
+  return !(events_.empty() || abort_ || kernel_error_);
+}
 
+RunResult Device::launch_end() {
+  if (!launch_active_) {
+    throw SimError("launch_end: no active launch on device " + config_.name);
+  }
+  launch_active_ = false;
   factory_ = nullptr;
 
-  if (abort_ || kernel_error) {
+  RunResult result;
+  if (total_workgroups_ == 0) {
+    result.stats = stats_ - launch_before_;
+    return result;
+  }
+
+  if (abort_ || kernel_error_) {
     // Stop the machine: drop pending events, then tear down every
     // still-suspended kernel frame.
     events_ = {};
     for (auto& w : waves_) w->release_kernel();
-    if (kernel_error) std::rethrow_exception(kernel_error);
-    end_time = std::max(end_time, now_);
+    if (kernel_error_) {
+      const std::exception_ptr err = kernel_error_;
+      kernel_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+    launch_end_time_ = std::max(launch_end_time_, now_);
+  } else if (!events_.empty()) {
+    throw SimError("launch_end: events still pending on device " +
+                   config_.name + " — step the launch to completion first");
   } else if (completed_workgroups_ != total_workgroups_) {
     throw SimError("simulation deadlock: event queue drained with " +
                    std::to_string(total_workgroups_ - completed_workgroups_) +
                    " workgroups outstanding");
   }
 
-  now_ = std::max(now_, end_time);
+  now_ = std::max(now_, launch_end_time_);
   if (telemetry_) telemetry_->sample_now(now_);  // flush final state
-  result.cycles = now_ - begin;
+  result.cycles = now_ - launch_begin_cycle_;
   result.seconds = config_.seconds(result.cycles);
-  result.stats = stats_ - before;
+  result.stats = stats_ - launch_before_;
   result.aborted = abort_;
   result.abort_reason = abort_reason_;
   abort_ = false;
   return result;
+}
+
+RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& factory) {
+  launch_begin(num_workgroups, factory);
+  try {
+    while (step_until(~Cycle{0})) {
+    }
+  } catch (...) {
+    // Guard throws (max_cycles, internal errors) must leave the device
+    // relaunchable: drop pending events and suspended kernel frames.
+    events_ = {};
+    for (auto& w : waves_) w->release_kernel();
+    launch_active_ = false;
+    factory_ = nullptr;
+    kernel_error_ = nullptr;
+    throw;
+  }
+  return launch_end();
 }
 
 }  // namespace simt

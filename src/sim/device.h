@@ -4,6 +4,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -57,6 +58,25 @@ class Device {
   // beyond the resident capacity queue and dispatch as slots free (this
   // is how grid-sized, non-persistent launches like Rodinia's work).
   RunResult launch(std::uint32_t num_workgroups, const KernelFactory& factory);
+
+  // Incremental stepping: the same launch, split into begin / advance /
+  // collect so a host loop can drive several devices in lock-step from
+  // one shared cycle clock (the cluster runtime's superstep barriers).
+  // launch() is implemented as launch_begin + step_until(∞) +
+  // launch_end, so a stepped launch is bit-identical to a monolithic
+  // one. The factory is stored by value and must stay callable until
+  // launch_end.
+  void launch_begin(std::uint32_t num_workgroups, KernelFactory factory);
+  // Processes every pending event with timestamp <= horizon. Returns
+  // true while the launch can still make progress (events pending, no
+  // abort, no kernel error); once it returns false further calls are
+  // no-ops and launch_end() collects the result.
+  bool step_until(Cycle horizon);
+  // Finishes the launch begun by launch_begin: tears down on abort or
+  // kernel error (rethrowing the latter), runs the deadlock check
+  // otherwise, and returns the RunResult exactly as launch() would.
+  RunResult launch_end();
+  [[nodiscard]] bool launch_active() const { return launch_active_; }
 
   [[nodiscard]] const DeviceConfig& config() const { return config_; }
   [[nodiscard]] GlobalMemory& mem() { return mem_; }
@@ -125,14 +145,23 @@ class Device {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t next_seq_ = 0;
 
+  void dispatch_wave(Wave& wave, Cycle at);
+
   // Launch-scoped state.
   std::uint32_t next_workgroup_ = 0;
   std::uint32_t total_workgroups_ = 0;
   std::uint32_t completed_workgroups_ = 0;
   std::vector<Wave*> finished_waves_;  // drained after each resume
-  const KernelFactory* factory_ = nullptr;
+  KernelFactory factory_;
   bool abort_ = false;
   std::string abort_reason_;
+  bool launch_active_ = false;
+  Cycle launch_begin_cycle_ = 0;  // device clock at launch_begin
+  Cycle launch_start_ = 0;        // begin + kernel_launch_overhead
+  Cycle launch_end_time_ = 0;     // latest wave completion seen so far
+  DeviceStats launch_before_{};
+  std::uint64_t events_processed_ = 0;
+  std::exception_ptr kernel_error_{};
 };
 
 }  // namespace simt

@@ -90,10 +90,46 @@ class TaskTrace {
     if (e.ticket == kNoTask) return;
     std::lock_guard<std::mutex> lock(mu_);
     if (events_.size() < capacity_) {
-      events_.push_back(e);
+      TaskEvent stamped = e;
+      stamped.ticket |= ticket_namespace_;
+      if (stamped.parent != kNoTask) stamped.parent |= ticket_namespace_;
+      events_.push_back(stamped);
     } else {
       ++dropped_;
     }
+  }
+
+  // Ticket namespace for multi-device traces: OR'd into every recorded
+  // ticket (and parent edge). Queue tickets are 48-bit-bounded counters,
+  // so the cluster runtime stamps each device's trace with
+  // `device_index << kTicketNamespaceShift` — the tickets of different
+  // devices then land in disjoint ranges and one sink can hold every
+  // device's events without lifecycle collisions. The default namespace
+  // 0 leaves single-device tickets unchanged.
+  static constexpr unsigned kTicketNamespaceShift = 56;
+  void set_ticket_namespace(std::uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket_namespace_ = ns;
+  }
+  [[nodiscard]] std::uint64_t ticket_namespace() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ticket_namespace_;
+  }
+
+  // Appends another trace's events (already namespaced at record time)
+  // and accumulates its drop count. Meta is not transferred.
+  void merge_from(const TaskTrace& other) {
+    const std::vector<TaskEvent> theirs = other.snapshot();
+    const std::uint64_t their_drops = other.dropped();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TaskEvent& e : theirs) {
+      if (events_.size() < capacity_) {
+        events_.push_back(e);
+      } else {
+        ++dropped_;
+      }
+    }
+    dropped_ += their_drops;
   }
 
   [[nodiscard]] std::vector<TaskEvent> snapshot() const {
@@ -135,6 +171,7 @@ class TaskTrace {
  private:
   mutable std::mutex mu_;
   std::size_t capacity_;
+  std::uint64_t ticket_namespace_ = 0;
   std::vector<TaskEvent> events_;
   std::vector<std::pair<std::string, std::string>> meta_;
   std::uint64_t dropped_ = 0;

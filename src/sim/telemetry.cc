@@ -5,6 +5,7 @@
 
 #include "sim/trace.h"
 #include "util/csv.h"
+#include "util/json.h"
 
 namespace simt {
 
@@ -76,6 +77,14 @@ void Histogram::merge(const Histogram& rhs) {
 }
 
 Histogram& Telemetry::histogram(std::string_view name) {
+  if (!prefix_.empty()) {
+    const std::string key = prefix_ + std::string(name);
+    auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(key, Histogram{}).first;
+    }
+    return it->second;
+  }
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram{}).first;
@@ -84,22 +93,42 @@ Histogram& Telemetry::histogram(std::string_view name) {
 }
 
 const Histogram* Telemetry::find_histogram(std::string_view name) const {
-  const auto it = histograms_.find(name);
+  const auto it = prefix_.empty()
+                      ? histograms_.find(name)
+                      : histograms_.find(prefix_ + std::string(name));
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 void Telemetry::register_gauge(std::string_view name, Gauge fn) {
-  gauges_.emplace_back(std::string(name), std::move(fn));
+  gauges_.emplace_back(prefix_ + std::string(name), std::move(fn));
 }
 
 void Telemetry::set_shard(std::string_view name, std::uint32_t shard,
                           std::uint64_t value) {
-  auto it = shards_.find(name);
+  auto it = prefix_.empty() ? shards_.find(name)
+                            : shards_.find(prefix_ + std::string(name));
   if (it == shards_.end()) {
-    it = shards_.emplace(std::string(name), std::vector<std::uint64_t>{}).first;
+    it = shards_.emplace(prefix_ + std::string(name),
+                         std::vector<std::uint64_t>{})
+             .first;
   }
   if (it->second.size() <= shard) it->second.resize(shard + 1, 0);
   it->second[shard] = value;
+}
+
+void Telemetry::merge_from(const Telemetry& other) {
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, points] : other.series_) {
+    std::vector<Sample>& dst = series_[name];
+    for (const Sample& s : points) {
+      if (dst.size() >= options_.max_samples) {
+        ++dropped_samples_;
+      } else {
+        dst.push_back(s);
+      }
+    }
+  }
+  dropped_samples_ += other.dropped_samples_;
 }
 
 void Telemetry::clear_probes() {
@@ -158,14 +187,27 @@ std::string Telemetry::to_json() const {
     if (!first) out += ',';
     first = false;
     out += "\n    \"" + json_escape(name) + "\": {";
-    out += "\"count\": " + u64(h.count());
-    out += ", \"sum\": " + u64(h.sum());
-    out += ", \"min\": " + u64(h.min());
-    out += ", \"max\": " + u64(h.max());
-    out += ", \"mean\": " + dbl(h.mean());
-    out += ", \"p50\": " + u64(h.percentile(50));
-    out += ", \"p90\": " + u64(h.percentile(90));
-    out += ", \"p99\": " + u64(h.percentile(99));
+    // The summary keys are the shared list the perf-diff flattener reads
+    // back (util/json.h), so the two ends cannot drift apart.
+    const auto summary_value = [&h](std::string_view key) -> std::string {
+      if (key == "count") return u64(h.count());
+      if (key == "sum") return u64(h.sum());
+      if (key == "min") return u64(h.min());
+      if (key == "max") return u64(h.max());
+      if (key == "mean") return dbl(h.mean());
+      if (key == "p50") return u64(h.percentile(50));
+      if (key == "p90") return u64(h.percentile(90));
+      return u64(h.percentile(99));  // p99
+    };
+    bool first_key = true;
+    for (const char* key : scq::util::kHistogramSummaryKeys) {
+      if (!first_key) out += ", ";
+      first_key = false;
+      out += '"';
+      out += key;
+      out += "\": ";
+      out += summary_value(key);
+    }
     out += ", \"buckets\": [";
     bool first_bucket = true;
     for (unsigned b = 0; b < Histogram::kBuckets; ++b) {

@@ -112,6 +112,23 @@ class Telemetry {
   Telemetry() : Telemetry(Options{}) {}
   explicit Telemetry(Options options) : options_(options) {}
 
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // ---- Name prefix (multi-device namespacing) ----
+  // Every histogram/series/gauge/shard name is stored (and looked up)
+  // with this prefix prepended. The cluster runtime gives each device's
+  // telemetry a "dev<N>." prefix so merging per-device instances into
+  // one sink cannot collide; single-device runs keep the empty prefix
+  // and therefore the exact metric names earlier baselines recorded.
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  // Folds another telemetry instance into this one: histograms merge by
+  // name, series points append (up to this instance's max_samples),
+  // drop counts accumulate. Meta and probes are not transferred — they
+  // describe the source instance's configuration, not its data.
+  void merge_from(const Telemetry& other);
+
   // ---- Histograms (find-or-create by name) ----
   Histogram& histogram(std::string_view name);
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
@@ -187,6 +204,7 @@ class Telemetry {
 
  private:
   Options options_;
+  std::string prefix_;
   std::map<std::string, std::string, std::less<>> meta_;
   std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, std::vector<Sample>, std::less<>> series_;

@@ -162,4 +162,54 @@ std::optional<JsonValue> parse_json_file(const std::string& path) {
   return parse_json(body);
 }
 
+namespace {
+
+void flatten_leaves(const JsonValue& v, const std::string& prefix,
+                    std::map<std::string, double>& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNumber:
+      out[prefix] = v.number;
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, child] : v.object) {
+        flatten_leaves(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    default:
+      break;  // strings/bools/nulls/arrays are not metrics
+  }
+}
+
+}  // namespace
+
+std::map<std::string, double> flatten_metrics(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (doc.kind != JsonValue::Kind::kObject) return out;
+
+  if (doc.has("metrics")) {
+    for (const auto& [key, v] : doc.at("metrics").object) {
+      if (v.kind == JsonValue::Kind::kNumber) out[key] = v.number;
+    }
+    return out;
+  }
+
+  if (doc.has("histograms")) {
+    for (const auto& [name, h] : doc.at("histograms").object) {
+      for (const char* key : kHistogramSummaryKeys) {
+        if (h.has(key) && h.at(key).kind == JsonValue::Kind::kNumber) {
+          out[name + "." + key] = h.at(key).number;
+        }
+      }
+    }
+    if (doc.has("dropped_samples") &&
+        doc.at("dropped_samples").kind == JsonValue::Kind::kNumber) {
+      out["dropped_samples"] = doc.at("dropped_samples").number;
+    }
+    return out;
+  }
+
+  flatten_leaves(doc, "", out);
+  return out;
+}
+
 }  // namespace scq::util

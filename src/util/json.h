@@ -38,4 +38,24 @@ struct JsonValue {
 // Reads and parses a JSON file; nullopt on open/read/parse failure.
 [[nodiscard]] std::optional<JsonValue> parse_json_file(const std::string& path);
 
+// The per-histogram summary statistics the telemetry JSON exporter
+// writes and flatten_metrics reads back. One shared list so the
+// exporter and the flattener cannot drift apart.
+inline constexpr const char* kHistogramSummaryKeys[] = {
+    "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+};
+
+// Extracts the comparable metrics of a performance artifact as a flat
+// name → value map:
+//   - bench JSON ({"bench":..., "metrics":{...}}): each metrics entry;
+//   - telemetry JSON ({"histograms":{...}, ...}): per histogram the
+//     kHistogramSummaryKeys summary, dot-joined ("enq_latency.p99"),
+//     plus the top-level dropped_samples;
+//   - anything else: every numeric leaf, dot-joined path, arrays
+//     skipped (bucket vectors are shape, not metrics).
+// Shared by the perf-regression guard (util/perf_diff.h) and the bench
+// harness baseline check (bench_common.h).
+[[nodiscard]] std::map<std::string, double> flatten_metrics(
+    const JsonValue& doc);
+
 }  // namespace scq::util

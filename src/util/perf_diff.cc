@@ -5,60 +5,6 @@
 
 namespace scq::util {
 
-namespace {
-
-void flatten_leaves(const JsonValue& v, const std::string& prefix,
-                    std::map<std::string, double>& out) {
-  switch (v.kind) {
-    case JsonValue::Kind::kNumber:
-      out[prefix] = v.number;
-      break;
-    case JsonValue::Kind::kObject:
-      for (const auto& [key, child] : v.object) {
-        flatten_leaves(child, prefix.empty() ? key : prefix + "." + key, out);
-      }
-      break;
-    default:
-      break;  // strings/bools/nulls/arrays are not metrics
-  }
-}
-
-constexpr const char* kHistogramSummaryKeys[] = {
-    "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
-};
-
-}  // namespace
-
-std::map<std::string, double> flatten_metrics(const JsonValue& doc) {
-  std::map<std::string, double> out;
-  if (doc.kind != JsonValue::Kind::kObject) return out;
-
-  if (doc.has("metrics")) {
-    for (const auto& [key, v] : doc.at("metrics").object) {
-      if (v.kind == JsonValue::Kind::kNumber) out[key] = v.number;
-    }
-    return out;
-  }
-
-  if (doc.has("histograms")) {
-    for (const auto& [name, h] : doc.at("histograms").object) {
-      for (const char* key : kHistogramSummaryKeys) {
-        if (h.has(key) && h.at(key).kind == JsonValue::Kind::kNumber) {
-          out[name + "." + key] = h.at(key).number;
-        }
-      }
-    }
-    if (doc.has("dropped_samples") &&
-        doc.at("dropped_samples").kind == JsonValue::Kind::kNumber) {
-      out["dropped_samples"] = doc.at("dropped_samples").number;
-    }
-    return out;
-  }
-
-  flatten_leaves(doc, "", out);
-  return out;
-}
-
 DiffResult diff_metrics(const std::map<std::string, double>& baseline,
                         const std::map<std::string, double>& current,
                         double tolerance_pct) {

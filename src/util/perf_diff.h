@@ -19,16 +19,9 @@
 
 namespace scq::util {
 
-// Extracts the comparable metrics of a performance artifact as a flat
-// name → value map:
-//   - bench JSON ({"bench":..., "metrics":{...}}): each metrics entry;
-//   - telemetry JSON ({"histograms":{...}, ...}): per histogram the
-//     count/sum/min/max/mean/p50/p90/p99 summary, dot-joined
-//     ("enq_latency.p99"), plus the top-level dropped_samples;
-//   - anything else: every numeric leaf, dot-joined path, arrays
-//     skipped (bucket vectors are shape, not metrics).
-[[nodiscard]] std::map<std::string, double> flatten_metrics(
-    const JsonValue& doc);
+// The artifact flattener (util::flatten_metrics) lives in util/json.h:
+// it is shared with the telemetry exporter's summary-key list and the
+// bench harness baseline check, not specific to the diff below.
 
 struct MetricDelta {
   std::string key;

@@ -1,0 +1,175 @@
+// Partitioner unit tests: every policy yields a total partition, the
+// degree-balanced policy honors its greedy bound, and the degenerate
+// shapes (empty graph, singleton, more parts than vertices) hold up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/partition.h"
+
+namespace scq::graph {
+namespace {
+
+Graph star(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+class PartitionPolicies : public ::testing::TestWithParam<PartitionPolicy> {};
+
+TEST_P(PartitionPolicies, IsATotalPartition) {
+  RmatParams p;
+  p.n_vertices = 1024;
+  p.n_edges = 8192;
+  const Graph g = rmat(p);
+  for (std::uint32_t parts : {1u, 2u, 3u, 8u}) {
+    const Partition part = partition_graph(g, parts, GetParam());
+    ASSERT_EQ(part.num_parts, parts);
+    ASSERT_EQ(part.owner.size(), g.num_vertices());
+    ASSERT_EQ(part.part_vertices.size(), parts);
+    ASSERT_EQ(part.part_degree.size(), parts);
+
+    // Every vertex owned by exactly one part, listed exactly once.
+    std::vector<std::uint32_t> seen(g.num_vertices(), 0);
+    std::uint64_t total_degree = 0;
+    for (std::uint32_t d = 0; d < parts; ++d) {
+      std::uint64_t deg = 0;
+      for (Vertex v : part.part_vertices[d]) {
+        ASSERT_LT(v, g.num_vertices());
+        EXPECT_EQ(part.owner[v], d);
+        seen[v] += 1;
+        deg += g.out_degree(v);
+      }
+      EXPECT_EQ(part.part_degree[d], deg);
+      EXPECT_TRUE(std::is_sorted(part.part_vertices[d].begin(),
+                                 part.part_vertices[d].end()));
+      total_degree += deg;
+    }
+    for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(seen[v], 1u);
+    EXPECT_EQ(total_degree, g.num_edges());
+
+    EXPECT_GE(part.degree_imbalance(), parts == 1 ? 1.0 : 0.0);
+    EXPECT_GE(part.cut_fraction(g), 0.0);
+    EXPECT_LE(part.cut_fraction(g), 1.0);
+    if (parts == 1) {
+      EXPECT_EQ(part.cut_edges, 0u);
+      EXPECT_DOUBLE_EQ(part.degree_imbalance(), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PartitionPolicies,
+                         ::testing::Values(PartitionPolicy::kBlock,
+                                           PartitionPolicy::kRoundRobin,
+                                           PartitionPolicy::kDegreeBalanced),
+                         [](const auto& pinfo) {
+                           return std::string(to_string(pinfo.param)) == "block"
+                                      ? "Block"
+                                  : to_string(pinfo.param) == "round-robin"
+                                      ? "RoundRobin"
+                                      : "DegreeBalanced";
+                         });
+
+TEST(PartitionTest, BlockAssignsContiguousRanges) {
+  const Graph g = synthetic_kary(100, 3);
+  const Partition part = partition_graph(g, 3, PartitionPolicy::kBlock);
+  for (Vertex v = 0; v + 1 < g.num_vertices(); ++v) {
+    EXPECT_LE(part.owner[v], part.owner[v + 1]);
+  }
+}
+
+TEST(PartitionTest, RoundRobinIsModulo) {
+  const Graph g = synthetic_kary(100, 3);
+  const Partition part = partition_graph(g, 4, PartitionPolicy::kRoundRobin);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(part.owner[v], v % 4);
+  }
+}
+
+TEST(PartitionTest, DegreeBalancedHonorsGreedyBound) {
+  // LPT greedy guarantee: max load <= mean load + max single item. The
+  // star graph is the adversarial case (one vertex holds every edge).
+  for (const Graph& g : {star(500), synthetic_kary(2000, 4), [] {
+         RmatParams p;
+         p.n_vertices = 2048;
+         p.n_edges = 16384;
+         return rmat(p);
+       }()}) {
+    for (std::uint32_t parts : {2u, 4u, 7u}) {
+      const Partition part =
+          partition_graph(g, parts, PartitionPolicy::kDegreeBalanced);
+      std::uint64_t max_single = 0;
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        max_single = std::max<std::uint64_t>(max_single, g.out_degree(v));
+      }
+      const double mean =
+          static_cast<double>(g.num_edges()) / static_cast<double>(parts);
+      for (std::uint32_t d = 0; d < parts; ++d) {
+        EXPECT_LE(static_cast<double>(part.part_degree[d]),
+                  mean + static_cast<double>(max_single));
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, EmptyAndSingletonGraphs) {
+  const Graph empty = Graph::from_edges(0, {});
+  const Partition pe = partition_graph(empty, 4, PartitionPolicy::kBlock);
+  EXPECT_TRUE(pe.owner.empty());
+  EXPECT_EQ(pe.cut_edges, 0u);
+  EXPECT_DOUBLE_EQ(pe.degree_imbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(pe.cut_fraction(empty), 0.0);
+
+  const Graph one = Graph::from_edges(1, {});
+  for (auto policy : {PartitionPolicy::kBlock, PartitionPolicy::kRoundRobin,
+                      PartitionPolicy::kDegreeBalanced}) {
+    const Partition p1 = partition_graph(one, 3, PartitionPolicy(policy));
+    ASSERT_EQ(p1.owner.size(), 1u);
+    EXPECT_LT(p1.owner[0], 3u);
+    EXPECT_EQ(p1.cut_edges, 0u);
+  }
+}
+
+TEST(PartitionTest, MorePartsThanVertices) {
+  const Graph g = synthetic_kary(3, 2);
+  const Partition part = partition_graph(g, 8, PartitionPolicy::kBlock);
+  ASSERT_EQ(part.part_vertices.size(), 8u);
+  std::uint32_t nonempty = 0;
+  for (const auto& vs : part.part_vertices) nonempty += !vs.empty();
+  EXPECT_LE(nonempty, 3u);
+  EXPECT_GE(nonempty, 1u);
+}
+
+TEST(PartitionTest, CutEdgesCountsCrossingEdgesExactly) {
+  // 0->1->2->3 split in half at vertex 2: exactly one crossing edge.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  const Partition part = partition_graph(g, 2, PartitionPolicy::kBlock);
+  EXPECT_EQ(part.owner[1], 0u);
+  EXPECT_EQ(part.owner[2], 1u);
+  EXPECT_EQ(part.cut_edges, 1u);
+  EXPECT_DOUBLE_EQ(part.cut_fraction(g), 1.0 / 3.0);
+}
+
+TEST(PartitionTest, PolicyStringsRoundTrip) {
+  for (auto policy : {PartitionPolicy::kBlock, PartitionPolicy::kRoundRobin,
+                      PartitionPolicy::kDegreeBalanced}) {
+    EXPECT_EQ(partition_policy_from_string(to_string(policy)), policy);
+  }
+  EXPECT_EQ(partition_policy_from_string("rr"), PartitionPolicy::kRoundRobin);
+  EXPECT_EQ(partition_policy_from_string("degree-balanced"),
+            PartitionPolicy::kDegreeBalanced);
+  EXPECT_THROW((void)partition_policy_from_string("metis"), std::invalid_argument);
+}
+
+TEST(PartitionTest, InvalidPartCountThrows) {
+  const Graph g = synthetic_kary(10, 2);
+  EXPECT_THROW(partition_graph(g, 0, PartitionPolicy::kBlock),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scq::graph
