@@ -18,8 +18,10 @@
 #include "sim/task_trace.h"
 #include "sim/telemetry.h"
 #include "sim/trace.h"
+#include "sim/sim_profiler.h"
 #include "util/args.h"
 #include "util/csv.h"
+#include "util/html_report.h"
 #include "util/json.h"
 #include "util/perf_diff.h"
 #include "util/table.h"
@@ -77,20 +79,31 @@ inline std::vector<std::uint32_t> workgroup_sweep(std::uint32_t max_wgs) {
   return sweep;
 }
 
-// ---- Observability (--telemetry / --trace / --task-trace) ---------------
+// ---- Observability (--telemetry / --trace / --task-trace / --report) ----
 //
 // Every harness takes the same flags:
-//   --telemetry out.json     telemetry artifact (plus out.hist.csv and
-//                            out.series.csv siblings for plotting)
+//   --telemetry out.json     telemetry artifact (plus out.hist.csv,
+//                            out.series.csv and out.windows.csv
+//                            siblings for plotting)
 //   --telemetry-period N     cycles between time-series samples
+//                            (must be >= 1; rejected otherwise)
+//   --window-cycles N        width of one windowed-series aggregation
+//                            window in cycles
 //   --trace out.json         Chrome/Perfetto trace of the run
 //   --task-trace out.json    per-task lifecycle trace of the last run,
 //                            plus attribution/critical-path console
 //                            reports (and spawn flow arrows in --trace)
+//   --report out.html        self-contained HTML dashboard: windowed
+//                            series sparklines, per-device occupancy
+//                            heatmap, critical-path attribution table,
+//                            simulator self-profile (no external
+//                            assets; implies telemetry collection)
 //   --json out.json          machine-readable bench metrics
 //   --baseline base.json     diff metrics against this file; the bench
 //                            exits non-zero when a metric regressed
 //   --diff-tolerance P       allowed relative increase (percent)
+//   --diff-abs-tolerance A   allowed absolute increase for metrics
+//                            whose baseline value is zero
 //
 // Telemetry histograms and series accumulate over every run the bench
 // executes (each run restarts its cycle clock at 0, so a sweep's series
@@ -99,13 +112,22 @@ inline std::vector<std::uint32_t> workgroup_sweep(std::uint32_t max_wgs) {
 
 inline void add_observability_flags(util::ArgParser& args) {
   args.add_string("telemetry",
-                  "write telemetry JSON here (+ .hist.csv/.series.csv siblings)",
+                  "write telemetry JSON here (+ .hist.csv/.series.csv/"
+                  ".windows.csv siblings)",
                   "");
-  args.add_int("telemetry-period", "cycles between telemetry samples", 2048);
+  args.add_int("telemetry-period",
+               "cycles between telemetry samples (>= 1)", 2048);
+  args.add_int("window-cycles",
+               "windowed-series aggregation window width in cycles (>= 1)",
+               4096);
   args.add_string("trace", "write Chrome/Perfetto trace JSON here", "");
   args.add_string("task-trace",
                   "write per-task lifecycle trace JSON here (enables "
                   "critical-path and attribution reports)",
+                  "");
+  args.add_string("report",
+                  "write a self-contained HTML run dashboard here "
+                  "(series, heatmap, attribution, self-profile)",
                   "");
   args.add_string("json", "write machine-readable bench metrics JSON here", "");
   args.add_string("baseline",
@@ -114,6 +136,9 @@ inline void add_observability_flags(util::ArgParser& args) {
                   "");
   args.add_double("diff-tolerance",
                   "allowed relative metric increase for --baseline (percent)",
+                  0.0);
+  args.add_double("diff-abs-tolerance",
+                  "allowed absolute increase for zero-valued baseline metrics",
                   0.0);
   args.add_int("sim-seed",
                "schedule seed: permutes same-cycle event order "
@@ -133,16 +158,32 @@ class Observability {
         telemetry_path_(args.get_string("telemetry")),
         trace_path_(args.get_string("trace")),
         task_trace_path_(args.get_string("task-trace")),
+        report_path_(args.get_string("report")),
         json_path_(args.get_string("json")),
         baseline_path_(args.get_string("baseline")),
         diff_tolerance_(args.get_double("diff-tolerance")),
+        diff_abs_tolerance_(args.get_double("diff-abs-tolerance")),
         sim_seed_(static_cast<std::uint64_t>(
             std::max<std::int64_t>(0, args.get_int("sim-seed")))),
         sim_jitter_(static_cast<simt::Cycle>(
             std::max<std::int64_t>(0, args.get_int("sim-jitter")))) {
+    // A sampler period of 0 would divide the run into nothing; reject
+    // loudly instead of silently clamping (usage error, exit 2).
+    if (args.get_int("telemetry-period") <= 0) {
+      std::fprintf(stderr,
+                   "error: --telemetry-period must be >= 1 (got %lld)\n",
+                   static_cast<long long>(args.get_int("telemetry-period")));
+      std::exit(2);
+    }
+    if (args.get_int("window-cycles") <= 0) {
+      std::fprintf(stderr, "error: --window-cycles must be >= 1 (got %lld)\n",
+                   static_cast<long long>(args.get_int("window-cycles")));
+      std::exit(2);
+    }
     simt::Telemetry::Options topt;
-    topt.sample_period = static_cast<simt::Cycle>(
-        std::max<std::int64_t>(1, args.get_int("telemetry-period")));
+    topt.sample_period =
+        static_cast<simt::Cycle>(args.get_int("telemetry-period"));
+    topt.window_cycles = static_cast<simt::Cycle>(args.get_int("window-cycles"));
     telemetry_ = simt::Telemetry(topt);
     // Stamp the schedule configuration into every artifact so a capture
     // always identifies the (seed, jitter) that produced it.
@@ -155,21 +196,27 @@ class Observability {
 
   [[nodiscard]] bool enabled() const {
     return !telemetry_path_.empty() || !trace_path_.empty() ||
-           task_tracing();
+           task_tracing() || reporting();
   }
   [[nodiscard]] bool task_tracing() const { return !task_trace_path_.empty(); }
+  [[nodiscard]] bool reporting() const { return !report_path_.empty(); }
 
   // Points a run's option struct at the sinks the user asked for. The
   // constraint keeps this usable with option types that predate task
-  // tracing (the kernel-style CHAI/Rodinia ports).
+  // tracing (the kernel-style CHAI/Rodinia ports). --report implies
+  // telemetry collection (the dashboard is built from the windowed
+  // series) and attaches the simulator self-profiler where supported.
   template <typename Options>
   void apply(Options& opt) {
-    if (!telemetry_path_.empty()) opt.telemetry = &telemetry_;
+    if (!telemetry_path_.empty() || reporting()) opt.telemetry = &telemetry_;
     if constexpr (requires { opt.trace; }) {
       if (!trace_path_.empty()) opt.trace = &trace_;
     }
     if constexpr (requires { opt.task_trace; }) {
       if (task_tracing()) opt.task_trace = &task_trace_;
+    }
+    if constexpr (requires { opt.profiler; }) {
+      if (reporting()) opt.profiler = &profiler_;
     }
   }
 
@@ -204,6 +251,17 @@ class Observability {
     config.sched_seed = sim_seed_;
     config.sched_mem_jitter = sim_jitter_;
     config.sched_atomic_jitter = sim_jitter_;
+    if (enabled() &&
+        telemetry_.options().sample_period > config.max_cycles_per_launch) {
+      std::fprintf(stderr,
+                   "warning: --telemetry-period %llu exceeds the device's "
+                   "max_cycles_per_launch %llu — the sampler will never "
+                   "tick\n",
+                   static_cast<unsigned long long>(
+                       telemetry_.options().sample_period),
+                   static_cast<unsigned long long>(
+                       config.max_cycles_per_launch));
+    }
     return config;
   }
 
@@ -220,6 +278,7 @@ class Observability {
 
   [[nodiscard]] simt::Telemetry& telemetry() { return telemetry_; }
   [[nodiscard]] simt::TaskTrace& task_trace() { return task_trace_; }
+  [[nodiscard]] simt::SimProfiler& profiler() { return profiler_; }
 
   // Writes the requested artifacts, prints the task-trace reports, and
   // runs the --baseline regression diff. Returns false (with a message
@@ -260,6 +319,15 @@ class Observability {
       const std::string stem = strip_json_suffix(telemetry_path_);
       ok &= write_text(stem + ".hist.csv", telemetry_.histograms_csv());
       ok &= write_text(stem + ".series.csv", telemetry_.series_csv());
+      ok &= write_text(stem + ".windows.csv", telemetry_.windows_csv());
+    }
+    if (reporting()) {
+      if (build_report().write(report_path_)) {
+        std::printf("report -> %s\n", report_path_.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", report_path_.c_str());
+        ok = false;
+      }
     }
     if (!trace_path_.empty()) {
       if (trace_.write_chrome_json(trace_path_)) {
@@ -303,6 +371,124 @@ class Observability {
   }
 
  private:
+  // Adapts the run's collected telemetry / attribution / profiler state
+  // into the plain structs util/html_report.h renders. Every section is
+  // populated from whatever was collected; sections without data render
+  // an explicit empty state.
+  [[nodiscard]] util::HtmlReportBuilder build_report() const {
+    util::HtmlReportBuilder report;
+    report.set_title(bench_name_ + " run report");
+    report.add_meta("bench", bench_name_);
+    for (const auto& [k, v] : telemetry_.meta()) report.add_meta(k, v);
+    const simt::TimeSeriesStore& wins = telemetry_.windows();
+    report.add_meta("window_cycles",
+                    std::to_string(wins.window_cycles()));
+    report.add_meta("dropped_windows",
+                    std::to_string(wins.dropped_windows()));
+
+    // Per-superstep occupancy series become heatmap rows (dev<N>. for
+    // cluster runs, unprefixed for a one-device cluster); every other
+    // windowed series gets a sparkline.
+    constexpr std::string_view kHeatSuffix = "superstep.occupancy";
+    util::ReportHeatmap hm;
+    hm.title = "Occupancy heatmap (rows: devices, columns: supersteps)";
+    for (const std::string& name : wins.series_names()) {
+      const std::vector<simt::WindowSample> points = wins.series(name);
+      if (name.ends_with(kHeatSuffix)) {
+        hm.rows.push_back(name.size() > kHeatSuffix.size()
+                              ? name.substr(0, name.find('.'))
+                              : "dev0");
+        hm.values.emplace_back();
+        for (const simt::WindowSample& s : points) {
+          hm.values.back().push_back(static_cast<double>(s.value));
+        }
+        if (hm.col_starts.empty()) {
+          for (const simt::WindowSample& s : points) {
+            hm.col_starts.push_back(static_cast<double>(s.start));
+          }
+        }
+        continue;
+      }
+      util::ReportSeries rs;
+      rs.name = name;
+      rs.points.reserve(points.size());
+      for (const simt::WindowSample& s : points) {
+        rs.points.emplace_back(static_cast<double>(s.start),
+                               static_cast<double>(s.value));
+      }
+      report.add_series(std::move(rs));
+    }
+    if (hm.rows.empty()) {
+      // Single-device run: the per-window occupancy series still gives
+      // the heatmap section one row, so the dashboard shape is stable.
+      const std::vector<simt::WindowSample> occ =
+          wins.series(tel::kOccupancy);
+      if (!occ.empty()) {
+        hm.title = "Occupancy heatmap (single device, columns: windows)";
+        hm.rows.push_back("dev0");
+        hm.values.emplace_back();
+        for (const simt::WindowSample& s : occ) {
+          hm.col_starts.push_back(static_cast<double>(s.start));
+          hm.values.back().push_back(static_cast<double>(s.value));
+        }
+      }
+    }
+    report.set_heatmap(std::move(hm));
+
+    if (!attribution_columns_.empty()) {
+      util::ReportTable table;
+      table.title = "Critical-path attribution (cycles, % of summed "
+                    "task latency)";
+      table.columns.push_back("phase");
+      for (const auto& column : attribution_columns_) {
+        table.columns.push_back(column.first);
+      }
+      char cell[64];
+      for (unsigned b = 0; b < simt::kNumPhaseBuckets; ++b) {
+        const auto bucket = static_cast<simt::PhaseBucket>(b);
+        table.rows.push_back({simt::to_string(bucket)});
+        for (const auto& column : attribution_columns_) {
+          const simt::AttributionSummary& summary = column.second;
+          const simt::Cycle total = summary.attr.total();
+          const simt::Cycle cycles = summary.attr[bucket];
+          std::snprintf(cell, sizeof(cell), "%llu (%.1f%%)",
+                        static_cast<unsigned long long>(cycles),
+                        total > 0 ? 100.0 * static_cast<double>(cycles) /
+                                        static_cast<double>(total)
+                                  : 0.0);
+          table.rows.back().emplace_back(cell);
+        }
+      }
+      report.set_attribution(std::move(table));
+    }
+
+    if (profiler_.events() > 0) {
+      char buf[64];
+      std::vector<std::pair<std::string, std::string>> stats;
+      stats.emplace_back("events", std::to_string(profiler_.events()));
+      std::snprintf(buf, sizeof(buf), "%.3g", profiler_.events_per_sec());
+      stats.emplace_back("events/sec", buf);
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    profiler_.wall_seconds() * 1e3);
+      stats.emplace_back("wall ms", buf);
+      std::vector<util::ReportBar> bars;
+      const simt::SimProfiler::SubsystemShares sub =
+          profiler_.subsystem_shares();
+      bars.push_back({"heap", sub.heap});
+      bars.push_back({"telemetry", sub.telemetry});
+      bars.push_back({"memory model", sub.memory_model});
+      bars.push_back({"dispatch", sub.dispatch});
+      for (unsigned i = 0; i < simt::SimProfiler::kOps; ++i) {
+        const auto op = static_cast<simt::TraceOp>(i);
+        if (profiler_.op_count(op) == 0) continue;
+        bars.push_back({std::string("op: ") + simt::to_string(op),
+                        profiler_.op_share(op)});
+      }
+      report.set_profiler(std::move(bars), std::move(stats));
+    }
+    return report;
+  }
+
   // --baseline: diff the bench's own metrics (or, when the bench
   // recorded none, the telemetry summary) against the checked-in file.
   [[nodiscard]] bool check_baseline() {
@@ -319,8 +505,9 @@ class Observability {
           util::parse_json(telemetry_.to_json());
       if (own) current = util::flatten_metrics(*own);
     }
-    const util::DiffResult diff = util::diff_metrics(
-        util::flatten_metrics(*base_doc), current, diff_tolerance_);
+    const util::DiffResult diff =
+        util::diff_metrics(util::flatten_metrics(*base_doc), current,
+                           diff_tolerance_, diff_abs_tolerance_);
     std::printf("\nbaseline diff vs %s (tolerance %.2f%%):\n%s",
                 baseline_path_.c_str(), diff_tolerance_,
                 util::render_diff(diff, false).c_str());
@@ -359,13 +546,16 @@ class Observability {
   simt::Telemetry telemetry_;
   simt::TraceRecorder trace_;
   simt::TaskTrace task_trace_;
+  simt::SimProfiler profiler_;
   std::string bench_name_;
   std::string telemetry_path_;
   std::string trace_path_;
   std::string task_trace_path_;
+  std::string report_path_;
   std::string json_path_;
   std::string baseline_path_;
   double diff_tolerance_ = 0.0;
+  double diff_abs_tolerance_ = 0.0;
   std::uint64_t sim_seed_ = 0;
   simt::Cycle sim_jitter_ = 0;
   std::uint32_t device_count_ = 1;

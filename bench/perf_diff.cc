@@ -44,6 +44,9 @@ int main(int argc, char** argv) {
   args.add_string("current", "current metrics JSON to check", "");
   args.add_double("tolerance", "allowed relative increase per metric (percent)",
                   0.0);
+  args.add_double("abs-tolerance",
+                  "allowed absolute increase for zero-valued baseline metrics",
+                  0.0);
   args.add_flag("all", "print every metric, not just regressions", false);
   if (!args.parse(argc, argv)) return 2;
 
@@ -64,7 +67,8 @@ int main(int argc, char** argv) {
   if (!baseline || !current) return 2;
 
   const util::DiffResult diff =
-      util::diff_metrics(*baseline, *current, args.get_double("tolerance"));
+      util::diff_metrics(*baseline, *current, args.get_double("tolerance"),
+                         args.get_double("abs-tolerance"));
   std::printf("perf_diff: %s vs %s (tolerance %.2f%%)\n", current_path.c_str(),
               baseline_path.c_str(), args.get_double("tolerance"));
   std::fputs(util::render_diff(diff, args.get_flag("all")).c_str(), stdout);

@@ -1,0 +1,153 @@
+// Simulator self-throughput micro-bench: how fast does the DES itself
+// run, and what does attaching telemetry cost?
+//
+// Runs the same seed-0 persistent-thread BFS workload twice — once with
+// only the self-profiler attached, once with telemetry probes sampling
+// as well — and reports:
+//
+//   * events/sec of the host event loop (wall clock, nondeterministic),
+//   * per-event-type wall-clock attribution from the sampled profiler,
+//   * telemetry overhead as a percent slowdown vs the bare run,
+//     checked against the < 10% design budget (reported, not gated —
+//     wall clock on shared CI machines is too noisy to fail on).
+//
+// The deterministic half of the profile (events popped, simulated
+// cycles, one count per executed wave op) is a pure function of the
+// schedule, so it lives in a checked-in baseline and gates via
+// bench/perf_diff: an accidental event-count or op-mix change in the
+// simulator core shows up as a diff even though wall clock wobbles.
+//
+//   ./sim_throughput [--scale 0.05] [--repeat 3] [--json out.json]
+//                    [--baseline results/baselines/sim_throughput.json]
+//
+// The checked-in baseline must contain ONLY the deterministic metrics
+// (events, cycles, total_ops, ops.*) — perf_diff ignores keys that are
+// present only in the current artifact, so the wall-clock extras here
+// never trip the guard.
+#include "bench_common.h"
+
+using namespace scq;
+using namespace scq::bench;
+
+namespace {
+
+// One measured pass: `repeat` identical seed-0 BFS runs with the given
+// sinks attached, accumulating into `prof`.
+void run_pass(const simt::DeviceConfig& config, const graph::Graph& g,
+              std::uint32_t repeat, simt::SimProfiler& prof,
+              simt::Telemetry* telemetry) {
+  for (std::uint32_t r = 0; r < repeat; ++r) {
+    bfs::PtBfsOptions opt;
+    opt.profiler = &prof;
+    opt.telemetry = telemetry;
+    (void)run_validated(config, g, 0, opt);
+  }
+}
+
+void print_attribution(const simt::SimProfiler& prof) {
+  std::printf("  %-14s %14s %10s\n", "event type", "ops", "share");
+  for (unsigned i = 0; i < simt::SimProfiler::kOps; ++i) {
+    const auto op = static_cast<simt::TraceOp>(i);
+    if (prof.op_count(op) == 0) continue;
+    std::printf("  %-14s %14llu %9.2f%%\n", simt::to_string(op),
+                static_cast<unsigned long long>(prof.op_count(op)),
+                100.0 * prof.op_share(op));
+  }
+  for (unsigned i = 0; i < static_cast<unsigned>(simt::SimSection::kCount);
+       ++i) {
+    const auto s = static_cast<simt::SimSection>(i);
+    std::printf("  %-14s %14s %9.2f%%\n", simt::to_string(s), "-",
+                100.0 * prof.section_share(s));
+  }
+  const simt::SimProfiler::SubsystemShares sub = prof.subsystem_shares();
+  std::printf("  subsystems: heap %.2f%%  telemetry %.2f%%  memory model "
+              "%.2f%%  dispatch %.2f%%\n",
+              100.0 * sub.heap, 100.0 * sub.telemetry,
+              100.0 * sub.memory_model, 100.0 * sub.dispatch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("sim_throughput",
+                       "simulator event-loop throughput and telemetry "
+                       "overhead micro-bench");
+  args.add_double("scale", "dataset scale factor in (0,1]", 0.05);
+  args.add_int("repeat", "identical runs per pass (wall time accumulates)", 3);
+  args.add_string("device", "device config (Fiji|Spectre)", "Spectre");
+  add_observability_flags(args);
+  if (!args.parse(argc, argv)) return 2;
+  Observability obs(args, "sim_throughput");
+
+  const auto repeat = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, args.get_int("repeat")));
+  const DeviceEntry dev = device_by_name(args.get_string("device"));
+  const simt::DeviceConfig config = obs.tuned(dev.config);
+  const graph::Graph g =
+      bfs::dataset_by_name("Synthetic").build(args.get_double("scale"));
+
+  std::printf("sim_throughput — %s, Synthetic scale %.3g, %u run(s)/pass\n",
+              config.name.c_str(), args.get_double("scale"), repeat);
+
+  // Pass 1: profiler only. This is the bare event loop — its counts are
+  // the deterministic baseline and its wall time the overhead reference.
+  simt::SimProfiler& prof = obs.profiler();
+  prof.reset();
+  run_pass(config, g, repeat, prof, nullptr);
+  const double bare_wall = prof.wall_seconds();
+  std::printf("\nbare event loop (telemetry detached):\n");
+  std::printf("  events %llu, simulated cycles %llu, wave ops %llu\n",
+              static_cast<unsigned long long>(prof.events()),
+              static_cast<unsigned long long>(prof.cycles()),
+              static_cast<unsigned long long>(prof.total_ops()));
+  std::printf("  wall %.3f ms, %.3g events/sec\n", bare_wall * 1e3,
+              prof.events_per_sec());
+  std::printf("\nper-event-type wall-clock attribution (sampled):\n");
+  print_attribution(prof);
+
+  // Deterministic metrics for --json / --baseline. The wall-clock keys
+  // below them are informational only and must not enter the baseline.
+  obs.record_metric("events", static_cast<double>(prof.events()));
+  obs.record_metric("cycles", static_cast<double>(prof.cycles()));
+  obs.record_metric("total_ops", static_cast<double>(prof.total_ops()));
+  for (unsigned i = 0; i < simt::SimProfiler::kOps; ++i) {
+    const auto op = static_cast<simt::TraceOp>(i);
+    obs.record_metric(std::string("ops.") + simt::to_string(op),
+                      static_cast<double>(prof.op_count(op)));
+  }
+  obs.record_metric("wall_ms", bare_wall * 1e3);
+  obs.record_metric("events_per_sec", prof.events_per_sec());
+
+  // Pass 2: telemetry attached (scheduler probes sampling every period).
+  // Same schedule, so the event count matches the bare pass; the wall
+  // delta is the telemetry tax.
+  simt::SimProfiler prof_tel;
+  simt::Telemetry telemetry(obs.telemetry().options());
+  run_pass(config, g, repeat, prof_tel, &telemetry);
+  const double tel_wall = prof_tel.wall_seconds();
+  const double overhead_pct =
+      bare_wall > 0.0 ? 100.0 * (tel_wall - bare_wall) / bare_wall : 0.0;
+  std::printf("\ntelemetry attached (period %llu, window %llu):\n",
+              static_cast<unsigned long long>(
+                  telemetry.options().sample_period),
+              static_cast<unsigned long long>(
+                  telemetry.options().window_cycles));
+  std::printf("  wall %.3f ms, %.3g events/sec\n", tel_wall * 1e3,
+              prof_tel.events_per_sec());
+  std::printf("  overhead vs bare: %+.2f%% (budget < 10%%: %s)\n",
+              overhead_pct, overhead_pct < 10.0 ? "within" : "EXCEEDED");
+  std::printf("\nper-event-type wall-clock attribution (telemetry on):\n");
+  print_attribution(prof_tel);
+  if (prof_tel.events() != prof.events()) {
+    std::fprintf(stderr,
+                 "FATAL: telemetry changed the schedule (%llu events vs "
+                 "%llu bare) — probes must be read-only\n",
+                 static_cast<unsigned long long>(prof_tel.events()),
+                 static_cast<unsigned long long>(prof.events()));
+    return 1;
+  }
+  obs.record_metric("telemetry_overhead_pct", overhead_pct);
+
+  if (!obs.finish()) return 1;
+  return 0;
+}

@@ -244,6 +244,7 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
       register_scheduler_probes(*options.telemetry, dev, *queue);
       dev.attach_telemetry(options.telemetry);
     }
+    if (options.profiler) dev.attach_profiler(options.profiler);
 
     // Seed: source at level 0, its token in the scheduler (host-side, §3.1).
     dev.write_word(dg.cost.at(source), 0);

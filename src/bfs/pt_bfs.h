@@ -58,6 +58,10 @@ struct PtBfsOptions {
   // traceable token gets reserve/write/claim/arrival/exec events plus a
   // parent spawn edge, feeding sim/critical_path.h analysis.
   simt::TaskTrace* task_trace = nullptr;
+  // Optional simulator self-profiling (host wall-clock attribution of
+  // the event loop; accumulates across attempts and runs — the caller
+  // owns reset()).
+  simt::SimProfiler* profiler = nullptr;
 };
 
 // Runs one BFS to completion on a fresh device built from `config`.

@@ -210,6 +210,7 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
       register_scheduler_probes(*options.telemetry, dev, *queue);
       dev.attach_telemetry(options.telemetry);
     }
+    if (options.profiler) dev.attach_profiler(options.profiler);
 
     dev.write_word(dg.cost.at(source), 0);
     const std::uint64_t seed[] = {source};

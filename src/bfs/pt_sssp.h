@@ -39,6 +39,8 @@ struct PtSsspOptions {
   // Optional per-task lifecycle recording (cleared per attempt); see
   // PtBfsOptions::task_trace.
   simt::TaskTrace* task_trace = nullptr;
+  // Optional simulator self-profiling; see PtBfsOptions::profiler.
+  simt::SimProfiler* profiler = nullptr;
 };
 
 struct SsspResult {

@@ -63,13 +63,16 @@ Cluster::Cluster(const simt::DeviceConfig& config,
       register_scheduler_probes(*dev_tel, *devices_[d], *queues_[d]);
       if (n > 1) {
         Cluster* self = this;
-        dev_tel->register_gauge(tel::kXferBacklog, [self, d](simt::Cycle) {
+        const auto xfer_backlog = [self, d](simt::Cycle) {
           std::uint64_t sum = 0;
           for (std::uint32_t t = 0; t < self->num_devices(); ++t) {
             if (t != d) sum += self->rings_[d][t].backlog(*self->devices_[d]);
           }
           return sum;
-        });
+        };
+        dev_tel->register_gauge(tel::kXferBacklog, xfer_backlog);
+        // Same signal per fixed window, for the timeline dashboard.
+        dev_tel->register_window_gauge(tel::kXferBacklog, xfer_backlog);
       }
       devices_[d]->attach_telemetry(dev_tel.get());
       telemetry_.push_back(std::move(dev_tel));
@@ -119,6 +122,7 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
 
   simt::Cycle horizon = 0;
   bool guard_tripped = false;
+  RouterStats prev_router{};
   for (std::uint64_t step = 1;; ++step) {
     horizon += options_.quantum;
     bool any_dead = false;
@@ -131,17 +135,48 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     // parked between events. Host operations cost no simulated cycles;
     // the transfer latency the model charges is the quantum itself.
     router.collect(devices_, rings_);
-    if (options_.balance == BalancePolicy::kSteal) {
-      std::vector<std::uint64_t> backlog(n);
+    const bool want_windows = options_.telemetry != nullptr;
+    std::vector<std::uint64_t> backlog;
+    if (options_.balance == BalancePolicy::kSteal || want_windows) {
+      backlog.resize(n);
       for (std::uint32_t d = 0; d < n; ++d) {
         const QueueLayout& q = queues_[d]->layout();
         const std::uint64_t rear = devices_[d]->read_word(q.rear_addr());
         const std::uint64_t done = devices_[d]->read_word(q.completed_addr());
         backlog[d] = rear > done ? rear - done : 0;
       }
-      router.balance(backlog);
     }
+    if (options_.balance == BalancePolicy::kSteal) router.balance(backlog);
     router.deliver(devices_, queues_);
+
+    if (want_windows) {
+      // One window per superstep, stamped with the barrier horizon: the
+      // router's per-step deltas and the backlog imbalance on the
+      // unprefixed sink; per-device occupancy on each device's own
+      // telemetry (so the merge carries the dev<N>. prefix — the
+      // dashboard heatmap's rows).
+      const RouterStats cur = router.stats();
+      simt::Telemetry& sink = *options_.telemetry;
+      sink.record_window(tel::kRouterStolen, horizon,
+                         cur.stolen - prev_router.stolen);
+      sink.record_window(tel::kRouterDelivered, horizon,
+                         cur.delivered - prev_router.delivered);
+      sink.record_window(tel::kRouterDrained, horizon,
+                         cur.drained - prev_router.drained);
+      prev_router = cur;
+      const std::uint64_t max_b = *std::max_element(backlog.begin(),
+                                                    backlog.end());
+      std::uint64_t sum_b = 0;
+      for (std::uint64_t b : backlog) sum_b += b;
+      const std::uint64_t mean_b = sum_b / n;
+      sink.record_window(
+          tel::kClusterImbalance, horizon,
+          mean_b > 0 ? 100 * (max_b - mean_b) / mean_b : 0);
+      for (std::uint32_t d = 0; d < n; ++d) {
+        telemetry_[d]->record_window(tel::kSuperstepOccupancy, horizon,
+                                     queues_[d]->occupancy(*devices_[d]));
+      }
+    }
 
     guard_tripped = step >= kMaxSupersteps;
     if (any_dead || guard_tripped || quiescent(router)) break;

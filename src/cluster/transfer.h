@@ -32,6 +32,15 @@ namespace tel {
 inline constexpr const char kXferAggWidth[] = "xfer.agg_width";
 inline constexpr const char kXferEnqueueLatency[] = "xfer.enqueue_latency";
 inline constexpr const char kXferBacklog[] = "xfer.backlog";
+// Windowed series recorded at each superstep barrier (one window per
+// superstep, stamped with the barrier horizon). The router series live
+// on the unprefixed sink; the occupancy series is per-device (the
+// dashboard's heatmap rows).
+inline constexpr const char kRouterStolen[] = "router.stolen";
+inline constexpr const char kRouterDelivered[] = "router.delivered";
+inline constexpr const char kRouterDrained[] = "router.drained";
+inline constexpr const char kClusterImbalance[] = "cluster.imbalance_pct";
+inline constexpr const char kSuperstepOccupancy[] = "superstep.occupancy";
 }  // namespace tel
 
 // Per-wave, per-destination enqueue registers (the enqueue half of

@@ -52,6 +52,16 @@ inline constexpr const char kHungryLanes[] = "lanes.hungry";
 inline constexpr const char kAssignedLanes[] = "lanes.assigned";
 inline constexpr const char kWaveUtilization[] = "waves.utilization_pct";
 
+// Windowed series (sim/timeseries.h; exported under "windows"). Gauges
+// reuse the sampled-series names above — the two sinks answer different
+// questions about the same signal and never collide in the artifact.
+// The counter-delta windows below are per-window increments of the
+// DeviceStats counters; event-shaped window_add series reuse the
+// histogram names (one recorded event per histogram add).
+inline constexpr const char kWinPublishStalls[] = "queue.publish_stalls";
+inline constexpr const char kWinCasFailures[] = "queue.cas_failures";
+inline constexpr const char kWinQueueAtomics[] = "queue.atomics";
+
 }  // namespace tel
 
 }  // namespace scq

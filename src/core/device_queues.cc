@@ -142,10 +142,14 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
     });
   }
   if (simt::Telemetry* probes = probe_sink(w); probes && arrived) {
-    // Slot-monitor wait: slot assignment to the sentinel clearing.
+    // Slot-monitor wait: slot assignment to the sentinel clearing. The
+    // windowed series carries the same cycles per delivery window, so
+    // the dashboard can place the waits on the timeline.
     simt::Histogram& h = probes->histogram(tel::kSlotWait);
     for_lanes(arrived, [&](unsigned lane) {
-      h.add(w.now() - st.assign_cycle[lane]);
+      const simt::Cycle waited = w.now() - st.assign_cycle[lane];
+      h.add(waited);
+      probes->window_add(tel::kSlotWait, waited);
     });
   }
 
@@ -158,6 +162,7 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
     for_lanes(arrived, [&](unsigned lane) {
       next[lane] = slot_empty_word(st.epoch[lane] + 1);
     });
+    resident_ -= static_cast<std::uint64_t>(std::popcount(arrived));
     co_await w.store_lanes(arrived, addrs, next);
     st.assigned &= ~arrived;
   }
@@ -166,6 +171,7 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
 
 void DeviceQueue::seed(simt::Device& dev, std::span<const std::uint64_t> tokens) {
   seed_device_queue(dev, layout_, tokens);
+  resident_ = tokens.size();
   trace_seed_tasks(dev, *this, tokens);
 }
 
@@ -175,7 +181,11 @@ std::uint64_t DeviceQueue::occupancy(const simt::Device& dev) const {
   return rear > front ? rear - front : 0;
 }
 
-std::uint64_t DeviceQueue::resident_tokens(const simt::Device& dev) const {
+std::uint64_t DeviceQueue::resident_tokens(const simt::Device&) const {
+  return resident_;
+}
+
+std::uint64_t DeviceQueue::resident_tokens_scan(const simt::Device& dev) const {
   std::uint64_t n = 0;
   for (std::uint64_t i = 0; i < layout_.capacity; ++i) {
     if (!slot_is_empty(dev.read_word(layout_.slot_addr(i)))) ++n;
@@ -310,12 +320,17 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
                    st.parked[i].token);
       });
     }
+    resident_ += static_cast<std::uint64_t>(std::popcount(writable));
     co_await w.store_lanes(writable, addrs, full);
     w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(writable)));
     if (probes) {
       simt::Histogram& h = probes->histogram(tel::kPublishStall);
       for_lanes(writable, [&](unsigned i) {
-        if (st.parked[i].stalled) h.add(w.now() - st.parked[i].since);
+        if (st.parked[i].stalled) {
+          const simt::Cycle stalled = w.now() - st.parked[i].since;
+          h.add(stalled);
+          probes->window_add(tel::kPublishStall, stalled);
+        }
       });
     }
 

@@ -128,7 +128,11 @@ Kernel<void> LockedStack::publish(Wave& w, WaveQueueState& st) {
     if (probes) {
       simt::Histogram& h = probes->histogram(tel::kPublishStall);
       for (std::uint32_t i = 0; i < flush; ++i) {
-        if (st.parked[i].stalled) h.add(w.now() - st.parked[i].since);
+        if (st.parked[i].stalled) {
+          const simt::Cycle stalled = w.now() - st.parked[i].since;
+          h.add(stalled);
+          probes->window_add(tel::kPublishStall, stalled);
+        }
       }
     }
     std::uint32_t out = 0;
@@ -375,6 +379,7 @@ void DistributedQueue::seed(simt::Device& dev,
                    slot_full_word(0, tokens[i]));  // sub-queue 0
   }
   dev.write_word(rear_of(0), tokens.size());
+  resident_ = tokens.size();
   // Sub-queue 0, local tickets 0..n-1: encode_ticket(0, i) == i, so the
   // shared seed tracer's plain indices are already correct.
   trace_seed_tasks(dev, *this, tokens);

@@ -44,6 +44,13 @@ class LockedStack final : public DeviceQueue {
   [[nodiscard]] std::uint64_t occupancy(const simt::Device& dev) const override {
     return dev.read_word(top_addr());  // LIFO: Top == resident tokens
   }
+  // The LIFO's live slots are exactly [0, Top); pops leave the word in
+  // place and bypass the inherited write/recycle accounting, so Top is
+  // the residency.
+  [[nodiscard]] std::uint64_t resident_tokens(
+      const simt::Device& dev) const override {
+    return dev.read_word(top_addr());
+  }
 
  private:
   [[nodiscard]] Addr top_addr() const { return layout_.ctrl.at(0); }

@@ -294,9 +294,20 @@ class DeviceQueue {
 
   // Host-side count of ring slots currently holding a token (full
   // words). Bounded by capacity by construction; exposed so tests and
-  // ad-hoc gauges can assert the O(capacity) residency invariant. Costs
-  // no simulated cycles (O(capacity) host work per call).
+  // the telemetry sampler can watch the O(capacity) residency
+  // invariant. Maintained incrementally at the slot write/recycle sites
+  // (O(1) per call — the sampler reads it thousands of times per run)
+  // and exact whenever no fill/recycle store is in flight; see
+  // resident_tokens_scan for the memory ground truth.
   [[nodiscard]] virtual std::uint64_t resident_tokens(const simt::Device& dev) const;
+
+  // Ground-truth recount of full slots straight from ring memory
+  // (O(capacity) host work). Tests use it to pin resident_tokens'
+  // incremental accounting to the memory contents; not for the
+  // sampler's hot path. Counts full words regardless of epoch, so it is
+  // only meaningful for the ring variants (the locked stack leaves
+  // popped words in place and overrides resident_tokens with Top).
+  [[nodiscard]] std::uint64_t resident_tokens_scan(const simt::Device& dev) const;
 
   [[nodiscard]] const QueueLayout& layout() const { return layout_; }
 
@@ -327,6 +338,13 @@ class DeviceQueue {
                                                 std::uint64_t epoch) const {
     return epoch * layout_.capacity + slot;
   }
+
+  // Residency accounting behind resident_tokens: bumped where slot-full
+  // words are stored (flush_parked, seeding) and debited where arrived
+  // slots recycle to the next epoch's sentinel (check_arrival). Updated
+  // when the store is issued, so it can lead the simulated memory
+  // effect by a few cycles — exact at every quiescent point.
+  std::uint64_t resident_ = 0;
 
   // Device progress signature for the deadlock detector: any change
   // anywhere (claims, reservations, completions, processed tasks,

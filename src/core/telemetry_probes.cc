@@ -25,6 +25,30 @@ void register_scheduler_probes(simt::Telemetry& telemetry, simt::Device& dev,
     return d->atomic_unit().backlog(front, now) + d->atomic_unit().backlog(rear, now);
   });
 
+  // Windowed series: the same shape signals, cut into fixed cycle
+  // windows for the timeline dashboard. Gauges sample once per window
+  // close; counter probes record the per-window delta of the
+  // scheduler's atomic accounting.
+  telemetry.register_window_gauge(
+      tel::kOccupancy, [d, q](simt::Cycle) { return q->occupancy(*d); });
+  telemetry.register_window_gauge(
+      tel::kResidentTokens,
+      [d, q](simt::Cycle) { return q->resident_tokens(*d); });
+  telemetry.register_window_gauge(
+      tel::kAtomicBacklog, [d, front, rear](simt::Cycle now) {
+        return d->atomic_unit().backlog(front, now) +
+               d->atomic_unit().backlog(rear, now);
+      });
+  telemetry.register_window_counter(tel::kWinPublishStalls, [d](simt::Cycle) {
+    return d->stats().user[kPublishStalls];
+  });
+  telemetry.register_window_counter(tel::kWinCasFailures, [d](simt::Cycle) {
+    return d->stats().cas_failures;
+  });
+  telemetry.register_window_counter(tel::kWinQueueAtomics, [d](simt::Cycle) {
+    return d->stats().user[kQueueAtomics];
+  });
+
   // Utilization: ports issue one compute cycle per cycle at most, so
   // delta(compute_cycles) / (delta(t) * resident waves) approximates the
   // fraction of wave-cycles doing ALU work (vs waiting or polling).

@@ -63,6 +63,7 @@ void Device::launch_begin(std::uint32_t num_workgroups, KernelFactory factory) {
   events_processed_ = 0;
   abort_ = false;
   abort_reason_.clear();
+  if (profiler_) profiler_->begin_run();
   factory_ = std::move(factory);
   total_workgroups_ = num_workgroups;
   next_workgroup_ = 0;
@@ -90,6 +91,12 @@ bool Device::step_until(Cycle horizon) {
   }
   while (!events_.empty() && !abort_ && !kernel_error_ &&
          events_.top().t <= horizon) {
+    // Sampled self-profiling: time one iteration in 2^k, split into
+    // heap / telemetry / resume sections. The clock calls only happen
+    // on sampled iterations, so an attached profiler stays cheap.
+    const bool timed = profiler_ && profiler_->sample_due(events_processed_);
+    SimProfiler::clock::time_point t0;
+    if (timed) t0 = SimProfiler::clock::now();
     const Event ev = events_.top();
     events_.pop();
     if (ev.t > launch_start_ + config_.max_cycles_per_launch) {
@@ -97,8 +104,20 @@ bool Device::step_until(Cycle horizon) {
                      config_.name);
     }
     now_ = std::max(now_, ev.t);
+    if (timed) {
+      const auto t1 = SimProfiler::clock::now();
+      profiler_->add_section(SimSection::kHeap, t1 - t0);
+      t0 = t1;
+    }
     if (telemetry_) telemetry_->on_advance(now_);
+    if (timed) {
+      const auto t1 = SimProfiler::clock::now();
+      profiler_->add_section(SimSection::kTelemetry, t1 - t0);
+      t0 = t1;
+      profiler_->begin_resume();
+    }
     ev.h.resume();
+    if (timed) profiler_->end_resume(SimProfiler::clock::now() - t0);
 
     if ((++events_processed_ & ((1u << 22) - 1)) == 0) atomic_unit_.prune(now_);
 
@@ -130,6 +149,7 @@ RunResult Device::launch_end() {
   RunResult result;
   if (total_workgroups_ == 0) {
     result.stats = stats_ - launch_before_;
+    if (profiler_) profiler_->end_run(events_processed_, 0);
     return result;
   }
 
@@ -154,13 +174,22 @@ RunResult Device::launch_end() {
   }
 
   now_ = std::max(now_, launch_end_time_);
-  if (telemetry_) telemetry_->sample_now(now_);  // flush final state
+  if (telemetry_) {
+    telemetry_->sample_now(now_);        // flush final state
+    telemetry_->flush_windows(now_);     // close the partial tail window
+    // Ring-bound window loss becomes visible in the trace export's
+    // dropped-metadata record, alongside the recorder's own drops.
+    if (tracer_) {
+      tracer_->note_dropped_windows(telemetry_->windows().dropped_windows());
+    }
+  }
   result.cycles = now_ - launch_begin_cycle_;
   result.seconds = config_.seconds(result.cycles);
   result.stats = stats_ - launch_before_;
   result.aborted = abort_;
   result.abort_reason = abort_reason_;
   abort_ = false;
+  if (profiler_) profiler_->end_run(events_processed_, result.cycles);
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "sim/memory.h"
 #include "sim/op_history.h"
 #include "sim/sched_policy.h"
+#include "sim/sim_profiler.h"
 #include "sim/stats.h"
 #include "sim/task_trace.h"
 #include "sim/telemetry.h"
@@ -108,6 +109,11 @@ class Device {
   // Queues and drivers feed it; sim/critical_path.h consumes it.
   void attach_task_trace(TaskTrace* trace) { task_trace_ = trace; }
   [[nodiscard]] TaskTrace* task_trace() { return task_trace_; }
+  // Optional simulator self-profiling (not owned; nullptr disables):
+  // host wall-clock attribution of the event loop itself. Counts every
+  // wave op; times 1-in-2^k loop iterations (sim/sim_profiler.h).
+  void attach_profiler(SimProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] SimProfiler* profiler() { return profiler_; }
   // Seeded schedule perturbation (identity when sched_seed == 0).
   [[nodiscard]] SchedulePolicy& sched() { return sched_; }
   void request_abort(std::string reason);
@@ -138,6 +144,7 @@ class Device {
   Telemetry* telemetry_ = nullptr;
   OpHistory* op_history_ = nullptr;
   TaskTrace* task_trace_ = nullptr;
+  SimProfiler* profiler_ = nullptr;
   SchedulePolicy sched_;
 
   std::vector<ComputeUnit> cus_;

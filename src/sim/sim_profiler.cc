@@ -1,0 +1,95 @@
+#include "sim/sim_profiler.h"
+
+#include <cstdio>
+
+namespace simt {
+
+const char* to_string(SimSection s) {
+  switch (s) {
+    case SimSection::kHeap: return "heap";
+    case SimSection::kTelemetry: return "telemetry";
+    case SimSection::kDispatch: return "dispatch";
+    case SimSection::kCount: break;
+  }
+  return "?";
+}
+
+double SimProfiler::sampled_total_ns() const {
+  double total = 0.0;
+  for (double v : section_ns_) total += v;
+  for (double v : op_ns_) total += v;
+  return total;
+}
+
+double SimProfiler::section_share(SimSection s) const {
+  const double total = sampled_total_ns();
+  return total > 0.0 ? section_ns_[static_cast<unsigned>(s)] / total : 0.0;
+}
+
+double SimProfiler::op_share(TraceOp op) const {
+  const double total = sampled_total_ns();
+  return total > 0.0 ? op_ns_[static_cast<unsigned>(op)] / total : 0.0;
+}
+
+SimProfiler::SubsystemShares SimProfiler::subsystem_shares() const {
+  SubsystemShares out;
+  out.heap = section_share(SimSection::kHeap);
+  out.telemetry = section_share(SimSection::kTelemetry);
+  out.dispatch = section_share(SimSection::kDispatch) +
+                 op_share(TraceOp::kCompute) + op_share(TraceOp::kIdle);
+  for (TraceOp op : {TraceOp::kLoad, TraceOp::kStore, TraceOp::kVecLoad,
+                     TraceOp::kVecStore, TraceOp::kAtomic, TraceOp::kVecAtomic,
+                     TraceOp::kLds}) {
+    out.memory_model += op_share(op);
+  }
+  return out;
+}
+
+std::string SimProfiler::to_metrics_json(std::string_view bench_name) const {
+  char buf[128];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+
+  std::string out = "{\n  \"bench\": \"" + std::string(bench_name) +
+                    "\",\n  \"metrics\": {";
+  bool first = true;
+  const auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + key + "\": " + value;
+  };
+
+  // Deterministic block — the only keys a checked-in baseline may hold.
+  emit("events", u64(events_));
+  emit("cycles", u64(cycles_));
+  emit("total_ops", u64(total_ops()));
+  for (unsigned i = 0; i < kOps; ++i) {
+    emit(std::string("ops.") + to_string(static_cast<TraceOp>(i)),
+         u64(op_counts_[i]));
+  }
+
+  // Wall-clock block — nondeterministic; never baseline these.
+  emit("wall_ms", num(wall_ns_ * 1e-6));
+  emit("events_per_sec", num(events_per_sec()));
+  for (unsigned i = 0; i < static_cast<unsigned>(SimSection::kCount); ++i) {
+    emit(std::string("share.") + to_string(static_cast<SimSection>(i)),
+         num(section_share(static_cast<SimSection>(i))));
+  }
+  for (unsigned i = 0; i < kOps; ++i) {
+    emit(std::string("share.op.") + to_string(static_cast<TraceOp>(i)),
+         num(op_share(static_cast<TraceOp>(i))));
+  }
+  const SubsystemShares sub = subsystem_shares();
+  emit("share.subsystem.heap", num(sub.heap));
+  emit("share.subsystem.telemetry", num(sub.telemetry));
+  emit("share.subsystem.memory_model", num(sub.memory_model));
+  emit("share.subsystem.dispatch", num(sub.dispatch));
+
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace simt

@@ -1,0 +1,173 @@
+// Simulator self-profiler: where does the *host's* wall-clock go while
+// the DES runs?
+//
+// Every other instrument in src/sim measures the simulated machine;
+// this one measures the simulator. The ROADMAP's "make the simulator
+// itself fast" item needs a before/after yardstick for the event-loop
+// overhaul, and that yardstick has two halves:
+//
+//   * Deterministic event accounting — one count per executed wave
+//     operation (Wave::trace already funnels every awaitable through a
+//     single point), plus total events popped from the heap. These are
+//     a pure function of the schedule: bit-exact across reruns at
+//     seed 0, so they can live in a checked-in baseline.
+//   * Sampled wall-clock attribution — the device times one event-loop
+//     iteration in every 2^sample_shift, split into sections (heap pop,
+//     telemetry tick, coroutine resume) with the resume further
+//     attributed to the operation type the resumed awaitable executed.
+//     Sampling keeps the profiler's own overhead negligible; shares are
+//     unbiased because every iteration is equally likely to be timed.
+//     Wall-clock numbers are inherently nondeterministic and are NEVER
+//     part of the checked-in baseline (perf_diff ignores keys present
+//     only in the current run).
+//
+// Attach to a device like the tracer (Device::attach_profiler); a
+// detached profiler costs one pointer test per event. bench/
+// sim_throughput.cc drives it and emits the metrics JSON that
+// bench/perf_diff consumes.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "sim/config.h"
+#include "sim/trace.h"
+
+namespace simt {
+
+// Event-loop sections outside any wave operation.
+enum class SimSection : std::uint8_t {
+  kHeap = 0,      // priority-queue pop (+ top inspection)
+  kTelemetry,     // Telemetry::on_advance tick
+  kDispatch,      // resumes that executed no wave operation
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(SimSection s);
+
+class SimProfiler {
+ public:
+  static constexpr unsigned kOps = 9;  // TraceOp kCompute..kLds
+  static constexpr unsigned kNoOp = kOps;
+
+  struct Options {
+    // Time 1 event-loop iteration in every 2^sample_shift. 6 (1 in 64)
+    // keeps clock_gettime off the hot path while converging quickly.
+    std::uint32_t sample_shift = 6;
+  };
+
+  SimProfiler() : SimProfiler(Options{}) {}
+  explicit SimProfiler(Options options) : options_(options) {}
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // ---- Always-on counting (called from Wave::trace, every op) ----
+  void note_op(TraceOp op) {
+    ++op_counts_[static_cast<unsigned>(op)];
+    timed_op_ = static_cast<unsigned>(op);
+  }
+
+  // ---- Sampled timing (driven by Device::step_until) ----
+  [[nodiscard]] bool sample_due(std::uint64_t event_index) const {
+    return (event_index & ((std::uint64_t{1} << options_.sample_shift) - 1)) == 0;
+  }
+  using clock = std::chrono::steady_clock;
+  void add_section(SimSection s, clock::duration d) {
+    section_ns_[static_cast<unsigned>(s)] += ns(d);
+    ++section_samples_[static_cast<unsigned>(s)];
+  }
+  // A resume's time belongs to the operation the resumed awaitable
+  // reported via note_op during that resume; kDispatch when none did
+  // (scheduler bookkeeping, workgroup turnover, kernel epilogues).
+  void begin_resume() { timed_op_ = kNoOp; }
+  void end_resume(clock::duration d) {
+    if (timed_op_ == kNoOp) {
+      add_section(SimSection::kDispatch, d);
+    } else {
+      op_ns_[timed_op_] += ns(d);
+      ++op_samples_[timed_op_];
+    }
+  }
+
+  // ---- Run bracketing (events/sec throughput) ----
+  // begin_run/end_run may be called repeatedly; wall time and event
+  // counts accumulate across the bracketed spans.
+  void begin_run() { run_start_ = clock::now(); }
+  void end_run(std::uint64_t events_processed, Cycle cycles) {
+    wall_ns_ += ns(clock::now() - run_start_);
+    events_ += events_processed;
+    cycles_ += cycles;
+  }
+
+  void reset() { *this = SimProfiler(options_); }
+
+  // ---- Deterministic accessors (baseline-safe) ----
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] Cycle cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t op_count(TraceOp op) const {
+    return op_counts_[static_cast<unsigned>(op)];
+  }
+  [[nodiscard]] std::uint64_t total_ops() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : op_counts_) sum += c;
+    return sum;
+  }
+
+  // ---- Wall-clock accessors (nondeterministic) ----
+  [[nodiscard]] double wall_seconds() const { return wall_ns_ * 1e-9; }
+  [[nodiscard]] double events_per_sec() const {
+    return wall_ns_ > 0.0 ? static_cast<double>(events_) / (wall_ns_ * 1e-9)
+                          : 0.0;
+  }
+  [[nodiscard]] double section_ns(SimSection s) const {
+    return section_ns_[static_cast<unsigned>(s)];
+  }
+  [[nodiscard]] double op_ns(TraceOp op) const {
+    return op_ns_[static_cast<unsigned>(op)];
+  }
+  // Share of sampled time in [0,1] per section/op; unbiased estimator
+  // of the loop's true split.
+  [[nodiscard]] double sampled_total_ns() const;
+  [[nodiscard]] double section_share(SimSection s) const;
+  [[nodiscard]] double op_share(TraceOp op) const;
+  // Subsystem rollup over shares: heap / telemetry / memory model
+  // (load, store, vector, atomic, LDS ops) / dispatch (everything else
+  // including compute and idle).
+  struct SubsystemShares {
+    double heap = 0.0;
+    double telemetry = 0.0;
+    double memory_model = 0.0;
+    double dispatch = 0.0;
+  };
+  [[nodiscard]] SubsystemShares subsystem_shares() const;
+
+  // Metrics JSON in the bench artifact shape ({"bench":..,"metrics":{..}}
+  // — util/json.h flatten_metrics reads the "metrics" object). Counts
+  // are deterministic; wall-clock keys are emitted only so humans and
+  // dashboards can read them — a checked-in baseline must contain only
+  // the deterministic subset (perf_diff ignores extra current keys).
+  [[nodiscard]] std::string to_metrics_json(std::string_view bench_name) const;
+
+ private:
+  static double ns(clock::duration d) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+
+  Options options_;
+  std::array<std::uint64_t, kOps> op_counts_{};
+  std::array<double, kOps> op_ns_{};
+  std::array<std::uint64_t, kOps> op_samples_{};
+  std::array<double, static_cast<unsigned>(SimSection::kCount)> section_ns_{};
+  std::array<std::uint64_t, static_cast<unsigned>(SimSection::kCount)>
+      section_samples_{};
+  unsigned timed_op_ = kNoOp;
+  clock::time_point run_start_{};
+  double wall_ns_ = 0.0;
+  std::uint64_t events_ = 0;
+  Cycle cycles_ = 0;
+};
+
+}  // namespace simt

@@ -129,11 +129,13 @@ void Telemetry::merge_from(const Telemetry& other) {
     }
   }
   dropped_samples_ += other.dropped_samples_;
+  windows_.merge_from(other.windows_);
 }
 
 void Telemetry::clear_probes() {
   gauges_.clear();
   shards_.clear();
+  windows_.clear_probes();
   // A new probed run starts its cycle clock at 0; restart the sampler so
   // the new run's early cycles are not masked by the previous run's
   // aligned next-tick.
@@ -166,6 +168,7 @@ void Telemetry::sample_now(Cycle now) {
 void Telemetry::reset_data() {
   histograms_.clear();
   series_.clear();
+  windows_.reset_data();
   dropped_samples_ = 0;
   next_sample_ = 0;
 }
@@ -234,7 +237,7 @@ std::string Telemetry::to_json() const {
     }
     out += ']';
   }
-  out += "\n  }\n}\n";
+  out += "\n  },\n  \"windows\": " + windows_.to_json() + "\n}\n";
   return out;
 }
 

@@ -14,6 +14,11 @@
 //     (queue occupancy, atomic-unit backlog, hungry/assigned lane
 //     counts, resident-wave utilization) at a configurable period and
 //     records (cycle, value) points per named series.
+//   * Windowed series — a fixed-cycle-window ring (sim/timeseries.h)
+//     aggregating gauges, counter deltas, and event accumulations per
+//     window: "how much happened during [t, t+W)" with bounded memory
+//     and oldest-first overwrite. Registered/fed through the
+//     window_*/record_window members below; exported under "windows".
 //
 // Attach to a device like the tracer (Device::attach_telemetry); the
 // event loop drives sampling as simulated time advances. Sampled points
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/timeseries.h"
 
 namespace simt {
 
@@ -107,10 +113,15 @@ class Telemetry {
   struct Options {
     Cycle sample_period = 2048;        // cycles between sampler ticks
     std::size_t max_samples = 1 << 16;  // per-series cap (then drops)
+    Cycle window_cycles = 4096;         // windowed-series aggregation width
+    std::size_t max_windows = 16384;    // per-windowed-series ring capacity
   };
 
   Telemetry() : Telemetry(Options{}) {}
-  explicit Telemetry(Options options) : options_(options) {}
+  explicit Telemetry(Options options)
+      : options_(options),
+        windows_(TimeSeriesStore::Options{options.window_cycles,
+                                          options.max_windows}) {}
 
   [[nodiscard]] const Options& options() const { return options_; }
 
@@ -149,6 +160,33 @@ class Telemetry {
   // a device-wide series without the waves coordinating.
   void set_shard(std::string_view name, std::uint32_t shard, std::uint64_t value);
 
+  // ---- Windowed series (sim/timeseries.h; prefix applies) ----
+  // Sampled once at each window close.
+  void register_window_gauge(std::string_view name, TimeSeriesStore::Gauge fn) {
+    windows_.register_gauge(prefix_ + std::string(name), std::move(fn));
+  }
+  // Monotonic cumulative callback; windows record the per-window delta.
+  void register_window_counter(std::string_view name,
+                               TimeSeriesStore::Gauge fn) {
+    windows_.register_counter(prefix_ + std::string(name), std::move(fn));
+  }
+  // Accumulates into the open window (event-shaped signals).
+  void window_add(std::string_view name, std::uint64_t value) {
+    windows_.add(prefix_.empty() ? std::string(name)
+                                 : prefix_ + std::string(name),
+                 value);
+  }
+  // Appends one closed window directly (host-driven series, e.g. the
+  // cluster router's per-superstep deltas).
+  void record_window(std::string_view name, Cycle cycle, std::uint64_t value) {
+    windows_.record_window(prefix_ + std::string(name), cycle, value);
+  }
+  [[nodiscard]] const TimeSeriesStore& windows() const { return windows_; }
+  [[nodiscard]] TimeSeriesStore& windows() { return windows_; }
+  // Closes the partial open window (the device calls this at launch end
+  // so the run's tail is never silently missing from the timeline).
+  void flush_windows(Cycle now) { windows_.flush(now); }
+
   // Drops all gauges and shard registrations (recorded data stays) and
   // restarts the sampling clock, since the next probed run begins at
   // cycle 0. Re-registration is required after the probed objects are
@@ -157,15 +195,21 @@ class Telemetry {
 
   // ---- Sampling (driven by Device's event loop) ----
   // Samples at most once per sample_period; cheap no-op in between.
+  // Also closes windowed-series windows as boundaries are crossed.
   void on_advance(Cycle now) {
+    windows_.on_advance(now);
     if (now >= next_sample_) sample_now(now);
   }
   // Forces a sample at `now` (used to flush final state at launch end).
   void sample_now(Cycle now);
 
-  // Mirrors every sampled point into `tracer` as a counter-track event
+  // Mirrors every sampled point (and every closed window, as a
+  // "win."-prefixed track) into `tracer` as counter-track events
   // (nullptr disables). Not owned.
-  void mirror_counters_to(TraceRecorder* tracer) { mirror_ = tracer; }
+  void mirror_counters_to(TraceRecorder* tracer) {
+    mirror_ = tracer;
+    windows_.mirror_counters_to(tracer);
+  }
 
   [[nodiscard]] const std::map<std::string, std::vector<Sample>, std::less<>>&
   series() const {
@@ -198,12 +242,14 @@ class Telemetry {
   bool write_json(const std::string& path) const;
 
   // CSV tables (util/csv): one row per non-empty histogram bucket /
-  // one row per series point.
+  // one row per series point / one row per closed window.
   [[nodiscard]] std::string histograms_csv() const;
   [[nodiscard]] std::string series_csv() const;
+  [[nodiscard]] std::string windows_csv() const { return windows_.to_csv(); }
 
  private:
   Options options_;
+  TimeSeriesStore windows_;
   std::string prefix_;
   std::map<std::string, std::string, std::less<>> meta_;
   std::map<std::string, Histogram, std::less<>> histograms_;

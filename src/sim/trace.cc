@@ -130,10 +130,12 @@ std::string TraceRecorder::to_chrome_json() const {
   if (!first) out += ',';
   std::snprintf(buf, sizeof(buf),
                 "{\"name\":\"dropped\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-                "\"args\":{\"slices\":%llu,\"counters\":%llu,\"flows\":%llu}}",
+                "\"args\":{\"slices\":%llu,\"counters\":%llu,\"flows\":%llu,"
+                "\"windows\":%llu}}",
                 static_cast<unsigned long long>(dropped_),
                 static_cast<unsigned long long>(dropped_counters_),
-                static_cast<unsigned long long>(dropped_flows_));
+                static_cast<unsigned long long>(dropped_flows_),
+                static_cast<unsigned long long>(dropped_windows_));
   out += buf;
   out += "]}";
   return out;
@@ -143,11 +145,13 @@ bool TraceRecorder::write_chrome_json(const std::string& path) const {
   if (total_dropped() > 0) {
     std::fprintf(stderr,
                  "trace: %llu event(s) dropped past capacity (slices %llu, "
-                 "counters %llu, flows %llu) — the export is truncated\n",
+                 "counters %llu, flows %llu, windows %llu) — the export is "
+                 "truncated\n",
                  static_cast<unsigned long long>(total_dropped()),
                  static_cast<unsigned long long>(dropped_),
                  static_cast<unsigned long long>(dropped_counters_),
-                 static_cast<unsigned long long>(dropped_flows_));
+                 static_cast<unsigned long long>(dropped_flows_),
+                 static_cast<unsigned long long>(dropped_windows_));
   }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;

@@ -122,12 +122,19 @@ class TraceRecorder {
   [[nodiscard]] const std::vector<Counter>& counters() const { return counters_; }
   [[nodiscard]] const std::vector<Async>& asyncs() const { return asyncs_; }
   [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  // Windowed-series windows the telemetry layer overwrote before they
+  // could be mirrored here (ring-bound loss, not recorder capacity).
+  // Folded into the "dropped" metadata record so a truncated timeline is
+  // detectable from the trace file alone.
+  void note_dropped_windows(std::uint64_t n) { dropped_windows_ = n; }
+
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t dropped_counters() const { return dropped_counters_; }
   [[nodiscard]] std::uint64_t dropped_flows() const { return dropped_flows_; }
+  [[nodiscard]] std::uint64_t dropped_windows() const { return dropped_windows_; }
   // Events lost across every record kind; the export warning keys on it.
   [[nodiscard]] std::uint64_t total_dropped() const {
-    return dropped_ + dropped_counters_ + dropped_flows_;
+    return dropped_ + dropped_counters_ + dropped_flows_ + dropped_windows_;
   }
   void clear() {
     events_.clear();
@@ -137,6 +144,7 @@ class TraceRecorder {
     dropped_ = 0;
     dropped_counters_ = 0;
     dropped_flows_ = 0;
+    dropped_windows_ = 0;
   }
 
   // Free-form run metadata (schedule seed, jitter bounds), exported as a
@@ -171,6 +179,7 @@ class TraceRecorder {
   std::uint64_t dropped_ = 0;
   std::uint64_t dropped_counters_ = 0;
   std::uint64_t dropped_flows_ = 0;
+  std::uint64_t dropped_windows_ = 0;
 };
 
 }  // namespace simt

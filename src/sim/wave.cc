@@ -53,6 +53,7 @@ void Wave::finish(Cycle completion, std::coroutine_handle<> h) {
 }
 
 void Wave::trace(Cycle begin, Cycle end, TraceOp op) {
+  if (SimProfiler* p = dev_->profiler()) p->note_op(op);
   if (TraceRecorder* t = dev_->tracer()) {
     t->record({begin, end, cu_->id, slot_, workgroup_id_, op});
   }

@@ -1,0 +1,92 @@
+// Self-contained HTML run-report generator: one file, zero external
+// assets, readable offline and attachable to CI artifacts.
+//
+// The JSON/CSV artifacts are complete but not *glanceable*: answering
+// "when did the stalls spike" or "which device starved" means loading
+// them into a plotting stack first. The report inlines that first look:
+// sparkline charts of the windowed time series, a per-device occupancy
+// heatmap across supersteps, the critical-path attribution table, and
+// the simulator self-profiler's breakdown — all as inline SVG/CSS (no
+// scripts, no fonts, no network), so the file renders anywhere a
+// browser does, including air-gapped CI artifact viewers.
+//
+// Layering: this is scq_util — it knows nothing about the simulator.
+// Callers (bench/bench_common.h) adapt telemetry/profiler/attribution
+// objects into the plain structs below; the builder only renders.
+// Every section is always emitted (with an explicit empty-state line
+// when it has no data), so a report's structure is stable for golden
+// tests and a missing signal is visibly "no data", not silently absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scq::util {
+
+// One windowed time series: (window start cycle, value) points in
+// chronological order.
+struct ReportSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+// Row-major matrix for the device × superstep occupancy heatmap.
+// `values[r][c]` is row `rows[r]` at column stamp `col_starts[c]`; rows
+// may be ragged (short rows render missing cells as empty).
+struct ReportHeatmap {
+  std::string title;
+  std::vector<std::string> rows;
+  std::vector<double> col_starts;
+  std::vector<std::vector<double>> values;
+};
+
+// A generic pre-formatted table (critical-path attribution).
+struct ReportTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// One bar of the profiler breakdown; `share` in [0, 1].
+struct ReportBar {
+  std::string label;
+  double share = 0.0;
+};
+
+class HtmlReportBuilder {
+ public:
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_meta(std::string key, std::string value) {
+    meta_.emplace_back(std::move(key), std::move(value));
+  }
+  void add_series(ReportSeries series) {
+    series_.push_back(std::move(series));
+  }
+  void set_heatmap(ReportHeatmap heatmap) { heatmap_ = std::move(heatmap); }
+  void set_attribution(ReportTable table) { attribution_ = std::move(table); }
+  void set_profiler(std::vector<ReportBar> bars,
+                    std::vector<std::pair<std::string, std::string>> stats = {}) {
+    profiler_ = std::move(bars);
+    profiler_stats_ = std::move(stats);
+  }
+
+  // The complete HTML document. Deterministic: a function of the data
+  // alone (no timestamps, no randomness), so seed-0 reruns are
+  // bit-exact.
+  [[nodiscard]] std::string render() const;
+  // Writes render() to `path`; false on open/short-write/close failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string title_ = "Run report";
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<ReportSeries> series_;
+  ReportHeatmap heatmap_;
+  ReportTable attribution_;
+  std::vector<ReportBar> profiler_;
+  std::vector<std::pair<std::string, std::string>> profiler_stats_;
+};
+
+}  // namespace scq::util

@@ -7,7 +7,7 @@ namespace scq::util {
 
 DiffResult diff_metrics(const std::map<std::string, double>& baseline,
                         const std::map<std::string, double>& current,
-                        double tolerance_pct) {
+                        double tolerance_pct, double abs_tolerance) {
   DiffResult result;
   for (const auto& [key, base] : baseline) {
     const auto it = current.find(key);
@@ -19,11 +19,17 @@ DiffResult diff_metrics(const std::map<std::string, double>& baseline,
     d.key = key;
     d.baseline = base;
     d.current = it->second;
-    const double denom = std::max(base, 1.0);
+    // Reporting only: percent change against a zero baseline is
+    // rendered relative to 1 so the sign and scale still read.
     d.delta_pct = base == 0.0 && d.current == 0.0
                       ? 0.0
-                      : 100.0 * (d.current - base) / denom;
-    d.regressed = d.current > base + denom * tolerance_pct / 100.0;
+                      : 100.0 * (d.current - base) / std::max(base, 1.0);
+    // Zero baselines get the absolute allowance — a relative tolerance
+    // of nothing is nothing, and the old max(base, 1) denominator let
+    // the tolerance knob silently mean "absolute" there.
+    const double allowance =
+        base > 0.0 ? base * tolerance_pct / 100.0 : abs_tolerance;
+    d.regressed = d.current > base + allowance;
     result.deltas.push_back(std::move(d));
   }
   return result;

@@ -44,14 +44,19 @@ struct DiffResult {
   }
 };
 
-// Compares current against baseline. A metric regresses when
-//   current > baseline + max(baseline, 1) * tolerance_pct / 100
-// (the max() keeps a zero baseline from demanding exact zero forever).
-// Metrics only in `current` are ignored — new measurements must not
-// fail old baselines.
+// Compares current against baseline. A non-zero baseline metric
+// regresses when
+//   current > baseline + baseline * tolerance_pct / 100
+// A zero-valued baseline has nothing for a relative tolerance to be
+// relative *to*, so it falls back to the absolute allowance instead:
+//   current > abs_tolerance
+// (the default 0 demands a zero metric stay exactly zero — the honest
+// reading of a deterministic baseline). Metrics only in `current` are
+// ignored — new measurements must not fail old baselines.
 [[nodiscard]] DiffResult diff_metrics(
     const std::map<std::string, double>& baseline,
-    const std::map<std::string, double>& current, double tolerance_pct);
+    const std::map<std::string, double>& current, double tolerance_pct,
+    double abs_tolerance = 0.0);
 
 // Human-readable report; `all` includes non-regressed metrics too.
 [[nodiscard]] std::string render_diff(const DiffResult& diff, bool all);

@@ -389,10 +389,31 @@ TEST(PerfDiffTest, ExtraCurrentMetricsAreIgnored) {
   EXPECT_TRUE(diff_metrics({{"x", 1.0}}, {{"x", 1.0}, {"new", 99.0}}, 0.0).ok());
 }
 
-TEST(PerfDiffTest, ZeroBaselineToleratesWithinAbsoluteSlack) {
-  // denominator max(baseline, 1): tolerance 5% allows current <= 0.05.
-  EXPECT_TRUE(diff_metrics({{"x", 0.0}}, {{"x", 0.04}}, 5.0).ok());
-  EXPECT_FALSE(diff_metrics({{"x", 0.0}}, {{"x", 1.0}}, 5.0).ok());
+TEST(PerfDiffTest, ZeroBaselineDemandsExactZeroByDefault) {
+  // A relative tolerance of nothing is nothing: with the default
+  // absolute slack of 0, a zero-valued baseline metric must stay
+  // exactly zero, whatever the relative tolerance knob says.
+  EXPECT_TRUE(diff_metrics({{"x", 0.0}}, {{"x", 0.0}}, 5.0).ok());
+  EXPECT_FALSE(diff_metrics({{"x", 0.0}}, {{"x", 0.04}}, 5.0).ok());
+  EXPECT_FALSE(diff_metrics({{"x", 0.0}}, {{"x", 1.0}}, 100.0).ok());
+}
+
+TEST(PerfDiffTest, ZeroBaselineHonorsAbsoluteTolerance) {
+  EXPECT_TRUE(diff_metrics({{"x", 0.0}}, {{"x", 3.0}}, 0.0, 3.0).ok());
+  EXPECT_FALSE(diff_metrics({{"x", 0.0}}, {{"x", 3.5}}, 0.0, 3.0).ok());
+  // The absolute slack applies only where the relative rule cannot:
+  // non-zero baselines keep the percentage tolerance.
+  EXPECT_FALSE(diff_metrics({{"x", 1.0}}, {{"x", 5.0}}, 5.0, 100.0).ok());
+  EXPECT_TRUE(diff_metrics({{"x", 100.0}}, {{"x", 104.0}}, 5.0, 0.0).ok());
+}
+
+TEST(PerfDiffTest, ZeroBaselineDeltaRendersAgainstUnitDenominator) {
+  // Reporting only: the percent column against a zero baseline reads
+  // relative to 1 so sign and scale still make sense.
+  const DiffResult diff = diff_metrics({{"x", 0.0}}, {{"x", 2.0}}, 0.0, 4.0);
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  EXPECT_FALSE(diff.deltas[0].regressed);
+  EXPECT_DOUBLE_EQ(diff.deltas[0].delta_pct, 200.0);
 }
 
 }  // namespace

@@ -223,6 +223,8 @@ TEST_P(VariantTest, QueueFullParksInsteadOfAborting) {
   // wave's parked buffer.
   EXPECT_EQ(dev.read_word(layout.rear_addr()), 64u);
   EXPECT_EQ(queue->resident_tokens(dev), 8u);
+  EXPECT_EQ(queue->resident_tokens_scan(dev), 8u)
+      << "incremental residency accounting must match the memory contents";
   EXPECT_EQ(result.stats.user[kTokensEnqueued], 8u);
   EXPECT_EQ(st.n_parked, 64u - 8u);
 }
@@ -271,6 +273,8 @@ TEST_P(VariantTest, ParkedTokensDrainThroughConsumersAcrossEpochs) {
   EXPECT_EQ(dev.read_word(layout.rear_addr()), 64u);
   EXPECT_EQ(dev.read_word(layout.completed_addr()), 64u);
   EXPECT_EQ(queue->resident_tokens(dev), 0u);
+  EXPECT_EQ(queue->resident_tokens_scan(dev), 0u)
+      << "a drained ring must scan clean after 8 epochs of slot recycling";
   EXPECT_GT(result.stats.user[kPublishStalls], 0u)
       << "a burst 8x the ring must register publish backpressure";
 }

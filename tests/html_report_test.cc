@@ -1,0 +1,167 @@
+// Golden-structure tests for the self-contained HTML run report: the
+// five sections are always present (with explicit empty states), the
+// document inlines everything (no external asset references), data
+// renders as SVG sparklines/heatmap cells, long runs decimate with a
+// visible "showing N of M" note, HTML metacharacters are escaped, and
+// rendering is a deterministic function of the data.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/html_report.h"
+
+namespace scq::util {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// Every report — even an empty one — carries the same section skeleton,
+// so goldens and CI artifact checks can key on stable ids.
+void expect_golden_structure(const std::string& html) {
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  for (const char* id : {"id=\"meta\"", "id=\"series\"", "id=\"heatmap\"",
+                         "id=\"attribution\"", "id=\"profiler\""}) {
+    EXPECT_EQ(count_occurrences(html, id), 1u) << id;
+  }
+  // Self-contained: styles inline, no external fetches of any kind.
+  EXPECT_NE(html.find("<style>"), std::string::npos);
+  for (const char* external : {"<script", "<link", "src=", "@import", "url("}) {
+    EXPECT_EQ(html.find(external), std::string::npos)
+        << "external reference leaked: " << external;
+  }
+}
+
+TEST(HtmlReportTest, EmptyReportKeepsGoldenStructure) {
+  const std::string html = HtmlReportBuilder{}.render();
+  expect_golden_structure(html);
+  // Each data-less section states its emptiness instead of vanishing.
+  EXPECT_GE(count_occurrences(html, "class=\"empty\""), 4u);
+  EXPECT_NE(html.find("no windowed series recorded"), std::string::npos);
+}
+
+HtmlReportBuilder populated_builder() {
+  HtmlReportBuilder b;
+  b.set_title("fig1 <run> & report");
+  b.add_meta("device", "Fiji");
+  b.add_meta("graph \"g\"", "kary <16>");
+  b.add_series({"queue.occupancy",
+                {{0.0, 3.0}, {4096.0, 9.0}, {8192.0, 5.0}}});
+  b.set_heatmap({"Occupancy heatmap",
+                 {"dev0", "dev1"},
+                 {0.0, 1.0, 2.0},
+                 {{1.0, 2.0, 3.0}, {4.0, 5.0}}});  // ragged second row
+  b.set_attribution({"Critical-path attribution",
+                     {"op", "cycles"},
+                     {{"atomic", "120"}, {"load <vec>", "80"}}});
+  b.set_profiler({{"heap", 0.25}, {"memory model", 0.5}},
+                 {{"events/sec", "1.2e6"}});
+  return b;
+}
+
+TEST(HtmlReportTest, PopulatedSectionsRenderSvgAndTables) {
+  const std::string html = populated_builder().render();
+  expect_golden_structure(html);
+  EXPECT_EQ(html.find("class=\"empty\""), std::string::npos)
+      << "every section has data";
+
+  // Sparkline: one polyline, per-point hover circles (sparse series),
+  // and the values table for exact reads.
+  EXPECT_EQ(count_occurrences(html, "<polyline"), 1u);
+  EXPECT_EQ(count_occurrences(html, "<circle"), 3u);
+  EXPECT_NE(html.find("3 windows"), std::string::npos);
+  EXPECT_NE(html.find("<details><summary>values</summary>"), std::string::npos);
+
+  // Heatmap: 3 + 2 cells (the ragged row simply renders fewer), row
+  // labels, and time axis endpoints.
+  EXPECT_EQ(count_occurrences(html, "<rect"), 5u);
+  EXPECT_NE(html.find(">dev1</text>"), std::string::npos);
+  EXPECT_NE(html.find(">t=0</text>"), std::string::npos);
+
+  // Attribution table and profiler bars.
+  EXPECT_NE(html.find("<td>atomic</td><td>120</td>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(html, "class=\"bar-row\""), 2u);
+  EXPECT_NE(html.find("50.0%"), std::string::npos);
+  EXPECT_NE(html.find("events/sec"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EscapesHtmlMetacharacters) {
+  const std::string html = populated_builder().render();
+  EXPECT_NE(html.find("fig1 &lt;run&gt; &amp; report"), std::string::npos);
+  EXPECT_NE(html.find("graph &quot;g&quot;"), std::string::npos);
+  EXPECT_NE(html.find("load &lt;vec&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("<run>"), std::string::npos);
+}
+
+TEST(HtmlReportTest, RenderIsDeterministic) {
+  EXPECT_EQ(populated_builder().render(), populated_builder().render());
+}
+
+TEST(HtmlReportTest, LongSeriesDecimatesPoints) {
+  HtmlReportBuilder b;
+  ReportSeries s;
+  s.name = "long";
+  for (int i = 0; i < 10000; ++i) {
+    s.points.emplace_back(i, i % 17);
+  }
+  b.add_series(std::move(s));
+  const std::string html = b.render();
+  // The polyline carries at most 256 decimated points; hover circles
+  // are suppressed at this density. The full count is still reported
+  // and the values table caps with an explicit remainder note.
+  EXPECT_EQ(count_occurrences(html, "<circle"), 0u);
+  EXPECT_LE(count_occurrences(html, ","), 10000u);
+  EXPECT_NE(html.find("10000 windows"), std::string::npos);
+  EXPECT_NE(html.find("more (see CSV artifact)"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WideHeatmapDecimatesColumnsVisibly) {
+  ReportHeatmap hm;
+  hm.title = "wide";
+  hm.rows = {"dev0"};
+  std::vector<double> row;
+  for (int c = 0; c < 1000; ++c) {
+    hm.col_starts.push_back(c);
+    row.push_back(c % 7);
+  }
+  hm.values.push_back(std::move(row));
+  HtmlReportBuilder b;
+  b.set_heatmap(std::move(hm));
+  const std::string html = b.render();
+  EXPECT_EQ(count_occurrences(html, "<rect"), 160u) << "column cap";
+  EXPECT_NE(html.find("showing 160 of 1000 columns"), std::string::npos);
+  // First and last columns always survive decimation.
+  EXPECT_NE(html.find("t=0:"), std::string::npos);
+  EXPECT_NE(html.find("t=999:"), std::string::npos);
+}
+
+TEST(HtmlReportTest, NarrowHeatmapShowsEveryColumn) {
+  ReportHeatmap hm;
+  hm.rows = {"dev0"};
+  hm.col_starts = {0.0, 1.0};
+  hm.values = {{1.0, 2.0}};
+  HtmlReportBuilder b;
+  b.set_heatmap(std::move(hm));
+  const std::string html = b.render();
+  EXPECT_EQ(count_occurrences(html, "<rect"), 2u);
+  EXPECT_EQ(html.find("columns</span>"), std::string::npos)
+      << "no decimation note when nothing was dropped";
+}
+
+TEST(HtmlReportTest, WriteReportsFilesystemFailure) {
+  const HtmlReportBuilder b;
+  const std::string path = ::testing::TempDir() + "/scq_report.html";
+  ASSERT_TRUE(b.write(path));
+  EXPECT_FALSE(b.write("/nonexistent-dir/report.html"));
+}
+
+}  // namespace
+}  // namespace scq::util

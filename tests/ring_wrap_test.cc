@@ -97,6 +97,12 @@ TEST_P(RingWrapTest, TreeWorkloadSurvivesManyEpochs) {
   }
   EXPECT_EQ(result.stats.user[kTasksProcessed], kTotal);
   EXPECT_EQ(queue->resident_tokens(dev), 0u) << "ring fully drained";
+  if (variant != QueueVariant::kStack) {
+    // Pin the incremental residency counter to the memory ground truth
+    // (the stack leaves popped words in place, so the scan is
+    // meaningless there).
+    EXPECT_EQ(queue->resident_tokens_scan(dev), 0u);
+  }
   expect_residency_bounded(telemetry, queue->layout().capacity);
 
   if (variant == QueueVariant::kBase || variant == QueueVariant::kAn ||
@@ -165,6 +171,9 @@ TEST_P(RingWrapVariantTest, SeedFillingTheRingStillTerminates) {
   }
   EXPECT_EQ(result.stats.user[kTasksProcessed], expected);
   EXPECT_EQ(queue->resident_tokens(dev), 0u);
+  if (variant != QueueVariant::kStack) {
+    EXPECT_EQ(queue->resident_tokens_scan(dev), 0u);
+  }
 }
 
 TEST_P(RingWrapVariantTest, SequentialChainWrapsWithoutLossOrDup) {
@@ -191,6 +200,10 @@ TEST_P(RingWrapVariantTest, SequentialChainWrapsWithoutLossOrDup) {
   }
   EXPECT_EQ(result.stats.user[kTasksProcessed], kChain);
   EXPECT_EQ(queue->resident_tokens(dev), 0u);
+  if (variant != QueueVariant::kStack) {
+    EXPECT_EQ(queue->resident_tokens_scan(dev), 0u)
+        << ">25 wrap epochs must recycle every slot back to a sentinel";
+  }
 }
 
 TEST(RingWrapTelemetryTest, PublishStallHistogramReachesJsonExport) {

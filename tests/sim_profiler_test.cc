@@ -1,0 +1,175 @@
+// Tests for the simulator self-profiler: sampling arithmetic, resume
+// attribution (noted op vs dispatch), the deterministic/wall-clock
+// split of the metrics JSON, and run-to-run determinism of the event
+// accounting under a real device schedule — the property that lets
+// profiler counts live in a checked-in perf baseline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "sim/device.h"
+#include "sim/sim_profiler.h"
+#include "util/json.h"
+#include "util/perf_diff.h"
+
+namespace simt {
+namespace {
+
+using scq::util::diff_metrics;
+using scq::util::flatten_metrics;
+using scq::util::parse_json;
+
+TEST(SimProfilerTest, SampleDueHonorsShift) {
+  SimProfiler p({.sample_shift = 6});  // 1 in 64
+  EXPECT_TRUE(p.sample_due(0));
+  EXPECT_FALSE(p.sample_due(1));
+  EXPECT_FALSE(p.sample_due(63));
+  EXPECT_TRUE(p.sample_due(64));
+  EXPECT_TRUE(p.sample_due(128));
+  SimProfiler every({.sample_shift = 0});
+  EXPECT_TRUE(every.sample_due(0));
+  EXPECT_TRUE(every.sample_due(1));
+}
+
+TEST(SimProfilerTest, NoteOpCountsAlwaysOn) {
+  SimProfiler p;
+  p.note_op(TraceOp::kLoad);
+  p.note_op(TraceOp::kLoad);
+  p.note_op(TraceOp::kAtomic);
+  EXPECT_EQ(p.op_count(TraceOp::kLoad), 2u);
+  EXPECT_EQ(p.op_count(TraceOp::kAtomic), 1u);
+  EXPECT_EQ(p.op_count(TraceOp::kCompute), 0u);
+  EXPECT_EQ(p.total_ops(), 3u);
+  p.reset();
+  EXPECT_EQ(p.total_ops(), 0u);
+}
+
+TEST(SimProfilerTest, ResumeTimeFollowsTheNotedOp) {
+  using namespace std::chrono_literals;
+  SimProfiler p;
+  // A resume that executed a load: its time belongs to the load bucket.
+  p.begin_resume();
+  p.note_op(TraceOp::kLoad);
+  p.end_resume(3us);
+  // A resume that executed no wave op: scheduler bookkeeping.
+  p.begin_resume();
+  p.end_resume(1us);
+  p.add_section(SimSection::kHeap, 2us);
+  p.add_section(SimSection::kTelemetry, 2us);
+
+  EXPECT_DOUBLE_EQ(p.op_ns(TraceOp::kLoad), 3000.0);
+  EXPECT_DOUBLE_EQ(p.section_ns(SimSection::kDispatch), 1000.0);
+  EXPECT_DOUBLE_EQ(p.sampled_total_ns(), 8000.0);
+  EXPECT_DOUBLE_EQ(p.op_share(TraceOp::kLoad), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(p.section_share(SimSection::kHeap), 2.0 / 8.0);
+
+  // The subsystem rollup partitions the sampled time: shares sum to 1.
+  const SimProfiler::SubsystemShares sub = p.subsystem_shares();
+  EXPECT_DOUBLE_EQ(sub.heap + sub.telemetry + sub.memory_model + sub.dispatch,
+                   1.0);
+  EXPECT_DOUBLE_EQ(sub.memory_model, 3.0 / 8.0) << "loads are memory model";
+}
+
+TEST(SimProfilerTest, SharesAreZeroWithoutSamples) {
+  const SimProfiler p;
+  EXPECT_DOUBLE_EQ(p.sampled_total_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(p.op_share(TraceOp::kCompute), 0.0);
+  EXPECT_DOUBLE_EQ(p.section_share(SimSection::kHeap), 0.0);
+  EXPECT_DOUBLE_EQ(p.events_per_sec(), 0.0);
+}
+
+// ---- Device integration -------------------------------------------------
+
+DeviceConfig prof_cfg() {
+  DeviceConfig c;
+  c.num_cus = 2;
+  c.waves_per_cu = 2;
+  c.mem_latency = 100;
+  c.atomic_latency = 40;
+  c.atomic_service = 4;
+  c.lds_latency = 8;
+  c.issue_cost = 2;
+  c.kernel_launch_overhead = 500;
+  return c;
+}
+
+void run_profiled(SimProfiler& prof) {
+  // Device::launch brackets the run itself when a profiler is attached.
+  Device dev(prof_cfg());
+  const Buffer data = dev.alloc(64);
+  dev.attach_profiler(&prof);
+  (void)dev.launch(2, [&](Wave& w) -> Kernel<void> {
+    for (int i = 0; i < 6; ++i) {
+      co_await w.compute(50);
+      co_await w.load(data.at(static_cast<std::uint64_t>(i)));
+      co_await w.atomic_add(data.at(32), 1);
+    }
+  });
+}
+
+TEST(SimProfilerTest, DeviceRunCountsAreDeterministic) {
+  SimProfiler a, b;
+  run_profiled(a);
+  run_profiled(b);
+  ASSERT_GT(a.events(), 0u);
+  ASSERT_GT(a.total_ops(), 0u);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_EQ(a.cycles(), b.cycles());
+  for (unsigned i = 0; i < SimProfiler::kOps; ++i) {
+    EXPECT_EQ(a.op_count(static_cast<TraceOp>(i)),
+              b.op_count(static_cast<TraceOp>(i)))
+        << "op " << to_string(static_cast<TraceOp>(i));
+  }
+  // The kernel's explicit ops are all accounted: 2 workgroups x 6
+  // iterations, one wave-uniform op of each kind per iteration.
+  EXPECT_EQ(a.op_count(TraceOp::kCompute), 2u * 6u);
+  EXPECT_EQ(a.op_count(TraceOp::kLoad), 2u * 6u);
+  EXPECT_EQ(a.op_count(TraceOp::kAtomic), 2u * 6u);
+}
+
+TEST(SimProfilerTest, BaselineSubsetOfMetricsJsonDiffsClean) {
+  // The contract with bench/perf_diff: a checked-in baseline holds only
+  // the deterministic keys; the current artifact's wall-clock extras
+  // are ignored, so a same-schedule rerun diffs clean at tolerance 0.
+  SimProfiler a, b;
+  run_profiled(a);
+  run_profiled(b);
+
+  const auto base_doc = parse_json(a.to_metrics_json("prof_test"));
+  const auto cur_doc = parse_json(b.to_metrics_json("prof_test"));
+  ASSERT_TRUE(base_doc.has_value()) << "metrics export must be valid JSON";
+  ASSERT_TRUE(cur_doc.has_value());
+  EXPECT_EQ(base_doc->at("bench").str, "prof_test");
+
+  const std::map<std::string, double> current = flatten_metrics(*cur_doc);
+  EXPECT_TRUE(current.contains("wall_ms")) << "wall keys exist for humans";
+  EXPECT_TRUE(current.contains("share.subsystem.heap"));
+
+  std::map<std::string, double> baseline;
+  for (const auto& [key, value] : flatten_metrics(*base_doc)) {
+    if (key == "events" || key == "cycles" || key == "total_ops" ||
+        key.rfind("ops.", 0) == 0) {
+      baseline[key] = value;
+    }
+  }
+  ASSERT_EQ(baseline.size(), 3u + SimProfiler::kOps);
+  EXPECT_GT(baseline.at("ops.compute"), 0.0);
+  EXPECT_TRUE(diff_metrics(baseline, current, 0.0).ok())
+      << "deterministic counts must replay bit-exactly";
+}
+
+TEST(SimProfilerTest, RunBracketsAccumulate) {
+  SimProfiler p;
+  run_profiled(p);
+  const std::uint64_t events_once = p.events();
+  const Cycle cycles_once = p.cycles();
+  run_profiled(p);  // second bracketed run accumulates
+  EXPECT_EQ(p.events(), 2 * events_once);
+  EXPECT_EQ(p.cycles(), 2 * cycles_once);
+  EXPECT_GE(p.wall_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace simt
