@@ -21,6 +21,7 @@
 #include "sim/sim_profiler.h"
 #include "util/args.h"
 #include "util/csv.h"
+#include "util/sweep.h"
 #include "util/html_report.h"
 #include "util/json.h"
 #include "util/perf_diff.h"
@@ -77,6 +78,31 @@ inline std::vector<std::uint32_t> workgroup_sweep(std::uint32_t max_wgs) {
   for (std::uint32_t wg = 1; wg < max_wgs; wg *= 2) sweep.push_back(wg);
   sweep.push_back(max_wgs);
   return sweep;
+}
+
+// ---- Host-parallel sweeps (--sweep-threads) ----
+//
+// Benches whose points are independent simulations accept
+//   --sweep-threads N    run sweep points on N host threads
+//                        (1 = serial, 0 = one per hardware thread)
+// Points run on worker threads only when every point is self-contained;
+// observability sinks (telemetry/trace/task-trace/report) are shared
+// process state, so enabling any of them forces the serial path.
+
+inline void add_sweep_flags(util::ArgParser& args) {
+  args.add_int("sweep-threads",
+               "host threads for independent sweep points "
+               "(1 = serial, 0 = hardware concurrency)",
+               1);
+}
+
+// Worker count for a sweep of `points` independent points; `serial_only`
+// (observability attached, timing pass, ...) pins the sweep to one
+// thread regardless of the flag.
+inline unsigned sweep_threads(const util::ArgParser& args, std::size_t points,
+                              bool serial_only = false) {
+  if (serial_only) return 1;
+  return util::resolve_sweep_threads(args.get_int("sweep-threads"), points);
 }
 
 // ---- Observability (--telemetry / --trace / --task-trace / --report) ----

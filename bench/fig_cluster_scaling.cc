@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   args.add_int("quantum", "superstep quantum in cycles", 2048);
   args.add_flag("sssp", "run weighted SSSP instead of BFS", false);
   args.add_string("csv", "dump raw series to this CSV file", "");
+  add_sweep_flags(args);
   add_observability_flags(args);
   if (!args.parse(argc, argv)) return 2;
   Observability obs(args, "fig_cluster_scaling");
@@ -106,89 +107,102 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
 
-    std::vector<double> base_cycles(3, 0.0);
-    for (const std::uint32_t n : devices) {
-      std::printf("%-8u", n);
+    // Every (device count, variant) point is an independent cluster
+    // simulation against the shared const graph/reference, so the grid
+    // fans out over the sweep runner; each worker fills only its own
+    // slot and the table below renders from the slots in grid order,
+    // identical to a serial sweep. Observability sinks are shared
+    // process state, so any attached sink pins the sweep to one thread.
+    struct Point {
+      std::uint32_t n = 0;
+      QueueVariant variant{};
       int vi = 0;
-      for (const QueueVariant variant : variants) {
-        bfs::ClusterBfsOptions opt;
-        opt.num_devices = n;
-        opt.variant = variant;
-        opt.partition = partition;
-        opt.balance = balance;
-        opt.quantum = static_cast<simt::Cycle>(args.get_int("quantum"));
-        obs.apply(opt);
+    };
+    struct PointResult {
+      simt::Cycle cycles = 0;
+      std::uint64_t supersteps = 0, delivered = 0, stolen = 0;
+      double cut = 0.0;
+      std::string error;
+    };
+    std::vector<Point> points;
+    for (const std::uint32_t n : devices) {
+      int vi = 0;
+      for (const QueueVariant variant : variants) points.push_back({n, variant, vi++});
+    }
+    std::vector<PointResult> results(points.size());
+    const unsigned threads = sweep_threads(args, points.size(), obs.enabled());
 
-        simt::Cycle cycles = 0;
-        std::uint64_t supersteps = 0, delivered = 0, stolen = 0;
-        double cut = 0.0;
-        if (sssp) {
-          const bfs::ClusterSsspResult r =
-              bfs::run_cluster_sssp(obs.tuned(dev.config), g, spec.source, opt);
-          if (r.run.aborted) {
-            std::fprintf(stderr, "FATAL: %s d%u aborted: %s\n",
-                         std::string(to_string(variant)).c_str(), n,
-                         r.run.abort_reason.c_str());
-            return 1;
-          }
-          if (r.dist != sssp_ref) {
-            std::fprintf(stderr, "FATAL: SSSP mismatch (%s, %u devices)\n",
-                         std::string(to_string(variant)).c_str(), n);
-            return 1;
-          }
-          cycles = r.run.cycles;
-          supersteps = r.run.supersteps;
-          delivered = r.run.router.delivered;
-          stolen = r.run.router.stolen;
-          cut = static_cast<double>(r.cut_edges) /
-                std::max<double>(1.0, static_cast<double>(g.num_edges()));
-        } else {
-          const bfs::ClusterBfsResult r =
-              bfs::run_cluster_bfs(obs.tuned(dev.config), g, spec.source, opt);
-          if (r.run.aborted) {
-            std::fprintf(stderr, "FATAL: %s d%u aborted: %s\n",
-                         std::string(to_string(variant)).c_str(), n,
-                         r.run.abort_reason.c_str());
-            return 1;
-          }
-          if (!bfs::matches_reference(r.levels, bfs_ref)) {
-            std::fprintf(stderr, "FATAL: BFS mismatch (%s, %u devices): %s\n",
-                         std::string(to_string(variant)).c_str(), n,
-                         bfs::first_mismatch(r.levels, bfs_ref).c_str());
-            return 1;
-          }
-          cycles = r.run.cycles;
-          supersteps = r.run.supersteps;
-          delivered = r.run.router.delivered;
-          stolen = r.run.router.stolen;
-          cut = static_cast<double>(r.cut_edges) /
-                std::max<double>(1.0, static_cast<double>(g.num_edges()));
+    util::parallel_sweep(points.size(), threads, [&](std::size_t i) {
+      const Point& p = points[i];
+      PointResult& out = results[i];
+      bfs::ClusterBfsOptions opt;
+      opt.num_devices = p.n;
+      opt.variant = p.variant;
+      opt.partition = partition;
+      opt.balance = balance;
+      opt.quantum = static_cast<simt::Cycle>(args.get_int("quantum"));
+      obs.apply(opt);
+
+      const auto fail = [&](const std::string& what) {
+        out.error = "FATAL: " + std::string(to_string(p.variant)) + " d" +
+                    std::to_string(p.n) + ": " + what;
+      };
+      if (sssp) {
+        const bfs::ClusterSsspResult r =
+            bfs::run_cluster_sssp(obs.tuned(dev.config), g, spec.source, opt);
+        if (r.run.aborted) return fail("aborted: " + r.run.abort_reason);
+        if (r.dist != sssp_ref) return fail("SSSP mismatch");
+        out = {r.run.cycles, r.run.supersteps, r.run.router.delivered,
+               r.run.router.stolen,
+               static_cast<double>(r.cut_edges) /
+                   std::max<double>(1.0, static_cast<double>(g.num_edges())),
+               {}};
+      } else {
+        const bfs::ClusterBfsResult r =
+            bfs::run_cluster_bfs(obs.tuned(dev.config), g, spec.source, opt);
+        if (r.run.aborted) return fail("aborted: " + r.run.abort_reason);
+        if (!bfs::matches_reference(r.levels, bfs_ref)) {
+          return fail("BFS mismatch: " + bfs::first_mismatch(r.levels, bfs_ref));
         }
-
-        obs.after_run(std::string(to_string(variant)) + ".d" +
-                      std::to_string(n));
-        const std::string key = "Cluster." + spec.name + "." +
-                                std::string(to_string(variant)) + ".d" +
-                                std::to_string(n);
-        obs.record_metric(key + ".cycles", static_cast<double>(cycles));
-        obs.record_metric(key + ".supersteps",
-                          static_cast<double>(supersteps));
-
-        if (base_cycles[vi] == 0.0) {
-          base_cycles[vi] = static_cast<double>(cycles);
-        }
-        const double speedup =
-            base_cycles[vi] / static_cast<double>(cycles);
-        std::printf(" %14llu %7.2fx",
-                    static_cast<unsigned long long>(cycles), speedup);
-        csv.add_row({spec.name, std::string(to_string(variant)),
-                     std::to_string(n), std::to_string(cycles),
-                     util::Table::fmt_double(speedup, 3),
-                     std::to_string(supersteps), std::to_string(delivered),
-                     std::to_string(stolen), util::Table::fmt_double(cut, 4)});
-        ++vi;
+        out = {r.run.cycles, r.run.supersteps, r.run.router.delivered,
+               r.run.router.stolen,
+               static_cast<double>(r.cut_edges) /
+                   std::max<double>(1.0, static_cast<double>(g.num_edges())),
+               {}};
       }
-      std::printf("\n");
+    });
+
+    std::vector<double> base_cycles(3, 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      const PointResult& r = results[i];
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "%s\n", r.error.c_str());
+        return 1;
+      }
+      if (p.vi == 0) std::printf("%-8u", p.n);
+
+      obs.after_run(std::string(to_string(p.variant)) + ".d" +
+                    std::to_string(p.n));
+      const std::string key = "Cluster." + spec.name + "." +
+                              std::string(to_string(p.variant)) + ".d" +
+                              std::to_string(p.n);
+      obs.record_metric(key + ".cycles", static_cast<double>(r.cycles));
+      obs.record_metric(key + ".supersteps",
+                        static_cast<double>(r.supersteps));
+
+      if (base_cycles[p.vi] == 0.0) {
+        base_cycles[p.vi] = static_cast<double>(r.cycles);
+      }
+      const double speedup = base_cycles[p.vi] / static_cast<double>(r.cycles);
+      std::printf(" %14llu %7.2fx",
+                  static_cast<unsigned long long>(r.cycles), speedup);
+      csv.add_row({spec.name, std::string(to_string(p.variant)),
+                   std::to_string(p.n), std::to_string(r.cycles),
+                   util::Table::fmt_double(speedup, 3),
+                   std::to_string(r.supersteps), std::to_string(r.delivered),
+                   std::to_string(r.stolen), util::Table::fmt_double(r.cut, 4)});
+      if (p.vi == 2) std::printf("\n");
     }
   }
 

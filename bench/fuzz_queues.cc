@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "support/fuzz_harness.h"
 #include "util/args.h"
 #include "util/prng.h"
+#include "util/sweep.h"
 
 namespace {
 
@@ -61,14 +63,6 @@ scq::fuzz::HostFuzzCase host_case_for_seed(std::uint64_t seed) {
   return c;
 }
 
-bool run_one_sim(const scq::fuzz::SimFuzzCase& c, bool verbose) {
-  const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
-  if (!out.ok() || verbose) {
-    std::printf("%s\n", out.describe(c).c_str());
-  }
-  return out.ok();
-}
-
 bool run_one_host(const scq::fuzz::HostFuzzCase& c, bool verbose) {
   const scq::fuzz::FuzzOutcome out = scq::fuzz::run_host_fuzz_case(c);
   if (!out.ok()) {
@@ -104,6 +98,10 @@ int main(int argc, char** argv) {
   args.add_int("capacity", "replay: ring capacity", 24);
   args.add_int("tasks", "replay: workload size bound", 96);
   args.add_flag("verbose", "print every case, not just failures", false);
+  args.add_int("sweep-threads",
+               "host threads for the sim-seed sweep (1 = serial, 0 = "
+               "hardware concurrency)",
+               1);
   if (!args.parse(argc, argv)) return 2;
 
   const bool verbose = args.get_flag("verbose");
@@ -129,20 +127,44 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed-start"));
   const std::uint64_t count = static_cast<std::uint64_t>(args.get_int("seeds"));
   const std::int64_t host_every = args.get_int("host-every");
+  const unsigned threads = scq::util::resolve_sweep_threads(
+      args.get_int("sweep-threads"), static_cast<std::size_t>(count));
   std::uint64_t sim_runs = 0, host_runs = 0, failures = 0;
-  for (std::uint64_t seed = first; seed < first + count; ++seed) {
-    if (!run_one_sim(sim_case_for_seed(seed), verbose)) ++failures;
+
+  // Sim cases are independent single-threaded simulations, so they fan
+  // out over the sweep runner; each worker writes only its own seed's
+  // slot and the results are reduced in seed order below, making stdout
+  // and the exit code identical to a serial sweep. Host cases spawn
+  // real producer/consumer threads themselves, so they stay serial to
+  // keep the thread count bounded.
+  struct SimSlot {
+    bool ok = false;
+    std::string text;
+  };
+  std::vector<SimSlot> slots(count);
+  scq::util::parallel_sweep(
+      static_cast<std::size_t>(count), threads, [&](std::size_t i) {
+        const auto c = sim_case_for_seed(first + i);
+        const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
+        slots[i].ok = out.ok();
+        if (!out.ok() || verbose) slots[i].text = out.describe(c) + "\n";
+      });
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!slots[i].text.empty()) std::fputs(slots[i].text.c_str(), stdout);
+    if (!slots[i].ok) ++failures;
     ++sim_runs;
+    if (!verbose && threads <= 1 && (i + 1) % 64 == 0) {
+      std::printf("... %llu/%llu seeds swept, %llu failure(s)\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(failures));
+    }
+  }
+  for (std::uint64_t seed = first; seed < first + count; ++seed) {
     if (host_every > 0 && (seed - first) % static_cast<std::uint64_t>(
                                               host_every) == 0) {
       if (!run_one_host(host_case_for_seed(seed), verbose)) ++failures;
       ++host_runs;
-    }
-    if (!verbose && (seed - first + 1) % 64 == 0) {
-      std::printf("... %llu/%llu seeds swept, %llu failure(s)\n",
-                  static_cast<unsigned long long>(seed - first + 1),
-                  static_cast<unsigned long long>(count),
-                  static_cast<unsigned long long>(failures));
     }
   }
   std::printf("%s: %llu sim + %llu host cases, %llu failure(s)\n",

@@ -77,7 +77,7 @@ Kernel<void> cluster_wave(Wave& w, const DeviceCtx& ctx) {
     bool progress = false;
 
     st.hungry = ~(working | st.assigned | st.ready);
-    co_await queue.acquire_slots(w, st);
+    if (st.hungry) co_await queue.acquire_slots(w, st);
 
     if (simt::Telemetry* probes = probe_sink(w)) {
       probes->set_shard(tel::kHungryLanes, w.slot_id(),
@@ -281,8 +281,8 @@ Kernel<void> cluster_wave(Wave& w, const DeviceCtx& ctx) {
     for (std::uint32_t d = 0; d < ctx.num_devices; ++d) {
       if (d != ctx.dev_index) co_await ctx.rings[d]->publish(w, xfer[d]);
     }
-    co_await queue.publish(w, st);
-    co_await queue.report_complete(w, finished);
+    if (st.total_new() != 0 || st.has_parked()) co_await queue.publish(w, st);
+    if (finished) co_await queue.report_complete(w, finished);
 
     if (!progress) co_await w.idle(ctx.poll_interval);
   }

@@ -58,7 +58,9 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
     // Dequeue phase 1: lanes that neither hold a vertex nor monitor a
     // slot (nor sit on an eagerly delivered token) ask for work.
     st.hungry = ~(working | st.assigned | st.ready);
-    co_await queue.acquire_slots(w, st);
+    // Guarded: every scheduler no-ops on an empty hungry mask, and the
+    // skipped child-coroutine frame is measurable at this call rate.
+    if (st.hungry) co_await queue.acquire_slots(w, st);
 
     if (simt::Telemetry* probes = probe_sink(w)) {
       probes->set_shard(tel::kHungryLanes, w.slot_id(),
@@ -189,8 +191,8 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
     // ScheduleNewlyDiscoveredWorkTokens(), then report completions.
     // Ordering matters for termination: children are published before
     // the completion counter can reach Rear.
-    co_await queue.publish(w, st);
-    co_await queue.report_complete(w, finished);
+    if (st.total_new() != 0 || st.has_parked()) co_await queue.publish(w, st);
+    if (finished) co_await queue.report_complete(w, finished);
 
     if (!progress) co_await w.idle(opt.poll_interval);
   }

@@ -47,7 +47,7 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
     bool progress = false;
 
     st.hungry = ~(working | st.assigned | st.ready);
-    co_await queue.acquire_slots(w, st);
+    if (st.hungry) co_await queue.acquire_slots(w, st);
 
     if (simt::Telemetry* probes = probe_sink(w)) {
       probes->set_shard(tel::kHungryLanes, w.slot_id(),
@@ -159,8 +159,8 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
       w.bump(kTasksProcessed, finished);
     }
 
-    co_await queue.publish(w, st);
-    co_await queue.report_complete(w, finished);
+    if (st.total_new() != 0 || st.has_parked()) co_await queue.publish(w, st);
+    if (finished) co_await queue.report_complete(w, finished);
     if (!progress) co_await w.idle(opt.poll_interval);
   }
 }

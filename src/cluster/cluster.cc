@@ -122,12 +122,20 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
 
   simt::Cycle horizon = 0;
   bool guard_tripped = false;
+  bool stalled = false;
   RouterStats prev_router{};
   for (std::uint64_t step = 1;; ++step) {
     horizon += options_.quantum;
+    // Tri-state per device: a DRAINED queue is a device idling between
+    // router injections, not a dead one — only kDead (abort / kernel
+    // error) may stop the superstep loop early. Before StepStatus the
+    // two were conflated, and an idle device could halt the cluster.
     bool any_dead = false;
+    bool all_drained = true;
     for (std::uint32_t d = 0; d < n; ++d) {
-      if (!devices_[d]->step_until(horizon)) any_dead = true;
+      const simt::StepStatus status = devices_[d]->step_until(horizon);
+      if (status == simt::StepStatus::kDead) any_dead = true;
+      if (status != simt::StepStatus::kDrained) all_drained = false;
     }
     result.supersteps = step;
 
@@ -179,7 +187,17 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     }
 
     guard_tripped = step >= kMaxSupersteps;
-    if (any_dead || guard_tripped || quiescent(router)) break;
+    const bool is_quiescent = quiescent(router);
+    // Every event queue drained yet the system is not quiescent: work
+    // is still outstanding (queued tokens, Completed < Rear) but no
+    // wave is left to consume it. Nothing can ever make progress again,
+    // so stop now with a diagnostic instead of spinning the superstep
+    // guard's 2^22 iterations.
+    if (all_drained && !is_quiescent && !any_dead) {
+      stalled = true;
+      break;
+    }
+    if (any_dead || guard_tripped || is_quiescent) break;
   }
 
   // Release the persistent waves and drain every device to completion.
@@ -189,7 +207,8 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     devices_[d]->write_word(stop_flags_[d], 1);
   }
   for (std::uint32_t d = 0; d < n; ++d) {
-    while (devices_[d]->step_until(~simt::Cycle{0})) {
+    while (devices_[d]->step_until(~simt::Cycle{0}) ==
+           simt::StepStatus::kRanToHorizon) {
     }
   }
   for (std::uint32_t d = 0; d < n; ++d) {
@@ -205,6 +224,12 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     result.aborted = true;
     result.abort_reason = "cluster superstep guard: no quiescence after " +
                           std::to_string(kMaxSupersteps) + " supersteps";
+  }
+  if (stalled && !result.aborted) {
+    result.aborted = true;
+    result.abort_reason =
+        "cluster stalled: all devices drained before quiescence "
+        "with work outstanding";
   }
   result.router = router.stats();
 

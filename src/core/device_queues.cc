@@ -241,11 +241,10 @@ void DeviceQueue::park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
   }
 }
 
-Kernel<void> DeviceQueue::stall_tick(Wave& w, WaveQueueState& st,
-                                     bool wrote_any) {
+bool DeviceQueue::stall_note(Wave& w, WaveQueueState& st, bool wrote_any) {
   if (st.n_parked == 0) {
     st.stall_rounds = 0;
-    co_return;
+    return false;
   }
   for (std::uint32_t i = 0; i < st.n_parked; ++i) st.parked[i].stalled = true;
   w.bump(kPublishStalls, st.n_parked);
@@ -254,19 +253,15 @@ Kernel<void> DeviceQueue::stall_tick(Wave& w, WaveQueueState& st,
   if (wrote_any || sig != st.stall_signature) {
     st.stall_signature = sig;
     st.stall_rounds = 0;
-    co_return;
+    return false;
   }
-  if (++st.stall_rounds >= kPublishDeadlockRounds) {
-    // Provable deadlock: this wave's publish has been stalled for
-    // kPublishDeadlockRounds attempts while *no* counter on the device
-    // moved — nobody is consuming, so the in-flight working set
-    // genuinely exceeds the ring. The host reacts by retrying with a
-    // larger capacity (§4.4's exception path, now the last resort
-    // instead of the first).
-    co_await w.abort_kernel(
-        "queue full: publish deadlocked, capacity below the in-flight "
-        "working set");
-  }
+  // Provable deadlock once the counter hits kPublishDeadlockRounds: this
+  // wave's publish has been stalled for that many attempts while *no*
+  // counter on the device moved — nobody is consuming, so the in-flight
+  // working set genuinely exceeds the ring. The host reacts by retrying
+  // the kernel with a larger capacity (§4.4's exception path, now the
+  // last resort instead of the first).
+  return ++st.stall_rounds >= kPublishDeadlockRounds;
 }
 
 Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
@@ -344,7 +339,9 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
     if (st.n_parked == 0) break;
   }
 
-  co_await stall_tick(w, st, wrote_any);
+  if (stall_note(w, st, wrote_any)) {
+    co_await w.abort_kernel(kPublishDeadlockMessage);
+  }
 }
 
 // ---- RF/AN: retry-free, arbitrary-n (the proposed queue, §4) ----

@@ -179,7 +179,9 @@ Kernel<void> LockedStack::publish(Wave& w, WaveQueueState& st) {
 
   co_await w.store(top_addr(), index);
   co_await w.store(lock_addr(), 0);
-  co_await stall_tick(w, st, wrote_any);
+  if (stall_note(w, st, wrote_any)) {
+    co_await w.abort_kernel(kPublishDeadlockMessage);
+  }
 }
 
 Kernel<void> LockedStack::report_complete(Wave& w, std::uint32_t count) {

@@ -370,10 +370,18 @@ class DeviceQueue {
 
   // Deadlock bookkeeping shared by flush_parked and schedulers with
   // bespoke publish paths (the locked stack): marks surviving parked
-  // entries stalled, counts the retry, and aborts the kernel once the
-  // device progress signature has been frozen for kPublishDeadlockRounds
-  // consecutive stalled attempts.
-  Kernel<void> stall_tick(Wave& w, WaveQueueState& st, bool wrote_any);
+  // entries stalled and counts the retry. Returns true once the device
+  // progress signature has been frozen for kPublishDeadlockRounds
+  // consecutive stalled attempts — the caller must then
+  // `co_await w.abort_kernel(kPublishDeadlockMessage)`. A plain function
+  // rather than a child coroutine: it runs once per work cycle per wave
+  // and almost always takes the no-parked-tokens early-out, where a
+  // coroutine frame would be pure overhead.
+  [[nodiscard]] bool stall_note(Wave& w, WaveQueueState& st, bool wrote_any);
+
+  static constexpr const char* kPublishDeadlockMessage =
+      "queue full: publish deadlocked, capacity below the in-flight "
+      "working set";
 
   QueueLayout layout_;
 };

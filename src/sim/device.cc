@@ -21,11 +21,6 @@ Device::Device(DeviceConfig config)
 
 Device::~Device() = default;
 
-void Device::schedule(Cycle t, std::coroutine_handle<> h) {
-  events_.push(Event{t, sched_.tie_key(next_seq_), next_seq_, h});
-  ++next_seq_;
-}
-
 void Device::request_abort(std::string reason) {
   if (!abort_) {
     abort_ = true;
@@ -42,6 +37,12 @@ void Device::reset_clock_and_stats() {
   stats_ = DeviceStats{};
   atomic_unit_ = AtomicUnit(config_.atomic_service);
   for (auto& cu : cus_) cu.port_free = 0;
+  // Rewind the schedule stream too: tie_key(next_seq_) and the jitter
+  // draw counter must restart from zero or a relaunch on a reset device
+  // diverges from a fresh one under nonzero sched_seed (the replay
+  // tooling relies on the two being bit-identical).
+  next_seq_ = 0;
+  sched_ = SchedulePolicy(config_);
 }
 
 void Device::dispatch_wave(Wave& wave, Cycle at) {
@@ -85,58 +86,92 @@ void Device::launch_begin(std::uint32_t num_workgroups, KernelFactory factory) {
   }
 }
 
-bool Device::step_until(Cycle horizon) {
+StepStatus Device::step_until(Cycle horizon) {
   if (!launch_active_) {
     throw SimError("step_until: no active launch on device " + config_.name);
   }
-  while (!events_.empty() && !abort_ && !kernel_error_ &&
-         events_.top().t <= horizon) {
+  // Pick the loop instantiation once: the per-event probe null tests
+  // (profiler_, telemetry_) become compile-time constants inside it.
+  switch ((profiler_ ? 1 : 0) | (telemetry_ ? 2 : 0)) {
+    case 1:
+      return step_loop<true, false>(horizon);
+    case 2:
+      return step_loop<false, true>(horizon);
+    case 3:
+      return step_loop<true, true>(horizon);
+    default:
+      return step_loop<false, false>(horizon);
+  }
+}
+
+template <bool kProfiled, bool kTelemetry>
+StepStatus Device::step_loop(Cycle horizon) {
+  const Cycle deadline = launch_start_ + config_.max_cycles_per_launch;
+  while (!events_.empty() && !abort_ && !kernel_error_) {
     // Sampled self-profiling: time one iteration in 2^k, split into
-    // heap / telemetry / resume sections. The clock calls only happen
-    // on sampled iterations, so an attached profiler stays cheap.
-    const bool timed = profiler_ && profiler_->sample_due(events_processed_);
+    // event-queue / telemetry / resume sections. The clock calls only
+    // happen on sampled iterations, so an attached profiler stays cheap.
+    bool timed = false;
     SimProfiler::clock::time_point t0;
-    if (timed) t0 = SimProfiler::clock::now();
-    const Event ev = events_.top();
-    events_.pop();
-    if (ev.t > launch_start_ + config_.max_cycles_per_launch) {
+    if constexpr (kProfiled) {
+      timed = profiler_->sample_due(events_processed_);
+      if (timed) t0 = SimProfiler::clock::now();
+    }
+    if (events_.top().t > horizon) return StepStatus::kRanToHorizon;
+    const Event ev = events_.pop();
+    if (ev.t > deadline) {
       throw SimError("kernel exceeded max_cycles_per_launch on device " +
                      config_.name);
     }
-    now_ = std::max(now_, ev.t);
-    if (timed) {
-      const auto t1 = SimProfiler::clock::now();
-      profiler_->add_section(SimSection::kHeap, t1 - t0);
-      t0 = t1;
+    if (ev.t > now_) now_ = ev.t;
+    if constexpr (kProfiled) {
+      if (timed) {
+        const auto t1 = SimProfiler::clock::now();
+        profiler_->add_section(SimSection::kHeap, t1 - t0);
+        t0 = t1;
+      }
     }
-    if (telemetry_) telemetry_->on_advance(now_);
-    if (timed) {
-      const auto t1 = SimProfiler::clock::now();
-      profiler_->add_section(SimSection::kTelemetry, t1 - t0);
-      t0 = t1;
-      profiler_->begin_resume();
+    if constexpr (kTelemetry) {
+      telemetry_->on_advance(now_);
+      if constexpr (kProfiled) {
+        if (timed) {
+          const auto t1 = SimProfiler::clock::now();
+          profiler_->add_section(SimSection::kTelemetry, t1 - t0);
+          t0 = t1;
+        }
+      }
+    }
+    if constexpr (kProfiled) {
+      if (timed) profiler_->begin_resume();
     }
     ev.h.resume();
-    if (timed) profiler_->end_resume(SimProfiler::clock::now() - t0);
+    if constexpr (kProfiled) {
+      if (timed) profiler_->end_resume(SimProfiler::clock::now() - t0);
+    }
 
     if ((++events_processed_ & ((1u << 22) - 1)) == 0) atomic_unit_.prune(now_);
 
-    // Handle waves whose top-level kernel just finished.
-    for (Wave* w : finished_waves_) {
-      launch_end_time_ = std::max(launch_end_time_, w->now_);
-      stats_.waves_completed += 1;
-      completed_workgroups_ += 1;
-      if (w->top_.promise().error && !kernel_error_) {
-        kernel_error_ = w->top_.promise().error;
-      }
-      w->release_kernel();
-      if (!kernel_error_ && next_workgroup_ < total_workgroups_) {
-        dispatch_wave(*w, w->now_);
-      }
-    }
-    finished_waves_.clear();
+    if (!finished_waves_.empty()) handle_finished_waves();
   }
-  return !(events_.empty() || abort_ || kernel_error_);
+  return (abort_ || kernel_error_) ? StepStatus::kDead : StepStatus::kDrained;
+}
+
+// Waves whose top-level kernel just finished: account, surface errors,
+// free the frame, and re-bind the slot to the next queued workgroup.
+void Device::handle_finished_waves() {
+  for (Wave* w : finished_waves_) {
+    launch_end_time_ = std::max(launch_end_time_, w->now_);
+    stats_.waves_completed += 1;
+    completed_workgroups_ += 1;
+    if (w->top_.promise().error && !kernel_error_) {
+      kernel_error_ = w->top_.promise().error;
+    }
+    w->release_kernel();
+    if (!kernel_error_ && next_workgroup_ < total_workgroups_) {
+      dispatch_wave(*w, w->now_);
+    }
+  }
+  finished_waves_.clear();
 }
 
 RunResult Device::launch_end() {
@@ -156,9 +191,15 @@ RunResult Device::launch_end() {
   if (abort_ || kernel_error_) {
     // Stop the machine: drop pending events, then tear down every
     // still-suspended kernel frame.
-    events_ = {};
+    events_.clear();
     for (auto& w : waves_) w->release_kernel();
+    finished_waves_.clear();
     if (kernel_error_) {
+      // Scrub abort state before rethrowing: post-throw inspection of
+      // the device must not report this launch's (or a previous one's)
+      // abort as if it were still pending.
+      abort_ = false;
+      abort_reason_.clear();
       const std::exception_ptr err = kernel_error_;
       kernel_error_ = nullptr;
       std::rethrow_exception(err);
@@ -189,6 +230,7 @@ RunResult Device::launch_end() {
   result.aborted = abort_;
   result.abort_reason = abort_reason_;
   abort_ = false;
+  abort_reason_.clear();
   if (profiler_) profiler_->end_run(events_processed_, result.cycles);
   return result;
 }
@@ -196,13 +238,19 @@ RunResult Device::launch_end() {
 RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& factory) {
   launch_begin(num_workgroups, factory);
   try {
-    while (step_until(~Cycle{0})) {
+    while (step_until(~Cycle{0}) == StepStatus::kRanToHorizon) {
     }
   } catch (...) {
     // Guard throws (max_cycles, internal errors) must leave the device
-    // relaunchable: drop pending events and suspended kernel frames.
-    events_ = {};
+    // relaunchable AND inspectable: drop pending events and suspended
+    // kernel frames, and scrub every piece of launch-scoped state —
+    // a stale abort_reason_ here would make post-throw inspection
+    // report a previous launch's abort.
+    events_.clear();
     for (auto& w : waves_) w->release_kernel();
+    finished_waves_.clear();
+    abort_ = false;
+    abort_reason_.clear();
     launch_active_ = false;
     factory_ = nullptr;
     kernel_error_ = nullptr;

@@ -7,11 +7,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/memory.h"
 #include "sim/op_history.h"
 #include "sim/sched_policy.h"
@@ -37,6 +37,15 @@ struct RunResult {
 // workgroup as it is bound to a resident wave slot; the wave's
 // workgroup_id() is already set.
 using KernelFactory = std::function<Kernel<void>(Wave&)>;
+
+// What a step_until() call ran into. A drained queue is NOT death: a
+// cluster device idling between router injections drains its queue
+// every superstep and keeps going once tokens arrive.
+enum class StepStatus : std::uint8_t {
+  kRanToHorizon,  // events remain past the horizon; progress possible
+  kDrained,       // event queue empty — idle, waiting for external input
+  kDead,          // aborted or kernel error; only launch_end() is useful
+};
 
 class Device {
  public:
@@ -68,11 +77,12 @@ class Device {
   // one. The factory is stored by value and must stay callable until
   // launch_end.
   void launch_begin(std::uint32_t num_workgroups, KernelFactory factory);
-  // Processes every pending event with timestamp <= horizon. Returns
-  // true while the launch can still make progress (events pending, no
-  // abort, no kernel error); once it returns false further calls are
-  // no-ops and launch_end() collects the result.
-  bool step_until(Cycle horizon);
+  // Processes every pending event with timestamp <= horizon and reports
+  // why it stopped: kRanToHorizon (events remain, call again with a
+  // later horizon), kDrained (queue empty — more events may appear if
+  // the host injects work), or kDead (abort or kernel error; further
+  // calls are no-ops and launch_end() collects the result).
+  StepStatus step_until(Cycle horizon);
   // Finishes the launch begun by launch_begin: tears down on abort or
   // kernel error (rethrowing the latter), runs the deadlock check
   // otherwise, and returns the RunResult exactly as launch() would.
@@ -88,7 +98,10 @@ class Device {
   void reset_clock_and_stats();
 
   // ---- Engine internals (used by Wave awaitables) ----
-  void schedule(Cycle t, std::coroutine_handle<> h);
+  void schedule(Cycle t, std::coroutine_handle<> h) {
+    events_.push(t, sched_.tie_key(next_seq_), next_seq_, h);
+    ++next_seq_;
+  }
   Cycle atomic_unit_service(Addr addr, Cycle arrival) {
     return atomic_unit_.service(addr, arrival);
   }
@@ -118,22 +131,13 @@ class Device {
   [[nodiscard]] SchedulePolicy& sched() { return sched_; }
   void request_abort(std::string reason);
   [[nodiscard]] bool abort_requested() const { return abort_; }
+  [[nodiscard]] const std::string& abort_reason() const {
+    return abort_reason_;
+  }
 
  private:
   friend void detail::notify_wave_complete(Wave& wave);
   void on_wave_complete(Wave& wave);
-
-  struct Event {
-    Cycle t;
-    std::uint64_t key;  // tie-break among same-cycle events (seq when unseeded)
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    bool operator>(const Event& rhs) const {
-      if (t != rhs.t) return t > rhs.t;
-      if (key != rhs.key) return key > rhs.key;
-      return seq > rhs.seq;
-    }
-  };
 
   DeviceConfig config_;
   GlobalMemory mem_;
@@ -149,10 +153,16 @@ class Device {
 
   std::vector<ComputeUnit> cus_;
   std::vector<std::unique_ptr<Wave>> waves_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  EventQueue events_;
   std::uint64_t next_seq_ = 0;
 
   void dispatch_wave(Wave& wave, Cycle at);
+  // The hot loop, monomorphized over which probes are attached so the
+  // per-event null tests vanish from the unprofiled configurations.
+  // step_until() picks the instantiation once per call.
+  template <bool kProfiled, bool kTelemetry>
+  StepStatus step_loop(Cycle horizon);
+  void handle_finished_waves();
 
   // Launch-scoped state.
   std::uint32_t next_workgroup_ = 0;

@@ -1,0 +1,116 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace simt {
+
+EventQueue::EventQueue() {
+  arena_.reserve(1024);
+  run_.reserve(256);
+  heads_.assign(bucket_count_, kNil);
+  occupied_.assign(bucket_count_ / 64, 0);
+}
+
+void EventQueue::clear() {
+  arena_.clear();
+  free_head_ = kNil;
+  std::fill(heads_.begin(), heads_.end(), kNil);
+  std::fill(occupied_.begin(), occupied_.end(), std::uint64_t{0});
+  run_.clear();
+  far_.clear();
+  size_ = 0;
+  bucket_events_ = 0;
+  base_ = 0;
+  cur_ = 0;
+}
+
+void EventQueue::drain_current_bucket() {
+  std::uint32_t n = heads_[cur_];
+  heads_[cur_] = kNil;
+  occupied_[cur_ >> 6] &= ~(std::uint64_t{1} << (cur_ & 63));
+  while (n != kNil) {
+    run_.push_back(arena_[n].ev);
+    const std::uint32_t next = arena_[n].next;
+    arena_[n].next = free_head_;
+    free_head_ = n;
+    n = next;
+    --bucket_events_;
+  }
+  std::make_heap(run_.begin(), run_.end(), event_after);
+}
+
+bool EventQueue::advance_to_next_bucket() {
+  std::uint64_t b = cur_ + 1;
+  while (b < bucket_count_) {
+    const std::uint64_t word =
+        occupied_[b >> 6] & (~std::uint64_t{0} << (b & 63));
+    if (word != 0) {
+      cur_ = (b & ~std::uint64_t{63}) +
+             static_cast<std::uint64_t>(std::countr_zero(word));
+      return true;
+    }
+    b = (b | 63) + 1;
+  }
+  return false;
+}
+
+void EventQueue::rebase_from_far() {
+  assert(!far_.empty() && bucket_events_ == 0 && run_.empty());
+  reset_window(far_.back().t);
+  const Cycle limit = base_ + span();
+  while (!far_.empty() && far_.back().t < limit) {
+    const Event& ev = far_.back();
+    const std::uint64_t idx = (ev.t - base_) >> bucket_shift_;
+    link(idx, ev);
+    far_.pop_back();
+  }
+}
+
+void EventQueue::far_insert(const Event& ev) {
+  // far_ is sorted descending by (t, key, seq); the minimum is at the
+  // back, matching run_'s pop-from-back convention.
+  const auto pos =
+      std::upper_bound(far_.begin(), far_.end(), ev, event_after);
+  far_.insert(pos, ev);
+}
+
+void EventQueue::grow_buckets() {
+  // Collect every bucketed event, double the window, and re-insert.
+  // The run is left alone: it already fronts the order, and new-window
+  // clamping keeps any later same-bucket push consistent with it.
+  std::vector<Event> pending;
+  pending.reserve(bucket_events_);
+  for (std::uint64_t b = 0; b < bucket_count_; ++b) {
+    std::uint32_t n = heads_[b];
+    while (n != kNil) {
+      pending.push_back(arena_[n].ev);
+      n = arena_[n].next;
+    }
+  }
+  // The far list may fit inside the doubled span; re-insert it too.
+  pending.insert(pending.end(), far_.begin(), far_.end());
+  far_.clear();
+
+  const Cycle cur_cycle = base_ + (cur_ << bucket_shift_);
+  bucket_count_ *= 2;
+  heads_.assign(bucket_count_, kNil);
+  occupied_.assign(bucket_count_ / 64, 0);
+  arena_.clear();
+  free_head_ = kNil;
+  bucket_events_ = 0;
+  reset_window(cur_cycle);
+
+  const Cycle limit = base_ + span();
+  for (const Event& ev : pending) {
+    if (ev.t >= limit) {
+      far_insert(ev);
+      continue;
+    }
+    std::uint64_t idx = ev.t > base_ ? (ev.t - base_) >> bucket_shift_ : 0;
+    if (idx < cur_) idx = cur_;
+    link(idx, ev);
+  }
+}
+
+}  // namespace simt

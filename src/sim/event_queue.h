@@ -1,0 +1,186 @@
+// Calendar event queue for the discrete-event engine.
+//
+// The engine's event stream is near-monotonic: completions land a bounded
+// latency (issue cost .. memory round trip) past the cycle that issued
+// them. A comparison-based heap pays O(log n) per push/pop for that
+// stream; a calendar queue pays amortized O(1) by spreading events over
+// power-of-two cycle buckets and draining them in cycle order:
+//
+//   * a window of `bucket_count` buckets, each `1 << bucket_shift` cycles
+//     wide, holds every pending event whose timestamp falls inside
+//     [base, base + span); bucket lists are unsorted singly-linked chains
+//     through a flat node arena (no per-push allocation — nodes recycle
+//     through a free list),
+//   * events past the window land in a sorted overflow "far" list (rare:
+//     kernel-launch overhead and long idle backoffs), migrated into
+//     buckets when the window advances,
+//   * the bucket being drained becomes a small binary min-heap (the
+//     "run"); pops peel its root. Same-bucket pushes during the drain
+//     sift into the run in O(log bucket-population) — the whole-queue
+//     heap's O(log n) shrinks to the handful of events sharing 8 cycles,
+//   * bucket occupancy is tracked in a bitmap, so skipping empty buckets
+//     costs a couple of word scans rather than a walk,
+//   * the bucket count doubles when density demands it (events pending
+//     in buckets > 2x bucket count), capped at kMaxBuckets.
+//
+// Ordering contract (the PR-3 determinism contract depends on it): pop
+// returns the minimum pending event by (t, key, seq) — bit-identical to
+// std::priority_queue over the same comparator, for ANY interleaving of
+// pushes and pops, including pushes timestamped at or before the cycle
+// being drained (they clamp into the current bucket and sort first).
+// tests/event_queue_test.cc holds the property test.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace simt {
+
+// One scheduled coroutine resumption.
+struct Event {
+  Cycle t = 0;
+  std::uint64_t key = 0;  // tie-break among same-cycle events (seq when unseeded)
+  std::uint64_t seq = 0;  // issue order; unique, so the order is total
+  std::coroutine_handle<> h{};
+};
+
+// Strict "pops later than": the heap's old operator> on (t, key, seq).
+[[nodiscard]] inline bool event_after(const Event& a, const Event& b) {
+  if (a.t != b.t) return a.t > b.t;
+  if (a.key != b.key) return a.key > b.key;
+  return a.seq > b.seq;
+}
+
+class EventQueue {
+ public:
+  EventQueue();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  void push(Cycle t, std::uint64_t key, std::uint64_t seq,
+            std::coroutine_handle<> h) {
+    if (size_ == 0) reset_window(t);
+    ++size_;
+    const Cycle span_end = base_ + span();
+    if (t >= span_end) {
+      far_insert(Event{t, key, seq, h});
+      return;
+    }
+    std::uint64_t idx = t > base_ ? (t - base_) >> bucket_shift_ : 0;
+    if (idx <= cur_) {
+      // A push into (or before) the bucket being drained sifts straight
+      // into the run heap so the pop order stays the global minimum.
+      if (!run_.empty()) {
+        run_.push_back(Event{t, key, seq, h});
+        std::push_heap(run_.begin(), run_.end(), event_after);
+        return;
+      }
+      idx = cur_;
+    }
+    link(idx, Event{t, key, seq, h});
+    if (bucket_events_ > bucket_count_ * kGrowDensity &&
+        bucket_count_ < kMaxBuckets) {
+      grow_buckets();
+    }
+  }
+
+  // Minimum pending event by (t, key, seq). Precondition: !empty().
+  [[nodiscard]] const Event& top() {
+    ensure_run();
+    return run_.front();
+  }
+
+  Event pop() {
+    ensure_run();
+    std::pop_heap(run_.begin(), run_.end(), event_after);
+    const Event ev = run_.back();
+    run_.pop_back();
+    --size_;
+    return ev;
+  }
+
+  // Drops every pending event (the abort/guard teardown path). Capacity
+  // is kept so a relaunch does not re-warm the arena.
+  void clear();
+
+  // ---- Introspection (tests and the self-profiler report) ----
+  [[nodiscard]] std::uint64_t bucket_count() const { return bucket_count_; }
+  [[nodiscard]] std::uint64_t far_size() const { return far_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint64_t kInitialBuckets = 256;  // span: 2048 cycles
+  static constexpr std::uint64_t kMaxBuckets = std::uint64_t{1} << 16;
+  static constexpr std::uint32_t kBucketShift = 3;  // 8 cycles per bucket
+  static constexpr std::uint64_t kGrowDensity = 2;
+
+  struct Node {
+    Event ev;
+    std::uint32_t next = kNil;
+  };
+
+  [[nodiscard]] Cycle span() const { return bucket_count_ << bucket_shift_; }
+
+  void reset_window(Cycle t) {
+    const Cycle sp = span();
+    base_ = t - (t % sp);
+    cur_ = (t - base_) >> bucket_shift_;
+  }
+
+  void link(std::uint64_t idx, const Event& ev) {
+    std::uint32_t n = free_head_;
+    if (n != kNil) {
+      free_head_ = arena_[n].next;
+    } else {
+      n = static_cast<std::uint32_t>(arena_.size());
+      arena_.emplace_back();
+    }
+    arena_[n].ev = ev;
+    arena_[n].next = heads_[idx];
+    heads_[idx] = n;
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++bucket_events_;
+  }
+
+  void ensure_run() {
+    for (;;) {
+      if (heads_[cur_] != kNil) drain_current_bucket();
+      if (!run_.empty()) return;
+      if (!advance_to_next_bucket()) rebase_from_far();
+    }
+  }
+
+  // Moves the current bucket's list into the run heap, freeing the
+  // nodes.
+  void drain_current_bucket();
+  // Moves cur_ to the next occupied bucket (bitmap scan); false when the
+  // whole window is drained.
+  [[nodiscard]] bool advance_to_next_bucket();
+  // Re-anchors the window at the far list's minimum and migrates every
+  // far event that now fits. Precondition: buckets and run empty, far
+  // non-empty.
+  void rebase_from_far();
+  void far_insert(const Event& ev);
+  void grow_buckets();
+
+  std::vector<Node> arena_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<std::uint32_t> heads_;      // per-bucket list heads
+  std::vector<std::uint64_t> occupied_;   // bucket occupancy bitmap
+  std::vector<Event> run_;                // current bucket, binary min-heap
+  std::vector<Event> far_;                // beyond the window, sorted descending
+  std::uint64_t size_ = 0;
+  std::uint64_t bucket_events_ = 0;       // events linked in bucket lists
+  std::uint64_t bucket_count_ = kInitialBuckets;
+  std::uint32_t bucket_shift_ = kBucketShift;
+  Cycle base_ = 0;      // cycle at bucket 0 of the current window
+  std::uint64_t cur_ = 0;  // bucket being drained
+};
+
+}  // namespace simt

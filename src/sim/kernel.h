@@ -9,8 +9,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_pool.h"
 
 namespace simt {
 
@@ -27,6 +30,16 @@ struct PromiseBase {
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   void unhandled_exception() { error = std::current_exception(); }
+
+  // Kernel frames allocate constantly (every queue op a wave co_awaits
+  // is a nested kernel) and are uniform in size, so they recycle
+  // through the thread-local pool instead of global malloc/free.
+  static void* operator new(std::size_t bytes) {
+    return frame_allocate(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    frame_deallocate(p, bytes);
+  }
 };
 
 // Declared in wave.cc — marks the wave's top-level kernel finished.

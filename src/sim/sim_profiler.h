@@ -39,7 +39,10 @@ namespace simt {
 
 // Event-loop sections outside any wave operation.
 enum class SimSection : std::uint8_t {
-  kHeap = 0,      // priority-queue pop (+ top inspection)
+  kHeap = 0,      // event-queue pop (+ top inspection); named for the
+                  // original binary heap, now the calendar queue's
+                  // drain path (DESIGN.md §13) — same loop section, so
+                  // attributions stay comparable across engines
   kTelemetry,     // Telemetry::on_advance tick
   kDispatch,      // resumes that executed no wave operation
   kCount,

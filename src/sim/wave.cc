@@ -107,19 +107,39 @@ void Wave::StoreAwait::await_suspend(std::coroutine_handle<> h) {
 
 namespace {
 
-// Number of distinct 64B lines touched by the active lanes (coalescing).
-unsigned distinct_lines(LaneMask mask, std::span<const Addr> addrs) {
-  std::array<Addr, kWaveWidth> lines{};
-  unsigned n = 0;
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    if ((mask >> lane) & 1u) {
-      if (lane >= addrs.size()) throw SimError("vector op: lane index out of span");
-      lines[n++] = addrs[lane] >> 3;  // 8 words per 64B line
+// Counts distinct 64B lines (coalescing) in stream order. The common
+// case — lanes walking consecutive addresses — arrives already sorted,
+// so adjacent duplicates collapse on the fly and the sort only runs
+// when the stream is non-monotonic. The count matches sort+unique over
+// all active lanes exactly, whichever path is taken.
+class LineCounter {
+ public:
+  void add(Addr addr) {
+    const Addr line = addr >> 3;  // 8 words per 64B line
+    if (n_ != 0) {
+      if (line == lines_[n_ - 1]) return;
+      if (line < lines_[n_ - 1]) sorted_ = false;
     }
+    lines_[n_++] = line;
   }
-  std::sort(lines.begin(), lines.begin() + n);
-  return static_cast<unsigned>(std::unique(lines.begin(), lines.begin() + n) -
-                               lines.begin());
+
+  [[nodiscard]] unsigned count() {
+    if (sorted_) return n_;
+    std::sort(lines_.begin(), lines_.begin() + n_);
+    return static_cast<unsigned>(
+        std::unique(lines_.begin(), lines_.begin() + n_) - lines_.begin());
+  }
+
+ private:
+  std::array<Addr, kWaveWidth> lines_{};
+  unsigned n_ = 0;
+  bool sorted_ = true;
+};
+
+// Highest set lane: the span bounds checks hoist to one test against it
+// instead of branching per lane. Precondition: active != 0.
+unsigned top_lane(LaneMask active) {
+  return 63u - static_cast<unsigned>(std::countl_zero(active));
 }
 
 }  // namespace
@@ -128,15 +148,25 @@ void Wave::VecLoadAwait::await_suspend(std::coroutine_handle<> h) {
   const Cycle trace_begin = w.now_;
   const LaneMask active = mask & w.lanes_;
   GlobalMemory& mem = w.dev_->mem();
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    if ((active >> lane) & 1u) {
-      if (lane >= addrs.size() || lane >= out.size()) {
-        throw SimError("load_lanes: lane index out of span");
-      }
-      out[lane] = mem.load(addrs[lane]);
+  unsigned lines = 0;
+  if (active) {
+    if (top_lane(active) >= addrs.size() || top_lane(active) >= out.size()) {
+      throw SimError("load_lanes: lane index out of span");
     }
+    const std::uint64_t* words = mem.data();
+    const std::uint64_t bound = mem.size_words();
+    LineCounter counter;
+    LaneMask m = active;
+    while (m) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      const Addr a = addrs[lane];
+      if (a >= bound) (void)mem.load(a);  // throws the uniform bounds error
+      out[lane] = words[a];
+      counter.add(a);
+    }
+    lines = counter.count();
   }
-  const unsigned lines = active ? distinct_lines(active, addrs) : 0;
   DeviceStats& s = w.stats();
   s.global_loads += 1;
   s.lines_touched += lines;
@@ -153,15 +183,25 @@ void Wave::VecStoreAwait::await_suspend(std::coroutine_handle<> h) {
   const Cycle trace_begin = w.now_;
   const LaneMask active = mask & w.lanes_;
   GlobalMemory& mem = w.dev_->mem();
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    if ((active >> lane) & 1u) {
-      if (lane >= addrs.size() || lane >= values.size()) {
-        throw SimError("store_lanes: lane index out of span");
-      }
-      mem.store(addrs[lane], values[lane]);
+  unsigned lines = 0;
+  if (active) {
+    if (top_lane(active) >= addrs.size() || top_lane(active) >= values.size()) {
+      throw SimError("store_lanes: lane index out of span");
     }
+    std::uint64_t* words = mem.data();
+    const std::uint64_t bound = mem.size_words();
+    LineCounter counter;
+    LaneMask m = active;
+    while (m) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      const Addr a = addrs[lane];
+      if (a >= bound) mem.store(a, values[lane]);  // throws the bounds error
+      words[a] = values[lane];
+      counter.add(a);
+    }
+    lines = counter.count();
   }
-  const unsigned lines = active ? distinct_lines(active, addrs) : 0;
   DeviceStats& s = w.stats();
   s.global_stores += 1;
   s.lines_touched += lines;
@@ -287,43 +327,44 @@ void Wave::VecAtomicAwait::await_suspend(std::coroutine_handle<> h) {
   const Cycle arrival = depart + cfg.atomic_latency;
   Cycle last = arrival;
   success = 0;
-  for (unsigned lane = 0; lane < kWaveWidth; ++lane) {
-    if (!((active >> lane) & 1u)) continue;
-    if (lane >= addrs.size() || lane >= operands.size()) {
-      throw SimError("atomic_lanes: lane index out of span");
-    }
-    const bool takes_bound = kind == AtomicKind::kCas ||
-                             kind == AtomicKind::kBoundedAdd ||
-                             kind == AtomicKind::kBoundedSub;
+  if (active &&
+      (top_lane(active) >= addrs.size() || top_lane(active) >= operands.size())) {
+    throw SimError("atomic_lanes: lane index out of span");
+  }
+  const bool takes_bound = kind == AtomicKind::kCas ||
+                           kind == AtomicKind::kBoundedAdd ||
+                           kind == AtomicKind::kBoundedSub;
+  const bool bounded =
+      kind == AtomicKind::kBoundedAdd || kind == AtomicKind::kBoundedSub;
+  AtomicUnit& unit = w.dev_->atomic_unit();
+  SchedulePolicy& sched = w.dev_->sched();
+  LaneMask pending = active;
+  while (pending) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(pending));
+    pending &= pending - 1;
     const std::uint64_t exp =
         (takes_bound && lane < expected.size()) ? expected[lane] : 0;
     CasResult r = apply_atomic(mem, kind, addrs[lane], operands[lane], exp);
-    const Cycle lane_arrival =
-        arrival + w.dev_->sched().atomic_delay(addrs[lane]);
+    const Cycle lane_arrival = arrival + sched.atomic_delay(addrs[lane]);
     // Every lane's request occupies its address FIFO individually: this
     // is the lock-step amplification of per-lane atomics (§3.3).
     Cycle done;
-    if ((kind == AtomicKind::kBoundedAdd || kind == AtomicKind::kBoundedSub) &&
-        r.success) {
+    if (bounded && r.success) {
       const Cycle svc = cfg.atomic_service;
-      const Cycle waited =
-          w.dev_->atomic_unit().backlog(addrs[lane], lane_arrival);
+      const Cycle waited = unit.backlog(addrs[lane], lane_arrival);
       r.retries = std::min<Cycle>(waited / std::max<Cycle>(svc, 1),
                                   kMaxFoldedRetries);
-      done = w.dev_->atomic_unit()
-                 .reserve(addrs[lane], lane_arrival, svc * (1 + r.retries))
+      done = unit.reserve(addrs[lane], lane_arrival, svc * (1 + r.retries))
                  .done +
              r.retries * 2 * cfg.atomic_latency;
     } else {
-      done = w.dev_->atomic_unit()
-                 .reserve(addrs[lane], lane_arrival, cfg.atomic_service)
-                 .done;
+      done = unit.reserve(addrs[lane], lane_arrival, cfg.atomic_service).done;
     }
     count_atomic(s, kind, r);
     if (r.success) success |= LaneMask{1} << lane;
     if (lane < old_out.size()) old_out[lane] = r.old_value;
     if (lane < retry_out.size()) retry_out[lane] = r.retries;
-    last = std::max(last, done);
+    if (done > last) last = done;
   }
   const Cycle trace_end = last + cfg.atomic_latency;
   w.trace(trace_begin, trace_end, TraceOp::kVecAtomic);

@@ -1,0 +1,91 @@
+// Host-side parallel sweep runner for the benchmark harnesses.
+//
+// The figure benches and the fuzz sweeps run many fully independent
+// simulations (one Device instance per point); the simulator itself is
+// single-threaded, so a sweep's wall clock is just points x per-point
+// cost. parallel_sweep() fans the points out over N host threads while
+// keeping the output deterministic:
+//
+//   * workers claim point indices from a shared atomic counter, so the
+//     schedule is dynamic (irregular point costs balance out),
+//   * the callback writes only to its own point's pre-sized result slot
+//     — no locks, no shared mutable state, and the merged output is
+//     identical to a serial run regardless of completion order,
+//   * the first exception thrown by any point is captured and rethrown
+//     on the calling thread after every worker has joined, matching the
+//     serial failure contract.
+//
+// Each point must be self-contained: its own Device, graph references
+// taken const, and no touching of process-global sinks (telemetry,
+// traces). Benches therefore only engage threads when observability is
+// off; tests/sweep_runner_test.cc covers the exactly-once, merge and
+// exception properties, and the tsan CI job runs it under
+// -fsanitize=thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace scq::util {
+
+// Maps the --sweep-threads flag to a worker count: 0 asks the hardware,
+// anything else is taken literally, and the result is clamped to the
+// number of points (spawning idle workers is pure overhead).
+[[nodiscard]] inline unsigned resolve_sweep_threads(std::int64_t requested,
+                                                    std::size_t points) {
+  unsigned n;
+  if (requested <= 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  } else {
+    n = static_cast<unsigned>(requested);
+  }
+  if (points < n) n = points == 0 ? 1 : static_cast<unsigned>(points);
+  return n;
+}
+
+// Runs fn(i) for every i in [0, points), on `threads` host threads.
+// With threads <= 1 this is a plain serial loop (no thread is spawned),
+// so serial and parallel runs share one code path for the body.
+template <typename Fn>
+void parallel_sweep(std::size_t points, unsigned threads, Fn&& fn) {
+  if (threads <= 1 || points <= 1) {
+    for (std::size_t i = 0; i < points; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        // First failure wins; later points already claimed finish their
+        // own iteration, unclaimed ones are abandoned.
+        if (!error_claimed.test_and_set()) {
+          first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace scq::util

@@ -300,5 +300,32 @@ TEST(ClusterTest, RejectsInvalidOptions) {
                simt::SimError);
 }
 
+// ---- Stall detection (drained != dead != quiescent) ----
+
+TEST(ClusterTest, AllDrainedBeforeQuiescenceReportsStall) {
+  // Regression: the superstep loop used to fold "event queue drained"
+  // and "device dead" into one boolean, so a cluster whose kernels all
+  // returned while tokens were still outstanding spun forever (or was
+  // misread as dead). Seed one token nobody will ever consume and run
+  // kernels that exit immediately: every device drains, the cluster is
+  // not quiescent, and the run must come back as an explicit stall.
+  cluster::ClusterOptions opt;
+  opt.num_devices = 2;
+  opt.queue_capacity = 64;
+  opt.xfer_capacity = 16;
+  cluster::Cluster cl(small_device(), opt);
+  const std::uint64_t tokens[] = {0};
+  cl.queue(0).seed(cl.device(0), tokens);
+
+  const cluster::ClusterRun run = cl.run(
+      [](std::uint32_t) -> simt::KernelFactory {
+        return [](simt::Wave&) -> simt::Kernel<void> { co_return; };
+      },
+      1);
+  EXPECT_TRUE(run.aborted);
+  EXPECT_NE(run.abort_reason.find("stalled"), std::string::npos)
+      << run.abort_reason;
+}
+
 }  // namespace
 }  // namespace scq::bfs

@@ -91,6 +91,45 @@ TEST(DeviceFailure, RunawayKernelHitsMaxCyclesGuard) {
 
 // ---- Wave atomic edge cases ----
 
+TEST(DeviceFailure, AbortStateClearedAtTeardown) {
+  // Regression: an aborted launch (and the exception path) used to
+  // leave abort_/abort_reason_/finished_waves_ set on the device, so
+  // the next launch could start life already aborted.
+  Device dev(tiny_config());
+  const RunResult aborted = dev.launch(2, [](Wave& w) -> Kernel<void> {
+    if (w.workgroup_id() == 0) co_await w.abort_kernel("first launch");
+    for (;;) co_await w.idle(50);
+  });
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.abort_reason, "first launch");
+  // launch_end() moved the reason into the result and scrubbed the
+  // device-held copy.
+  EXPECT_FALSE(dev.abort_requested());
+  EXPECT_TRUE(dev.abort_reason().empty());
+
+  dev.reset_clock_and_stats();
+  const RunResult clean = dev.launch(2, [](Wave& w) -> Kernel<void> {
+    co_await w.compute(10);
+  });
+  EXPECT_FALSE(clean.aborted);
+  EXPECT_TRUE(clean.abort_reason.empty());
+
+  // The kernel-exception path tears the same state down.
+  dev.reset_clock_and_stats();
+  EXPECT_THROW((void)dev.launch(1,
+                                [](Wave& w) -> Kernel<void> {
+                                  co_await w.load(123456789);  // OOB
+                                }),
+               SimError);
+  EXPECT_FALSE(dev.abort_requested());
+  EXPECT_TRUE(dev.abort_reason().empty());
+  dev.reset_clock_and_stats();
+  const RunResult after = dev.launch(1, [](Wave& w) -> Kernel<void> {
+    co_await w.compute(10);
+  });
+  EXPECT_FALSE(after.aborted);
+}
+
 TEST(WaveAtomics, LaneIndexBeyondSpanThrows) {
   Device dev(tiny_config());
   const Buffer buf = dev.alloc(4);

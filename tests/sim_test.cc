@@ -400,6 +400,62 @@ TEST(Device, UserCountersAccumulate) {
   EXPECT_EQ(result.stats.user[1], 30u);
 }
 
+TEST(Device, StepUntilReportsTriState) {
+  Device dev(tiny_config());
+  dev.launch_begin(1, [](Wave& w) -> Kernel<void> {
+    co_await w.compute(5000);
+  });
+  // Events remain past a near horizon; then a full drain empties the
+  // queue with every wave complete.
+  EXPECT_EQ(dev.step_until(10), StepStatus::kRanToHorizon);
+  EXPECT_EQ(dev.step_until(~Cycle{0}), StepStatus::kDrained);
+  const RunResult done = dev.launch_end();
+  EXPECT_FALSE(done.aborted);
+
+  // An aborting kernel reports kDead, not a drained queue.
+  dev.reset_clock_and_stats();
+  dev.launch_begin(1, [](Wave& w) -> Kernel<void> {
+    co_await w.abort_kernel("tri-state");
+  });
+  EXPECT_EQ(dev.step_until(~Cycle{0}), StepStatus::kDead);
+  const RunResult dead = dev.launch_end();
+  EXPECT_TRUE(dead.aborted);
+  EXPECT_EQ(dead.abort_reason, "tri-state");
+}
+
+TEST(Device, SeededRelaunchReplaysFreshSchedule) {
+  // Regression: reset_clock_and_stats() must also rewind next_seq_ and
+  // the seeded SchedulePolicy, or a relaunch on a reset device draws
+  // different tie-break keys than a fresh device and the schedules
+  // diverge under nonzero sched_seed.
+  DeviceConfig cfg = tiny_config();
+  cfg.sched_seed = 42;
+  cfg.sched_mem_jitter = 8;
+  cfg.sched_atomic_jitter = 8;
+  const auto run_on = [](Device& dev, const Buffer& buf) {
+    return dev.launch(8, [&buf](Wave& w) -> Kernel<void> {
+      for (int i = 0; i < 10; ++i) {
+        co_await w.atomic_add(buf.at(0), 1);
+        co_await w.compute(5 + w.workgroup_id() % 3);
+      }
+    });
+  };
+
+  Device fresh(cfg);
+  const Buffer fresh_buf = fresh.alloc(4);
+  const RunResult first = run_on(fresh, fresh_buf);
+
+  Device reused(cfg);
+  const Buffer reused_buf = reused.alloc(4);
+  (void)run_on(reused, reused_buf);
+  reused.reset_clock_and_stats();
+  const RunResult replay = run_on(reused, reused_buf);
+
+  EXPECT_EQ(first.cycles, replay.cycles);
+  EXPECT_EQ(first.stats.afa_ops, replay.stats.afa_ops);
+  EXPECT_EQ(first.stats.compute_cycles, replay.stats.compute_cycles);
+}
+
 TEST(Stats, DeltaSubtraction) {
   DeviceStats a;
   a.afa_ops = 10;

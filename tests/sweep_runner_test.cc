@@ -1,0 +1,93 @@
+// Tests for the host-side parallel sweep runner (util/sweep.h): every
+// point runs exactly once, per-slot writes merge into output identical
+// to a serial sweep, the first exception is rethrown on the caller,
+// and thread-count resolution behaves at the edges. Test names all
+// start with SweepRunner so the thread-sanitizer CI job can select the
+// whole file by name alongside the host-queue suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/sweep.h"
+
+namespace scq::util {
+namespace {
+
+TEST(SweepRunner, RunsEveryPointExactlyOnce) {
+  constexpr std::size_t kPoints = 257;  // deliberately not a multiple
+  std::vector<std::atomic<int>> hits(kPoints);
+  parallel_sweep(kPoints, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "point " << i;
+  }
+}
+
+TEST(SweepRunner, ParallelMergeMatchesSerial) {
+  constexpr std::size_t kPoints = 100;
+  const auto value_of = [](std::size_t i) {
+    // An irregular per-point cost so completion order scrambles.
+    std::uint64_t v = i * 0x9e3779b97f4a7c15ull + 1;
+    for (std::size_t k = 0; k < (i % 17) * 1000; ++k) {
+      v ^= v << 13;
+      v ^= v >> 7;
+    }
+    return v;
+  };
+  std::vector<std::uint64_t> serial(kPoints), parallel(kPoints);
+  parallel_sweep(kPoints, 1, [&](std::size_t i) { serial[i] = value_of(i); });
+  parallel_sweep(kPoints, 8,
+                 [&](std::size_t i) { parallel[i] = value_of(i); });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(SweepRunner, FirstExceptionRethrownAfterJoin) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_sweep(64, 4,
+                     [&](std::size_t i) {
+                       ran.fetch_add(1, std::memory_order_relaxed);
+                       if (i % 9 == 4) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // Workers stop claiming after a failure, so not every point ran — but
+  // nothing runs twice and the process survives concurrent throwers.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 64);
+}
+
+TEST(SweepRunner, SerialPathPreservesOrder) {
+  std::vector<std::size_t> order;
+  parallel_sweep(10, 1, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> want(10);
+  std::iota(want.begin(), want.end(), std::size_t{0});
+  EXPECT_EQ(order, want);
+}
+
+TEST(SweepRunner, MoreThreadsThanPoints) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_sweep(3, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(SweepRunner, ZeroPointsIsANoop) {
+  parallel_sweep(0, 4, [&](std::size_t) { FAIL() << "no points to run"; });
+}
+
+TEST(SweepRunner, ResolveThreadsClampsAndDefaults) {
+  EXPECT_EQ(resolve_sweep_threads(1, 100), 1u);
+  EXPECT_EQ(resolve_sweep_threads(7, 100), 7u);
+  EXPECT_EQ(resolve_sweep_threads(7, 3), 3u);   // clamp to points
+  EXPECT_EQ(resolve_sweep_threads(4, 0), 1u);   // empty sweep stays sane
+  EXPECT_GE(resolve_sweep_threads(0, 100), 1u);  // 0 = hardware, >= 1
+}
+
+}  // namespace
+}  // namespace scq::util

@@ -77,16 +77,18 @@ std::vector<std::uint64_t> run_producers(std::uint32_t cus,
   simt::Cycle horizon = 0;
   while (got.size() < total) {
     horizon += 1000;
-    const bool alive = dev.step_until(horizon);
+    const simt::StepStatus status = dev.step_until(horizon);
     ring.drain(dev, got);
-    if (!alive) break;  // producer died early: the size check fails below
+    // Drained or dead: the producers finished (or died) — any tokens
+    // still in the ring are collected after the stop-flag drain below.
+    if (status != simt::StepStatus::kRanToHorizon) break;
     if (horizon >= simt::Cycle{50'000'000}) {
       ADD_FAILURE() << "ring drain livelocked";
       break;
     }
   }
   dev.write_word(stop, 1);
-  while (dev.step_until(~simt::Cycle{0})) {
+  while (dev.step_until(~simt::Cycle{0}) == simt::StepStatus::kRanToHorizon) {
   }
   ring.drain(dev, got);
   const simt::RunResult run = dev.launch_end();
