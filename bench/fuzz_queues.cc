@@ -27,7 +27,8 @@ QueueVariant variant_from_string(const std::string& s) {
   if (s == "base") return QueueVariant::kBase;
   if (s == "an") return QueueVariant::kAn;
   if (s == "rfan") return QueueVariant::kRfan;
-  std::fprintf(stderr, "unknown variant '%s' (base|an|rfan)\n", s.c_str());
+  if (s == "mq") return QueueVariant::kMq;
+  std::fprintf(stderr, "unknown variant '%s' (base|an|rfan|mq)\n", s.c_str());
   std::exit(2);
 }
 
@@ -40,14 +41,14 @@ scq::fuzz::SimFuzzCase sim_case_for_seed(std::uint64_t seed) {
   std::uint64_t s = seed ^ 0x5ca1ab1e0ddba11ull;
   const std::uint64_t h = scq::util::splitmix64(s);
   constexpr QueueVariant kVariants[] = {QueueVariant::kBase, QueueVariant::kAn,
-                                        QueueVariant::kRfan};
+                                        QueueVariant::kRfan, QueueVariant::kMq};
   constexpr scq::fuzz::Workload kWorkloads[] = {scq::fuzz::Workload::kTree,
                                                 scq::fuzz::Workload::kChain,
                                                 scq::fuzz::Workload::kRandom};
   constexpr std::uint64_t kCapacities[] = {8, 16, 24, 40, 56};
-  c.variant = kVariants[h % 3];
-  c.workload = kWorkloads[(h / 3) % 3];
-  c.capacity = kCapacities[(h / 9) % 5];
+  c.variant = kVariants[h % 4];
+  c.workload = kWorkloads[(h / 4) % 3];
+  c.capacity = kCapacities[(h / 12) % 5];
   return c;
 }
 
@@ -93,8 +94,13 @@ int main(int argc, char** argv) {
   args.add_int("host-every", "run a host case every Nth seed (0 = never)", 4);
   args.add_int("fuzz-seed", "replay one sim case with this seed", -1);
   args.add_int("host-seed", "replay one host case with this seed", -1);
-  args.add_string("variant", "replay: queue variant (base|an|rfan)", "rfan");
+  args.add_string("variant", "replay: queue variant (base|an|rfan|mq)",
+                  "rfan");
   args.add_string("workload", "replay: workload (tree|chain|random)", "tree");
+  args.add_string("only-variant",
+                  "sweep: pin every sim case to this variant instead of "
+                  "rotating (empty = rotate)",
+                  "");
   args.add_int("capacity", "replay: ring capacity", 24);
   args.add_int("tasks", "replay: workload size bound", 96);
   args.add_flag("verbose", "print every case, not just failures", false);
@@ -141,10 +147,12 @@ int main(int argc, char** argv) {
     bool ok = false;
     std::string text;
   };
+  const std::string only_variant = args.get_string("only-variant");
   std::vector<SimSlot> slots(count);
   scq::util::parallel_sweep(
       static_cast<std::size_t>(count), threads, [&](std::size_t i) {
-        const auto c = sim_case_for_seed(first + i);
+        auto c = sim_case_for_seed(first + i);
+        if (!only_variant.empty()) c.variant = variant_from_string(only_variant);
         const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
         slots[i].ok = out.ok();
         if (!out.ok() || verbose) slots[i].text = out.describe(c) + "\n";

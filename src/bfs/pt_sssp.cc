@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <span>
 
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
@@ -38,6 +39,7 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
   std::array<std::uint64_t, kWaveWidth> vertex{}, cursor{}, row_end{}, vdist{};
   // Trace identity of each working lane's vertex-task.
   std::array<std::uint64_t, kWaveWidth> ticket = filled_lanes(kNoTask);
+  std::array<std::uint64_t, kWaveWidth> done_tickets{};
   LaneMask working = 0;
 
   for (;;) {
@@ -149,18 +151,21 @@ Kernel<void> pt_sssp_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
       for_lanes(run, [&](unsigned lane) {
         if (cursor[lane] >= row_end[lane]) {
           done_lanes |= bit(lane);
+          done_tickets[finished++] = ticket[lane];
           if (tasks_traced) {
             trace_task(w, simt::TaskPhase::kExecEnd, ticket[lane]);
           }
         }
       });
-      finished = static_cast<std::uint32_t>(std::popcount(done_lanes));
       working &= ~done_lanes;
       w.bump(kTasksProcessed, finished);
     }
 
     if (st.total_new() != 0 || st.has_parked()) co_await queue.publish(w, st);
-    if (finished) co_await queue.report_complete(w, finished);
+    if (finished) {
+      co_await queue.report_complete_tickets(
+          w, std::span<const std::uint64_t>(done_tickets.data(), finished));
+    }
     if (!progress) co_await w.idle(opt.poll_interval);
   }
 }

@@ -145,7 +145,7 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     router.collect(devices_, rings_);
     const bool want_windows = options_.telemetry != nullptr;
     std::vector<std::uint64_t> backlog;
-    if (options_.balance == BalancePolicy::kSteal || want_windows) {
+    if (steals(options_.balance) || want_windows) {
       backlog.resize(n);
       for (std::uint32_t d = 0; d < n; ++d) {
         const QueueLayout& q = queues_[d]->layout();
@@ -154,7 +154,7 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
         backlog[d] = rear > done ? rear - done : 0;
       }
     }
-    if (options_.balance == BalancePolicy::kSteal) router.balance(backlog);
+    if (steals(options_.balance)) router.balance(backlog);
     router.deliver(devices_, queues_);
 
     if (want_windows) {

@@ -12,6 +12,7 @@ std::string_view to_string(BalancePolicy policy) {
   switch (policy) {
     case BalancePolicy::kOwnerOnly: return "owner-only";
     case BalancePolicy::kSteal: return "steal";
+    case BalancePolicy::kStealPriority: return "steal-priority";
   }
   return "?";
 }
@@ -19,6 +20,7 @@ std::string_view to_string(BalancePolicy policy) {
 BalancePolicy balance_policy_from_string(std::string_view name) {
   if (name == "owner-only") return BalancePolicy::kOwnerOnly;
   if (name == "steal") return BalancePolicy::kSteal;
+  if (name == "steal-priority") return BalancePolicy::kStealPriority;
   throw std::invalid_argument("unknown balance policy: " + std::string(name));
 }
 
@@ -38,7 +40,7 @@ void Router::collect(std::span<const std::unique_ptr<simt::Device>> devices,
 }
 
 void Router::balance(std::span<const std::uint64_t> backlog) {
-  if (policy_ != BalancePolicy::kSteal) return;
+  if (!steals(policy_)) return;
   const std::uint32_t n = static_cast<std::uint32_t>(pending_.size());
   if (n < 2) return;
 
@@ -58,9 +60,21 @@ void Router::balance(std::span<const std::uint64_t> backlog) {
 
   for (std::uint32_t d = 0; d < n; ++d) {
     if (load[d] <= steal_trigger_ * mean) continue;
-    // Walk the overloaded owner's FIFO once; convert candidates while an
-    // under-loaded thief exists and the owner stays above trigger.
-    for (auto it = pending_[d].begin(); it != pending_[d].end(); ++it) {
+    // Walk the overloaded owner's pending set once; convert candidates
+    // while an under-loaded thief exists and the owner stays above
+    // trigger. kSteal walks in FIFO order; kStealPriority walks lowest
+    // cost first, handing thieves the highest-priority work.
+    std::vector<std::size_t> order(pending_[d].size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (policy_ == BalancePolicy::kStealPriority) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return token_cost(pending_[d][a]) <
+                                token_cost(pending_[d][b]);
+                       });
+    }
+    for (const std::size_t i : order) {
+      auto it = pending_[d].begin() + static_cast<std::ptrdiff_t>(i);
       if (token_kind(*it) != TokenKind::kCandidate) continue;
       if (load[d] <= steal_trigger_ * mean) break;
       // Steal only candidates that improve on the best cost ever stolen
@@ -96,6 +110,14 @@ void Router::deliver(std::span<const std::unique_ptr<simt::Device>> devices,
   for (std::uint32_t d = 0; d < n; ++d) {
     simt::Device& dev = *devices[d];
     const QueueLayout& q = queues[d]->layout();
+    if (policy_ == BalancePolicy::kStealPriority) {
+      // Priority injection: lowest cost first (stable, so equal-cost
+      // tokens keep their deterministic arrival order).
+      std::stable_sort(pending_[d].begin(), pending_[d].end(),
+                       [](std::uint64_t a, std::uint64_t b) {
+                         return token_cost(a) < token_cost(b);
+                       });
+    }
     while (!pending_[d].empty()) {
       const std::uint64_t rear = dev.read_word(q.rear_addr());
       const std::uint64_t index = rear % q.capacity;

@@ -38,10 +38,25 @@ namespace scq::cluster {
 enum class BalancePolicy {
   kOwnerOnly,  // every candidate executes on its owner
   kSteal,      // overloaded owners' candidates enumerate elsewhere
+  // Priority-aware steal: same overload trigger and dedup gate as
+  // kSteal, but the FIFO-order walk becomes a cost-order walk — the
+  // lowest-cost (lowest-band) candidates are redirected first, so
+  // thieves receive the work delta-stepping most wants expanded early —
+  // and deliver() injects each device's pending tokens in ascending
+  // cost order (a banded main queue re-sorts anyway; a single-band
+  // queue gets priority order only through injection order).
+  kStealPriority,
 };
 
+// kSteal and kStealPriority share the balance/backlog machinery.
+[[nodiscard]] constexpr bool steals(BalancePolicy policy) {
+  return policy == BalancePolicy::kSteal ||
+         policy == BalancePolicy::kStealPriority;
+}
+
 [[nodiscard]] std::string_view to_string(BalancePolicy policy);
-// Parses "owner-only" / "steal"; throws std::invalid_argument otherwise.
+// Parses "owner-only" / "steal" / "steal-priority"; throws
+// std::invalid_argument otherwise.
 [[nodiscard]] BalancePolicy balance_policy_from_string(std::string_view name);
 
 struct RouterStats {

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 
+#include "core/bucketed_queue.h"
 #include "core/queue.h"
 
 namespace scq::cluster {
@@ -55,8 +56,25 @@ inline constexpr std::uint64_t kMaxPackCost =
 [[nodiscard]] constexpr std::uint64_t pack_token(TokenKind kind,
                                                  std::uint64_t cost,
                                                  std::uint64_t vertex) {
+  // Both fields are masked: an oversized cost used to shift straight
+  // into the kind bits (silent wrap that turned e.g. a kLocal into a
+  // kStolen). Callers with runtime-computed values should still prefer
+  // pack_token_checked (loud) or pack_token_saturating (explicit
+  // clamp-to-max-band policy) — masking here is the last-resort
+  // containment that keeps a wrapped cost from corrupting other fields.
   return (static_cast<std::uint64_t>(kind) << (kVertexBits + kCostBits)) |
-         (cost << kVertexBits) | vertex;
+         ((cost & kMaxPackCost) << kVertexBits) | (vertex & kMaxPackVertex);
+}
+
+// Saturating packing for priority costs: a cost past 22 bits clamps to
+// kMaxPackCost instead of wrapping. This is the delta-stepping policy —
+// the cost bits feed the cost-to-band map, every band index at or above
+// the top band means "lowest priority", and distances themselves are
+// reloaded from the authoritative array at dequeue, so saturation can
+// only coarsen scheduling order, never correctness.
+[[nodiscard]] constexpr std::uint64_t pack_token_saturating(
+    TokenKind kind, std::uint64_t cost, std::uint64_t vertex) {
+  return pack_token(kind, cost > kMaxPackCost ? kMaxPackCost : cost, vertex);
 }
 
 // Overflow-checked packing for values computed at runtime (relaxed
@@ -95,5 +113,10 @@ inline constexpr std::uint64_t kMaxPackCost =
 
 static_assert(kVertexBits + kCostBits + 2 == kTokenBits,
               "cluster token packing must fill the 48-bit ring payload");
+// The multi-queue's default cost-to-band map reads these exact bits.
+static_assert(kVertexBits == BucketedMultiQueue::kCostShift &&
+                  kMaxPackCost == BucketedMultiQueue::kCostMask,
+              "BucketedMultiQueue::cost_band_map must decode the cluster "
+              "token cost field");
 
 }  // namespace scq::cluster

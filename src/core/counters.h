@@ -20,6 +20,9 @@ enum UserCounter : unsigned {
   kQueueCasFailures = 9, // failed CASes among them (retry driver)
   kPublishStalls = 10,   // parked-token publish retries (backpressure)
   kXferTokens = 11,      // tokens emitted into inter-device transfer rings
+  // Priority scheduling (BucketedMultiQueue / delta-stepping drivers).
+  kStaleSkips = 12,      // delivered tokens skipped as stale (better path won)
+  kBandCloses = 13,      // priority bands observed closed by a wave
 };
 
 // Telemetry metric names (simt::Telemetry). The histograms are the
@@ -61,6 +64,13 @@ inline constexpr const char kWaveUtilization[] = "waves.utilization_pct";
 inline constexpr const char kWinPublishStalls[] = "queue.publish_stalls";
 inline constexpr const char kWinCasFailures[] = "queue.cas_failures";
 inline constexpr const char kWinQueueAtomics[] = "queue.atomics";
+
+// Per-band series (BucketedMultiQueue only; suffixed ".b<i>"). The
+// occupancy gauges are registered per band as sampled + windowed
+// series; the stall series is event-shaped (one window_add per parked
+// token that survived a failed flush, binned by its band).
+inline constexpr const char kBandOccupancyPrefix[] = "queue.band_occupancy.b";
+inline constexpr const char kBandStallPrefix[] = "queue.band_stall.b";
 
 }  // namespace tel
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "core/counters.h"
 #include "core/task_probes.h"
@@ -37,6 +38,8 @@ std::string_view to_string(QueueVariant v) {
       return "LOCK-STACK";
     case QueueVariant::kDistrib:
       return "DISTRIB";
+    case QueueVariant::kMq:
+      return "MQ";
   }
   return "?";
 }
@@ -130,9 +133,10 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
   if (missed) w.bump(kPolls, missed);
   if (simt::OpHistory* hist = history_sink(w)) {
     for_lanes(arrived, [&](unsigned lane) {
-      hist->record({simt::QueueOp::kDequeueDeliver, w.slot_id(),
-                    ticket_of(st.slot[lane], st.epoch[lane]), st.slot[lane],
-                    st.epoch[lane], tokens[lane], w.now()});
+      const std::uint64_t ticket = ticket_of(st.slot[lane], st.epoch[lane]);
+      hist->record({simt::QueueOp::kDequeueDeliver, w.slot_id(), ticket,
+                    st.slot[lane], st.epoch[lane], tokens[lane], w.now(),
+                    band_of(ticket)});
     });
   }
   if (task_sink(w) != nullptr && traceable) {
@@ -173,6 +177,13 @@ void DeviceQueue::seed(simt::Device& dev, std::span<const std::uint64_t> tokens)
   seed_device_queue(dev, layout_, tokens);
   resident_ = tokens.size();
   trace_seed_tasks(dev, *this, tokens);
+}
+
+Kernel<void> DeviceQueue::report_complete_tickets(
+    Wave& w, std::span<const std::uint64_t> tickets) {
+  // Single-band queues only need the count; forwarding keeps the
+  // simulated event stream identical to a direct report_complete call.
+  co_await report_complete(w, static_cast<std::uint32_t>(tickets.size()));
 }
 
 std::uint64_t DeviceQueue::occupancy(const simt::Device& dev) const {
@@ -232,7 +243,7 @@ void DeviceQueue::park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
   if (simt::OpHistory* hist = history_sink(w)) {
     const SlotRef ref = slot_of(ticket);
     hist->record({simt::QueueOp::kEnqueueReserve, w.slot_id(), ticket,
-                  ref.index, ref.epoch, token, w.now()});
+                  ref.index, ref.epoch, token, w.now(), band_of(ticket)});
   }
   // The reservation is where a task's trace id is born: stamp it with
   // the parent edge from the spawning task.
@@ -306,7 +317,8 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
         const SlotRef ref = slot_of(st.parked[i].ticket);
         hist->record({simt::QueueOp::kEnqueueWrite, w.slot_id(),
                       st.parked[i].ticket, ref.index, ref.epoch,
-                      st.parked[i].token, w.now()});
+                      st.parked[i].token, w.now(),
+                      band_of(st.parked[i].ticket)});
       });
     }
     if (task_sink(w) != nullptr && traceable_tickets()) {
@@ -320,11 +332,17 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
     w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(writable)));
     if (probes) {
       simt::Histogram& h = probes->histogram(tel::kPublishStall);
+      const bool banded = num_bands() > 1;
       for_lanes(writable, [&](unsigned i) {
         if (st.parked[i].stalled) {
           const simt::Cycle stalled = w.now() - st.parked[i].since;
           h.add(stalled);
           probes->window_add(tel::kPublishStall, stalled);
+          if (banded) {
+            probes->window_add(tel::kBandStallPrefix +
+                                   std::to_string(band_of(st.parked[i].ticket)),
+                               stalled);
+          }
         }
       });
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/bucketed_queue.h"
 #include "core/counters.h"
 #include "core/task_probes.h"
 
@@ -402,6 +403,12 @@ std::unique_ptr<DeviceQueue> make_scheduler(simt::Device& dev,
     case QueueVariant::kDistrib:
       return std::make_unique<DistributedQueue>(dev, capacity,
                                                 dev.config().num_cus);
+    case QueueVariant::kMq:
+      // Default banding reads the cluster token cost bits (plain small
+      // tokens all land in band 0); priority front-ends construct the
+      // queue directly with their own map and band count.
+      return std::make_unique<BucketedMultiQueue>(
+          dev, capacity, 8, BucketedMultiQueue::cost_band_map());
   }
   return nullptr;
 }

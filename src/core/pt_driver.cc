@@ -2,6 +2,7 @@
 
 #include <array>
 #include <bit>
+#include <span>
 
 #include "core/counters.h"
 #include "core/task_probes.h"
@@ -103,7 +104,8 @@ Kernel<void> pt_loop(Wave& w, DeviceQueue& queue, const TaskFn& task,
     // ScheduleNewlyDiscoveredWorkTokens() — publish retries any parked
     // remainder from earlier cycles before this cycle's batch counts.
     co_await queue.publish(w, st);
-    co_await queue.report_complete(w, finished);
+    co_await queue.report_complete_tickets(
+        w, std::span<const std::uint64_t>(done_tickets.data(), finished));
     if (finished == 0 && !arrived) co_await w.idle(options.poll_interval);
   }
 }

@@ -233,7 +233,8 @@ enum class QueueVariant {
   kRfan,   // the paper's retry-free / arbitrary-n queue
   // Extensions beyond the paper's three-way study (§2 related work):
   kStack,  // spinlock-guarded LIFO stack (mutual-exclusion strawman)
-  kDistrib // per-CU queues with work stealing (Tzeng-style)
+  kDistrib,// per-CU queues with work stealing (Tzeng-style)
+  kMq      // priority-banded multi-queue (retry-free within each band)
 };
 [[nodiscard]] std::string_view to_string(QueueVariant v);
 
@@ -265,6 +266,16 @@ class DeviceQueue {
 
   // Reports `count` tasks finished (drives termination detection).
   virtual Kernel<void> report_complete(Wave& w, std::uint32_t count) = 0;
+
+  // Per-ticket completion reporting. Single-band queues only need the
+  // count (the default forwards, same simulated cost); the banded
+  // multi-queue needs the tickets themselves to credit each band's
+  // Completed counter — its closure-frontier termination depends on
+  // knowing *which* band finished work, not just how much. Drivers that
+  // collect finished tickets anyway (pt_driver, the SSSP kernels) call
+  // this form. Entries may be kNoTask for untraceable schedulers.
+  virtual Kernel<void> report_complete_tickets(
+      Wave& w, std::span<const std::uint64_t> tickets);
 
   // Dequeue, phase 2 (shared): non-atomic data-arrival check on every
   // monitored slot. A slot has arrived when it holds a full word whose
@@ -317,6 +328,21 @@ class DeviceQueue {
   // reuses LIFO indices and overrides to false — it records no task
   // events.
   [[nodiscard]] virtual bool traceable_tickets() const { return true; }
+
+  // Priority-band introspection. Single-band queues report one band and
+  // map every ticket to it; BucketedMultiQueue overrides all three.
+  // band_of decodes host-side (no simulated cost) — op-history records
+  // and telemetry are its only consumers.
+  [[nodiscard]] virtual std::uint32_t num_bands() const { return 1; }
+  [[nodiscard]] virtual std::uint64_t band_of(std::uint64_t /*ticket*/) const {
+    return 0;
+  }
+  // Host-side backlog of one band (reserved-but-unclaimed tickets),
+  // for the per-band telemetry gauges.
+  [[nodiscard]] virtual std::uint64_t band_occupancy(const simt::Device& dev,
+                                                     std::uint32_t band) const {
+    return band == 0 ? occupancy(dev) : 0;
+  }
 
  protected:
   // Ring placement of a Rear/Front ticket. The default is the single

@@ -1,5 +1,7 @@
 #include "core/telemetry_probes.h"
 
+#include <string>
+
 #include "core/counters.h"
 
 namespace scq {
@@ -48,6 +50,21 @@ void register_scheduler_probes(simt::Telemetry& telemetry, simt::Device& dev,
   telemetry.register_window_counter(tel::kWinQueueAtomics, [d](simt::Cycle) {
     return d->stats().user[kQueueAtomics];
   });
+
+  // Per-band backlog for the priority multi-queue: one sampled series
+  // and one windowed series per band, so the dashboard shows the
+  // bucket-drain cascade (band b emptying as band b+1 fills). The
+  // band-stall series is event-shaped and recorded at the publish
+  // backpressure site (flush_parked).
+  if (const std::uint32_t bands = queue.num_bands(); bands > 1) {
+    for (std::uint32_t b = 0; b < bands; ++b) {
+      const std::string name = tel::kBandOccupancyPrefix + std::to_string(b);
+      telemetry.register_gauge(
+          name, [d, q, b](simt::Cycle) { return q->band_occupancy(*d, b); });
+      telemetry.register_window_gauge(
+          name, [d, q, b](simt::Cycle) { return q->band_occupancy(*d, b); });
+    }
+  }
 
   // Utilization: ports issue one compute cycle per cycle at most, so
   // delta(compute_cycles) / (delta(t) * resident waves) approximates the

@@ -29,6 +29,7 @@ enum class QueueOp : std::uint8_t {
   kEnqueueWrite,    // payload written into the ring slot
   kDequeueClaim,    // dequeue ticket claimed (Front AFA / host fetch_add)
   kDequeueDeliver,  // payload observed and returned to a consumer
+  kBandClose,       // priority band observed closed (no future publishes)
 };
 
 [[nodiscard]] constexpr const char* to_string(QueueOp op) {
@@ -37,6 +38,7 @@ enum class QueueOp : std::uint8_t {
     case QueueOp::kEnqueueWrite: return "enq-write";
     case QueueOp::kDequeueClaim: return "deq-claim";
     case QueueOp::kDequeueDeliver: return "deq-deliver";
+    case QueueOp::kBandClose: return "band-close";
   }
   return "?";
 }
@@ -52,6 +54,9 @@ struct OpRecord {
   std::uint64_t epoch = 0;     // ring lap the ticket maps to
   std::uint64_t payload = 0;   // token (0 for claims)
   Cycle cycle = 0;             // device clock at record time (diagnostic only)
+  // Priority band of the ticket (0 for single-band queues). For
+  // kBandClose this is the band whose closure the record announces.
+  std::uint64_t band = 0;
 };
 
 class OpHistory {

@@ -31,7 +31,7 @@ struct DeviceStats {
 
   // Application-defined counters (e.g. work cycles, poll checks, queue
   // empty retries). Apps document their own indices.
-  std::array<std::uint64_t, 12> user{};
+  std::array<std::uint64_t, 16> user{};
 
   // Total global atomic operations of any kind (Fig. 5's numerator /
   // denominator).

@@ -151,6 +151,42 @@ TEST(ClusterTest, StealPolicyStaysExact) {
   }
 }
 
+TEST(ClusterTest, StealPriorityStaysExactAndOrdersByCost) {
+  // Priority-aware stealing on a weighted skewed graph: the thief gets
+  // the lowest-cost candidates and injection is cost-ordered, but the
+  // distances must still be exact (same ownership/authority protocol).
+  for (const char* family : {"star", "rmat"}) {
+    graph::Graph g = graph::with_random_weights(make_graph(family), 19);
+    const auto ref = graph::dijkstra(g, 0);
+    ClusterBfsOptions opt;
+    opt.num_devices = 4;
+    opt.balance = cluster::BalancePolicy::kStealPriority;
+    opt.steal_trigger = 1.5;
+    const ClusterSsspResult result = run_cluster_sssp(small_device(), g, 0, opt);
+    ASSERT_FALSE(result.run.aborted) << result.run.abort_reason;
+    EXPECT_EQ(result.dist, ref) << family;
+    // Re-runs stay bit-exact: the cost-order sort is stable, so the
+    // deterministic arrival order breaks ties deterministically.
+    const ClusterSsspResult again =
+        run_cluster_sssp(small_device(), g, 0, opt);
+    EXPECT_EQ(again.run.cycles, result.run.cycles) << family;
+    EXPECT_EQ(again.run.router.stolen, result.run.router.stolen) << family;
+  }
+}
+
+TEST(ClusterTest, BalancePolicyNamesRoundTrip) {
+  using cluster::BalancePolicy;
+  for (const BalancePolicy p :
+       {BalancePolicy::kOwnerOnly, BalancePolicy::kSteal,
+        BalancePolicy::kStealPriority}) {
+    EXPECT_EQ(cluster::balance_policy_from_string(
+                  std::string(cluster::to_string(p))),
+              p);
+  }
+  EXPECT_THROW(static_cast<void>(cluster::balance_policy_from_string("bogus")),
+               std::invalid_argument);
+}
+
 // ---- 1-device degeneration ----
 
 TEST(ClusterTest, SingleDeviceClusterMatchesPtBfs) {

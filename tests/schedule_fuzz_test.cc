@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/queue.h"
 #include "support/fuzz_harness.h"
 #include "support/queue_checker.h"
 
@@ -51,7 +52,39 @@ std::vector<OpRecord> clean_history(std::uint64_t capacity) {
 bool same_record(const OpRecord& a, const OpRecord& b) {
   return a.op == b.op && a.actor == b.actor && a.ticket == b.ticket &&
          a.slot == b.slot && a.epoch == b.epoch && a.payload == b.payload &&
-         a.cycle == b.cycle;
+         a.cycle == b.cycle && a.band == b.band;
+}
+
+// Banded synthetic records: ticket = (band << 48) | local, mapping into
+// band's ring segment (slot = band * capacity + local % capacity).
+OpRecord banded(QueueOp op, std::uint64_t band, std::uint64_t local,
+                std::uint64_t payload, std::uint64_t capacity) {
+  const bool producer_side =
+      op == QueueOp::kEnqueueReserve || op == QueueOp::kEnqueueWrite;
+  return {op,
+          producer_side ? kHostActor : 0,
+          (band << kTokenBits) | local,
+          band * capacity + local % capacity,
+          local / capacity,
+          payload,
+          0,
+          band};
+}
+OpRecord band_close(std::uint64_t band) {
+  return {QueueOp::kBandClose, 0, 0, 0, 0, 0, 0, band};
+}
+
+// Clean two-band history: band 0 drains and closes, then band 1 drains.
+std::vector<OpRecord> clean_banded_history(std::uint64_t capacity) {
+  return {banded(QueueOp::kEnqueueReserve, 0, 0, 100, capacity),
+          banded(QueueOp::kEnqueueWrite, 0, 0, 100, capacity),
+          banded(QueueOp::kEnqueueReserve, 1, 0, 200, capacity),
+          banded(QueueOp::kEnqueueWrite, 1, 0, 200, capacity),
+          banded(QueueOp::kDequeueClaim, 0, 0, 0, capacity),
+          banded(QueueOp::kDequeueDeliver, 0, 0, 100, capacity),
+          band_close(0),
+          banded(QueueOp::kDequeueClaim, 1, 0, 0, capacity),
+          banded(QueueOp::kDequeueDeliver, 1, 0, 200, capacity)};
 }
 
 TEST(QueueChecker, AcceptsCleanHistory) {
@@ -133,6 +166,117 @@ TEST(QueueChecker, CatchesTicketGap) {
       << r.report();
 }
 
+TEST(BandedChecker, AcceptsCleanBandedHistory) {
+  const CheckResult r =
+      check_history(clean_banded_history(4), {.capacity = 4, .num_bands = 2});
+  EXPECT_TRUE(r.ok()) << r.report();
+  EXPECT_EQ(r.delivered, 2u);
+}
+
+TEST(BandedChecker, CatchesBandFieldMismatch) {
+  auto h = clean_banded_history(4);
+  h[5].band = 1;  // deliver record's band disagrees with its ticket
+  const CheckResult r = check_history(h, {.capacity = 4, .num_bands = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.report().find("disagrees with the ticket's encoded band"),
+            std::string::npos)
+      << r.report();
+}
+
+TEST(BandedChecker, CatchesDeliveryAfterBandClose) {
+  auto h = clean_banded_history(4);
+  // A second band-0 token materializes entirely after the band closed.
+  h.push_back(banded(QueueOp::kEnqueueReserve, 0, 1, 150, 4));
+  h.push_back(banded(QueueOp::kEnqueueWrite, 0, 1, 150, 4));
+  h.push_back(banded(QueueOp::kDequeueDeliver, 0, 1, 150, 4));
+  const CheckResult r = check_history(h, {.capacity = 4, .num_bands = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.report().find("after its closure"), std::string::npos)
+      << r.report();
+}
+
+TEST(BandedChecker, ClaimAfterBandCloseIsLegal) {
+  // Claim-ahead: a pre-closure counter snapshot may still target the
+  // band; such a claim never delivers and must NOT trip the checker.
+  auto h = clean_banded_history(4);
+  h.push_back(banded(QueueOp::kDequeueClaim, 0, 1, 0, 4));
+  const CheckResult r = check_history(h, {.capacity = 4, .num_bands = 2});
+  EXPECT_TRUE(r.ok()) << r.report();
+}
+
+TEST(BandedChecker, CatchesBandSlotMappingBroken) {
+  auto h = clean_banded_history(4);
+  h[3].slot = 0;  // band-1 write landed in band 0's ring segment
+  const CheckResult r = check_history(h, {.capacity = 4, .num_bands = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.report().find("slot/epoch mapping broken"), std::string::npos)
+      << r.report();
+}
+
+TEST(BandedChecker, CatchesBandCloseInSingleBandHistory) {
+  auto h = clean_history(4);
+  h.push_back(band_close(0));
+  const CheckResult r = check_history(h, {.capacity = 4});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.report().find("single-band history"), std::string::npos)
+      << r.report();
+}
+
+TEST(BandedChecker, CatchesPerBandTicketGap) {
+  // Band 1 reserves locals 0 and 2: fetch-add counters cannot skip.
+  std::vector<OpRecord> h = {banded(QueueOp::kEnqueueReserve, 1, 0, 5, 4),
+                             banded(QueueOp::kEnqueueWrite, 1, 0, 5, 4),
+                             banded(QueueOp::kEnqueueReserve, 1, 2, 7, 4),
+                             banded(QueueOp::kEnqueueWrite, 1, 2, 7, 4)};
+  const CheckResult r = check_history(
+      h, {.capacity = 4, .expect_drained = false, .num_bands = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.report().find("not contiguous in band 1"), std::string::npos)
+      << r.report();
+}
+
+// Tamper with the history of a REAL multi-queue run: band closures must
+// have been recorded, and the checker must notice a dropped delivery, a
+// corrupted band field, and a resurrected post-closure operation.
+TEST(BandedChecker, CatchesTamperedRealMqHistory) {
+  SimFuzzCase c;
+  c.seed = 17;
+  c.variant = QueueVariant::kMq;
+  c.workload = Workload::kRandom;
+  c.capacity = 32;  // 4 bands x 8 slots (harness clamp leaves 4 bands)
+  std::vector<OpRecord> records;
+  const FuzzOutcome out = run_sim_fuzz_case(c, &records);
+  ASSERT_TRUE(out.ok()) << out.describe(c);
+
+  const CheckOptions opts{.capacity = 8, .num_bands = 4};
+  std::size_t closes = 0, deliver_idx = records.size();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].op == QueueOp::kBandClose) ++closes;
+    if (records[i].op == QueueOp::kDequeueDeliver &&
+        deliver_idx == records.size()) {
+      deliver_idx = i;
+    }
+  }
+  EXPECT_GT(closes, 0u) << "mq run recorded no band closures";
+  ASSERT_LT(deliver_idx, records.size());
+  ASSERT_TRUE(check_history(records, opts).ok());
+
+  auto dropped = records;
+  dropped.erase(dropped.begin() + static_cast<std::ptrdiff_t>(deliver_idx));
+  EXPECT_FALSE(check_history(dropped, opts).ok());
+
+  auto mislabeled = records;
+  mislabeled[deliver_idx].band ^= 1;
+  EXPECT_FALSE(check_history(mislabeled, opts).ok());
+
+  // Replay the first delivery at the very end of the run: by then its
+  // band has closed, so this trips closure monotonicity (and
+  // exactly-once) rather than sneaking in as a legal late event.
+  auto resurrected = records;
+  resurrected.push_back(records[deliver_idx]);
+  EXPECT_FALSE(check_history(resurrected, opts).ok());
+}
+
 // Tamper with the history of a REAL run: the checker must notice both a
 // dropped and a duplicated delivery. This closes the loop between the
 // instrumentation and the checker — if record points drifted, the clean
@@ -208,7 +352,7 @@ TEST(ScheduleFuzz, SeedZeroRunsLegacySchedule) {
 
 TEST(ScheduleFuzz, SimSweepAllVariants) {
   const QueueVariant variants[] = {QueueVariant::kBase, QueueVariant::kAn,
-                                   QueueVariant::kRfan};
+                                   QueueVariant::kRfan, QueueVariant::kMq};
   const Workload workloads[] = {Workload::kTree, Workload::kChain,
                                 Workload::kRandom};
   // Capacities deliberately below the wave width force parked-enqueue
@@ -231,7 +375,32 @@ TEST(ScheduleFuzz, SimSweepAllVariants) {
       }
     }
   }
-  EXPECT_EQ(ran, 162);
+  EXPECT_EQ(ran, 216);
+}
+
+// Priority-sweep: >= 200 seeded multi-queue cases across every workload
+// and capacity, each replayed through the banded checker (per-band
+// exactly-once + slot mapping + band-monotone closure).
+TEST(ScheduleFuzz, MqPrioritySweep) {
+  const Workload workloads[] = {Workload::kTree, Workload::kChain,
+                                Workload::kRandom};
+  const std::uint64_t capacities[] = {8, 24, 56};
+  int ran = 0;
+  for (Workload w : workloads) {
+    for (std::uint64_t cap : capacities) {
+      for (std::uint64_t seed = 1; seed <= 23; ++seed) {
+        SimFuzzCase c;
+        c.seed = seed * 0x5ca1ab1eu + cap;
+        c.variant = QueueVariant::kMq;
+        c.workload = w;
+        c.capacity = cap;
+        const FuzzOutcome out = run_sim_fuzz_case(c);
+        EXPECT_TRUE(out.ok()) << out.describe(c);
+        ++ran;
+      }
+    }
+  }
+  EXPECT_EQ(ran, 207);
 }
 
 TEST(ScheduleFuzz, HostSweep) {

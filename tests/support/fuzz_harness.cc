@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/bucketed_queue.h"
 #include "core/host_queue.h"
 #include "core/pt_driver.h"
 #include "util/prng.h"
@@ -22,6 +23,7 @@ const char* variant_cli_name(QueueVariant v) {
     case QueueVariant::kBase: return "base";
     case QueueVariant::kAn: return "an";
     case QueueVariant::kRfan: return "rfan";
+    case QueueVariant::kMq: return "mq";
     default: return "?";
   }
 }
@@ -80,8 +82,28 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
   simt::OpHistory history;
   dev.attach_op_history(&history);
 
-  QueueLayout layout = make_device_queue(dev, c.capacity);
-  std::unique_ptr<DeviceQueue> queue = make_queue_variant(c.variant, layout);
+  std::unique_ptr<DeviceQueue> queue;
+  if (c.variant == QueueVariant::kMq) {
+    // Id-proportional band map: monotone along the spawn relation for
+    // every harness workload (children always have larger ids), so the
+    // closure frontier is sound and the checker's band-monotonicity
+    // invariant must hold on every schedule.
+    // Clamp the band count so each band's ring still holds at least 4
+    // tokens: seeding is not parked/backpressured, and the kRandom
+    // workload injects 4 seed tokens that all map to band 0.
+    const std::uint64_t bands = std::min<std::uint64_t>(
+        std::max<std::uint32_t>(c.num_bands, 1),
+        std::max<std::uint64_t>(c.capacity / 4, 1));
+    const std::uint64_t n_hint = std::max<std::uint32_t>(c.num_tasks, 1);
+    queue = std::make_unique<BucketedMultiQueue>(
+        dev, c.capacity, static_cast<std::uint32_t>(bands),
+        [bands, n_hint](std::uint64_t token) {
+          return std::min<std::uint64_t>(token * bands / n_hint, bands - 1);
+        });
+  } else {
+    QueueLayout layout = make_device_queue(dev, c.capacity);
+    queue = make_queue_variant(c.variant, layout);
+  }
 
   // Deterministic irregular task graphs. Children always carry larger
   // ids than their parent, so every workload terminates; kRandom allows
@@ -135,6 +157,12 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
 
   CheckOptions check_opt;
   check_opt.capacity = c.capacity;
+  if (c.variant == QueueVariant::kMq) {
+    const auto& mq = static_cast<const BucketedMultiQueue&>(*queue);
+    // Banded checking maps each ticket into its band's ring segment.
+    check_opt.num_bands = mq.num_bands();
+    check_opt.capacity = mq.per_band_capacity();
+  }
   // On an abort the run stopped mid-flight: tokens legally remain
   // undelivered, but the hard invariants (exactly-once, payload match,
   // slot/epoch mapping) must still hold for everything recorded.

@@ -39,6 +39,12 @@ struct SimFuzzCase {
   std::uint64_t capacity = 24;   // deliberately below kWaveWidth
   std::uint32_t num_tasks = 96;  // workload size bound
   std::uint32_t num_workgroups = 4;
+  // kMq only: priority band count. The harness band map is id-
+  // proportional (band = token * num_bands / num_tasks, clamped), which
+  // is monotone along the spawn relation for every workload above
+  // (children always carry larger ids) — the closure-frontier contract
+  // the checker's band-monotonicity invariant verifies.
+  std::uint32_t num_bands = 4;
 };
 
 struct FuzzOutcome {

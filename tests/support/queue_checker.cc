@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/queue.h"  // kTokenBits/kMaxToken: the banded ticket encoding
+
 namespace scq::fuzz {
 
 namespace {
@@ -41,6 +43,7 @@ std::string format_record(std::size_t index, const simt::OpRecord& r) {
   out += " epoch=" + std::to_string(r.epoch);
   out += " payload=" + std::to_string(r.payload);
   out += " cycle=" + std::to_string(r.cycle);
+  out += " band=" + std::to_string(r.band);
   return out;
 }
 
@@ -74,18 +77,67 @@ CheckResult check_history(const std::vector<simt::OpRecord>& records,
     if (first_violation_record == kNone) first_violation_record = idx;
   };
 
+  const bool banded = options.num_bands > 1;
+  // Band decoding: the multi-queue encodes (band << 48) | local ticket;
+  // single-band queues use raw counter tickets in band 0.
+  auto band_of = [banded](std::uint64_t ticket) {
+    return banded ? ticket >> kTokenBits : 0;
+  };
+  auto local_of = [banded](std::uint64_t ticket) {
+    return banded ? ticket & kMaxToken : ticket;
+  };
+  // Closure-monotonicity state: the highest band a kBandClose record
+  // has announced so far (-1 = none).
+  std::int64_t max_closed = -1;
+
   for (std::size_t i = 0; i < records.size(); ++i) {
     const simt::OpRecord& r = records[i];
+
+    if (r.op == simt::QueueOp::kBandClose) {
+      // Closure announcements carry no ticket state; they only advance
+      // the closure frontier the later records are checked against.
+      if (!banded) {
+        violate(i, "band-close record in a single-band history");
+      } else if (r.band >= options.num_bands) {
+        violate(i, "band-close for band " + std::to_string(r.band) +
+                       " but the queue has " +
+                       std::to_string(options.num_bands) + " bands");
+      }
+      max_closed = std::max(max_closed, static_cast<std::int64_t>(r.band));
+      continue;
+    }
+
     TicketState& t = tickets[r.ticket];
+    const std::uint64_t band = band_of(r.ticket);
+    const std::uint64_t local = local_of(r.ticket);
+
+    if (banded && r.band != band) {
+      violate(i, "band field " + std::to_string(r.band) +
+                     " disagrees with the ticket's encoded band " +
+                     std::to_string(band));
+    }
+    // A closed band must never see another reservation, ring write or
+    // delivery (claims are exempt: pre-closure counter snapshots may
+    // still target the band; such claim-ahead legally never delivers).
+    if (banded && r.op != simt::QueueOp::kDequeueClaim &&
+        static_cast<std::int64_t>(band) <= max_closed) {
+      violate(i, "operation in band " + std::to_string(band) +
+                     " after its closure (frontier at band " +
+                     std::to_string(max_closed) +
+                     ") — band map not monotone or closure unsound");
+    }
 
     if (options.capacity != 0) {
-      if (r.slot != r.ticket % options.capacity ||
-          r.epoch != r.ticket / options.capacity) {
+      // Banded tickets map into their band's ring segment; single-band
+      // tickets into the one shared ring.
+      const std::uint64_t want_slot =
+          band * (banded ? options.capacity : 0) + local % options.capacity;
+      const std::uint64_t want_epoch = local / options.capacity;
+      if (r.slot != want_slot || r.epoch != want_epoch) {
         violate(i, "slot/epoch mapping broken: ticket " +
                        std::to_string(r.ticket) + " must map to slot " +
-                       std::to_string(r.ticket % options.capacity) +
-                       " epoch " +
-                       std::to_string(r.ticket / options.capacity));
+                       std::to_string(want_slot) + " epoch " +
+                       std::to_string(want_epoch));
       }
     }
 
@@ -151,20 +203,32 @@ CheckResult check_history(const std::vector<simt::OpRecord>& records,
         t.deliver_idx = i;
         ++result.delivered;
         break;
+
+      case simt::QueueOp::kBandClose:
+        break;  // handled (and `continue`d) before the switch
     }
   }
 
-  // End-state invariants.
-  std::uint64_t max_reserve = 0, max_claim = 0;
-  bool any_reserve = false, any_claim = false;
+  // End-state invariants, tallied per band (single-band histories have
+  // exactly one tally, reproducing the original global checks).
+  struct BandTally {
+    std::uint64_t max_reserve = 0, n_reserve = 0;
+    std::uint64_t max_claim = 0, n_claim = 0;
+    bool any_reserve = false, any_claim = false;
+  };
+  std::unordered_map<std::uint64_t, BandTally> tallies;
   for (const auto& [ticket, t] : tickets) {
+    BandTally& tally = tallies[band_of(ticket)];
+    const std::uint64_t local = local_of(ticket);
     if (t.reserve_idx != kNone) {
-      any_reserve = true;
-      max_reserve = std::max(max_reserve, ticket);
+      tally.any_reserve = true;
+      tally.max_reserve = std::max(tally.max_reserve, local);
+      ++tally.n_reserve;
     }
     if (t.claim_idx != kNone) {
-      any_claim = true;
-      max_claim = std::max(max_claim, ticket);
+      tally.any_claim = true;
+      tally.max_claim = std::max(tally.max_claim, local);
+      ++tally.n_claim;
     }
     if (options.expect_drained) {
       if (t.reserve_idx != kNone && t.write_idx == kNone) {
@@ -182,17 +246,21 @@ CheckResult check_history(const std::vector<simt::OpRecord>& records,
     }
   }
   if (options.require_contiguous_tickets) {
-    if (any_reserve && max_reserve + 1 != result.reserved) {
-      result.violations.push_back(
-          "enqueue tickets not contiguous: max ticket " +
-          std::to_string(max_reserve) + " but only " +
-          std::to_string(result.reserved) + " reservations");
-    }
-    if (any_claim && max_claim + 1 != result.claimed) {
-      result.violations.push_back(
-          "dequeue tickets not contiguous: max ticket " +
-          std::to_string(max_claim) + " but only " +
-          std::to_string(result.claimed) + " claims");
+    for (const auto& [band, tally] : tallies) {
+      const std::string where =
+          banded ? " in band " + std::to_string(band) : std::string();
+      if (tally.any_reserve && tally.max_reserve + 1 != tally.n_reserve) {
+        result.violations.push_back(
+            "enqueue tickets not contiguous" + where + ": max ticket " +
+            std::to_string(tally.max_reserve) + " but only " +
+            std::to_string(tally.n_reserve) + " reservations");
+      }
+      if (tally.any_claim && tally.max_claim + 1 != tally.n_claim) {
+        result.violations.push_back(
+            "dequeue tickets not contiguous" + where + ": max ticket " +
+            std::to_string(tally.max_claim) + " but only " +
+            std::to_string(tally.n_claim) + " claims");
+      }
     }
   }
 

@@ -23,6 +23,17 @@
 // Together these are linearizability to the FIFO spec: ticket order is
 // the linearization order, and every consumer observes exactly the
 // payload the spec assigns its ticket.
+//
+// With num_bands > 1 the spec generalizes to the priority multi-queue
+// (one FIFO ticket space per band, band encoded in the ticket's high
+// bits): the per-ticket invariants hold on the full encoded ticket, the
+// slot/epoch mapping and contiguity checks apply per band, every
+// record's band field must agree with its ticket's encoding, and band
+// closure must be monotone — after a kBandClose(b) record, no reserve,
+// write or delivery may ever appear in a band <= b. Claims are exempt:
+// a wave may target a band from a counter snapshot taken before the
+// closure was observable, and such claims legally never deliver
+// (claim-ahead, again).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +53,12 @@ struct CheckOptions {
   // Reserve/claim tickets must each form a contiguous range [0, N).
   // Disable for schedulers whose tickets are not raw counter values.
   bool require_contiguous_tickets = true;
+  // Priority-band decoding (BucketedMultiQueue): > 1 interprets tickets
+  // as (band << 48) | local and enables the per-band mapping,
+  // contiguity, band-field and closure-monotonicity checks described in
+  // the header comment. `capacity` above is then the PER-BAND ring
+  // capacity.
+  std::uint32_t num_bands = 1;
 };
 
 struct CheckResult {

@@ -1,0 +1,87 @@
+#include "support/sssp_serial_ref.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "graph/sssp_ref.h"
+
+namespace scq::fuzz {
+
+using graph::Vertex;
+
+std::vector<std::uint64_t> serial_delta_stepping(const graph::Graph& g,
+                                                 Vertex source,
+                                                 std::uint64_t delta) {
+  delta = std::max<std::uint64_t>(delta, 1);
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint64_t> dist(n, graph::kUnreachableDist);
+  // Lazy buckets: vertices may appear in multiple buckets; stale
+  // entries (dist no longer inside the bucket) are skipped on pop.
+  std::vector<std::vector<Vertex>> buckets;
+  auto relax = [&](Vertex v, std::uint64_t d) {
+    if (d >= dist[v]) return;
+    dist[v] = d;
+    const std::size_t b = static_cast<std::size_t>(d / delta);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+  relax(source, 0);
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    std::vector<Vertex> settled;
+    // Light-edge fixed point: relaxations may re-fill bucket b.
+    while (!buckets[b].empty()) {
+      std::vector<Vertex> requests;
+      requests.swap(buckets[b]);
+      for (const Vertex v : requests) {
+        if (dist[v] / delta != b) continue;  // stale entry
+        settled.push_back(v);
+        for (std::uint64_t e = g.row_offsets()[v]; e < g.row_offsets()[v + 1];
+             ++e) {
+          const std::uint64_t w = g.weight(e);
+          if (w <= delta) relax(g.cols()[e], dist[v] + w);
+        }
+      }
+    }
+    // Heavy edges leave the bucket, so once suffices.
+    for (const Vertex v : settled) {
+      if (dist[v] / delta != b) continue;  // re-improved later in the pass
+      for (std::uint64_t e = g.row_offsets()[v]; e < g.row_offsets()[v + 1];
+           ++e) {
+        const std::uint64_t w = g.weight(e);
+        if (w > delta) relax(g.cols()[e], dist[v] + w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint64_t> serial_astar(
+    const graph::Graph& g, Vertex source,
+    const std::function<std::uint64_t(Vertex)>& heuristic) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint64_t> dist(n, graph::kUnreachableDist);
+  using Entry = std::pair<std::uint64_t, Vertex>;  // (g + h, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  auto h = [&](Vertex v) { return heuristic ? heuristic(v) : 0; };
+  dist[source] = 0;
+  open.push({h(source), source});
+  while (!open.empty()) {
+    const auto [f, v] = open.top();
+    open.pop();
+    if (f > dist[v] + h(v)) continue;  // stale entry
+    for (std::uint64_t e = g.row_offsets()[v]; e < g.row_offsets()[v + 1];
+         ++e) {
+      const Vertex c = g.cols()[e];
+      const std::uint64_t nd = dist[v] + g.weight(e);
+      if (nd < dist[c]) {
+        dist[c] = nd;
+        open.push({nd + h(c), c});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace scq::fuzz

@@ -1,0 +1,32 @@
+// Serial reference implementations for the priority-scheduled SSSP
+// drivers: textbook delta-stepping (Meyer & Sanders, with the
+// light/heavy edge split) and A* ordered by g + h. Both compute exact
+// single-source shortest-path distances on non-negative weights — the
+// same output as graph::dijkstra — so golden tests can triangulate the
+// parallel drivers against two independently-ordered serial algorithms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scq::fuzz {
+
+// Bucketed delta-stepping: buckets of width `delta` processed in
+// ascending order, light edges (w <= delta) relaxed to a fixed point
+// inside each bucket before the settled set's heavy edges fire once.
+std::vector<std::uint64_t> serial_delta_stepping(const graph::Graph& g,
+                                                 graph::Vertex source,
+                                                 std::uint64_t delta);
+
+// A* expansion order (priority key g + h) over the whole graph. With a
+// consistent heuristic every vertex is settled on first expansion, so
+// the returned distances equal Dijkstra's; the heuristic only reorders
+// the expansions — exactly the claim the banded device driver makes.
+std::vector<std::uint64_t> serial_astar(
+    const graph::Graph& g, graph::Vertex source,
+    const std::function<std::uint64_t(graph::Vertex)>& heuristic);
+
+}  // namespace scq::fuzz
