@@ -17,9 +17,11 @@
 #include "sim/critical_path.h"
 #include "sim/task_trace.h"
 #include "sim/telemetry.h"
+#include "sim/flight_recorder.h"
 #include "sim/trace.h"
 #include "sim/sim_profiler.h"
 #include "util/args.h"
+#include "util/postmortem.h"
 #include "util/csv.h"
 #include "util/sweep.h"
 #include "util/html_report.h"
@@ -244,6 +246,22 @@ class Observability {
     if constexpr (requires { opt.profiler; }) {
       if (reporting()) opt.profiler = &profiler_;
     }
+    // Flight recording is always on inside the drivers; pointing them
+    // at the harness sink keeps the recent-event ring alive across the
+    // run for the dashboard's post-mortem section.
+    if constexpr (requires { opt.recorder; }) {
+      opt.recorder = &recorder_;
+    }
+    if constexpr (requires { opt.flight_recorder; }) {
+      opt.flight_recorder = &recorder_;
+    }
+  }
+
+  // Call with a run result's black_box after each run: the dashboard's
+  // post-mortem section analyzes the most recent dump (typically the
+  // deadlocked attempt before a successful capacity-doubling retry).
+  void note_black_box(const std::string& json) {
+    if (!json.empty()) black_box_ = json;
   }
 
   // Call after each run that had task tracing applied: folds the run's
@@ -512,6 +530,15 @@ class Observability {
       }
       report.set_profiler(std::move(bars), std::move(stats));
     }
+
+    if (!black_box_.empty()) {
+      const std::optional<util::JsonValue> doc = util::parse_json(black_box_);
+      if (doc) {
+        report.set_postmortem(util::analyze_black_box(*doc).render());
+      } else {
+        report.set_postmortem("== post-mortem ==\nINVALID DUMP: not JSON\n");
+      }
+    }
     return report;
   }
 
@@ -573,6 +600,8 @@ class Observability {
   simt::TraceRecorder trace_;
   simt::TaskTrace task_trace_;
   simt::SimProfiler profiler_;
+  simt::FlightRecorder recorder_;
+  std::string black_box_;
   std::string bench_name_;
   std::string telemetry_path_;
   std::string trace_path_;

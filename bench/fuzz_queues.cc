@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/black_box.h"
 #include "support/fuzz_harness.h"
 #include "util/args.h"
 #include "util/prng.h"
@@ -62,6 +63,19 @@ scq::fuzz::HostFuzzCase host_case_for_seed(std::uint64_t seed) {
   c.consumers = 1 + static_cast<unsigned>((h / 12) % 4);
   c.items = 1024;
   return c;
+}
+
+// Writes a failed case's black box next to the binary and prints the
+// path — CI uploads blackbox_*.json as artifacts, and bench/postmortem
+// turns them into a named blocking cycle / starved band.
+void emit_black_box(std::uint64_t seed, const std::string& json) {
+  if (json.empty()) return;
+  const std::string path =
+      "blackbox_fuzz_seed" + std::to_string(seed) + ".json";
+  if (scq::write_black_box(json, path)) {
+    std::printf("  black box: %s (analyze with: postmortem --dump %s)\n",
+                path.c_str(), path.c_str());
+  }
 }
 
 bool run_one_host(const scq::fuzz::HostFuzzCase& c, bool verbose) {
@@ -126,6 +140,7 @@ int main(int argc, char** argv) {
     c.num_tasks = static_cast<std::uint32_t>(args.get_int("tasks"));
     const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
     std::printf("%s\n", out.describe(c).c_str());
+    if (!out.ok()) emit_black_box(c.seed, out.black_box);
     return out.ok() ? 0 : 1;
   }
 
@@ -146,6 +161,7 @@ int main(int argc, char** argv) {
   struct SimSlot {
     bool ok = false;
     std::string text;
+    std::string black_box;
   };
   const std::string only_variant = args.get_string("only-variant");
   std::vector<SimSlot> slots(count);
@@ -156,10 +172,14 @@ int main(int argc, char** argv) {
         const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
         slots[i].ok = out.ok();
         if (!out.ok() || verbose) slots[i].text = out.describe(c) + "\n";
+        if (!out.ok()) slots[i].black_box = out.black_box;
       });
   for (std::uint64_t i = 0; i < count; ++i) {
     if (!slots[i].text.empty()) std::fputs(slots[i].text.c_str(), stdout);
-    if (!slots[i].ok) ++failures;
+    if (!slots[i].ok) {
+      ++failures;
+      emit_black_box(first + i, slots[i].black_box);
+    }
     ++sim_runs;
     if (!verbose && threads <= 1 && (i + 1) % 64 == 0) {
       std::printf("... %llu/%llu seeds swept, %llu failure(s)\n",

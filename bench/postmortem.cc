@@ -1,0 +1,82 @@
+// Black-box post-mortem analyzer CLI.
+//
+// Loads a dump written on an abort path (or forces one of the two
+// canonical failure scenarios end to end), reconstructs the wait-for
+// graph, and prints the sectioned report naming the blocking cycle or
+// starved band.
+//
+//   postmortem --dump blackbox_fuzz_seed42.json
+//   postmortem --force publish-deadlock            # CI smoke: dump+analyze
+//   postmortem --force cluster-stall --out stall.json
+#include <cstdio>
+#include <string>
+
+#include "core/black_box.h"
+#include "support/forced_failures.h"
+#include "util/args.h"
+#include "util/postmortem.h"
+
+namespace {
+
+int analyze_and_print(const std::string& path) {
+  const auto report = scq::util::analyze_black_box_file(path);
+  if (!report.has_value()) {
+    std::fprintf(stderr, "postmortem: cannot read '%s' as JSON\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("%s", report->render().c_str());
+  return report->valid ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scq::util::ArgParser args(
+      "postmortem",
+      "Analyze a black-box dump: validate it, reconstruct the wave/slot "
+      "wait-for graph, and name the blocking cycle or starved band. "
+      "--force runs a deliberately deadlocked workload first and analyzes "
+      "the dump it produces (the CI smoke path).");
+  args.add_string("dump", "path of an existing black-box dump to analyze",
+                  "");
+  args.add_string("force",
+                  "force a failure scenario first "
+                  "(publish-deadlock|cluster-stall)",
+                  "");
+  args.add_string("out",
+                  "where --force writes its dump "
+                  "(default blackbox_forced_<scenario>.json)",
+                  "");
+  if (!args.parse(argc, argv)) return 2;
+
+  const std::string dump = args.get_string("dump");
+  const std::string force = args.get_string("force");
+  if (dump.empty() == force.empty()) {
+    std::fprintf(stderr,
+                 "postmortem: pass exactly one of --dump or --force\n");
+    return 2;
+  }
+
+  if (!dump.empty()) return analyze_and_print(dump);
+
+  scq::fuzz::ForcedDump forced;
+  if (force == "publish-deadlock") {
+    forced = scq::fuzz::forced_publish_deadlock_dump();
+  } else if (force == "cluster-stall") {
+    forced = scq::fuzz::forced_cluster_stall_dump();
+  } else {
+    std::fprintf(stderr,
+                 "postmortem: unknown --force '%s' "
+                 "(publish-deadlock|cluster-stall)\n",
+                 force.c_str());
+    return 2;
+  }
+
+  std::string out_path = args.get_string("out");
+  if (out_path.empty()) out_path = "blackbox_forced_" + force + ".json";
+  if (!scq::write_black_box(forced.json, out_path)) return 2;
+  std::printf("forced %s: %s\nwrote %s\n\n", force.c_str(),
+              forced.reason.c_str(), out_path.c_str());
+  return analyze_and_print(out_path);
+}

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
         obs.apply(opt);
         const bfs::BfsResult r = run_validated(obs.tuned(dev.config), g, spec.source, opt);
         seconds[variant] = r.run.seconds;
+        obs.note_black_box(r.black_box);
         obs.after_run(std::string(to_string(variant)));
         const std::string key = dev.config.name + "." + spec.name + "." +
                                 std::string(to_string(variant));

@@ -294,6 +294,7 @@ struct CommonResult {
   std::uint32_t attempts = 1;
   std::uint64_t cut_edges = 0;
   double degree_imbalance = 1.0;
+  std::string black_box;  // most recent aborted attempt's dump
 };
 
 CommonResult run_cluster_common(const simt::DeviceConfig& config,
@@ -329,6 +330,7 @@ CommonResult run_cluster_common(const simt::DeviceConfig& config,
   std::uint64_t xcap = options.xfer_capacity != 0 ? options.xfer_capacity
                                                   : std::uint64_t{1024};
 
+  std::string last_black_box;
   for (std::uint32_t attempt = 1;; ++attempt) {
     cluster::ClusterOptions copt;
     copt.num_devices = n;
@@ -340,6 +342,7 @@ CommonResult run_cluster_common(const simt::DeviceConfig& config,
     copt.xfer_capacity = xcap;
     copt.telemetry = options.telemetry;
     copt.task_trace = options.task_trace;
+    copt.flight_recorder = options.flight_recorder;
 
     // The sink trace is cleared per attempt (as in run_pt_bfs) so it
     // holds exactly the merged per-device run that produced the result.
@@ -392,6 +395,7 @@ CommonResult run_cluster_common(const simt::DeviceConfig& config,
           };
         }, workgroups);
 
+    if (crun.aborted) last_black_box = crun.black_box;
     if (crun.aborted && attempt < 8) {
       qcap *= 2;
       xcap *= 2;
@@ -400,6 +404,7 @@ CommonResult run_cluster_common(const simt::DeviceConfig& config,
 
     CommonResult result;
     result.attempts = attempt;
+    result.black_box = std::move(last_black_box);
     result.cut_edges = part.cut_edges;
     result.degree_imbalance = part.degree_imbalance();
     if (!crun.aborted) {
@@ -426,6 +431,7 @@ ClusterBfsResult run_cluster_bfs(const simt::DeviceConfig& config,
   result.attempts = common.attempts;
   result.cut_edges = common.cut_edges;
   result.degree_imbalance = common.degree_imbalance;
+  result.black_box = std::move(common.black_box);
   if (!common.cost.empty()) {
     result.levels.resize(common.cost.size());
     for (std::size_t v = 0; v < common.cost.size(); ++v) {
@@ -447,6 +453,7 @@ ClusterSsspResult run_cluster_sssp(const simt::DeviceConfig& config,
   result.attempts = common.attempts;
   result.cut_edges = common.cut_edges;
   result.degree_imbalance = common.degree_imbalance;
+  result.black_box = std::move(common.black_box);
   if (!common.cost.empty()) {
     result.dist.resize(common.cost.size());
     for (std::size_t v = 0; v < common.cost.size(); ++v) {

@@ -47,6 +47,9 @@ struct ClusterBfsOptions {
   // num_devices > 1. The task trace is cleared per attempt.
   simt::Telemetry* telemetry = nullptr;
   simt::TaskTrace* task_trace = nullptr;
+  // Flight-recorder sink (not owned); per-device recorders always exist
+  // inside the cluster and merge here (dev<N> source labels) per run.
+  simt::FlightRecorder* flight_recorder = nullptr;
 };
 
 struct ClusterBfsResult {
@@ -56,6 +59,9 @@ struct ClusterBfsResult {
   // Partition quality of the run's vertex sharding.
   std::uint64_t cut_edges = 0;
   double degree_imbalance = 1.0;
+  // Black-box JSON from the most recent aborted attempt ("" if none);
+  // survives the capacity-doubling retries that ClusterRun does not.
+  std::string black_box;
 };
 
 struct ClusterSsspResult {
@@ -64,6 +70,8 @@ struct ClusterSsspResult {
   std::uint32_t attempts = 1;
   std::uint64_t cut_edges = 0;
   double degree_imbalance = 1.0;
+  // See ClusterBfsResult::black_box.
+  std::string black_box;
 };
 
 // Requires num_vertices <= 2^24 and (for SSSP) distances < 2^22 — the

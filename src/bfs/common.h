@@ -38,6 +38,10 @@ struct BfsResult {
   simt::RunResult run;                // timing + stats (total across launches)
   std::vector<std::uint32_t> levels;  // per-vertex BFS level
   std::uint32_t attempts = 1;         // queue-full retries (capacity doubling)
+  // Black-box JSON (core/black_box.h) from the most recent aborted
+  // attempt: the driver dumps queue state + flight-recorder ring before
+  // each capacity-doubling retry. Empty when no attempt aborted.
+  std::string black_box;
 };
 
 // Exact equality against the serial reference.

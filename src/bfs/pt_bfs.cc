@@ -5,6 +5,7 @@
 #include <bit>
 #include <memory>
 
+#include "core/black_box.h"
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
 #include "core/task_probes.h"
@@ -211,6 +212,7 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
 
   double headroom = options.queue_headroom;
   std::uint64_t explicit_capacity = options.queue_capacity;
+  std::string last_black_box;
   for (std::uint32_t attempt = 1;; ++attempt) {
     simt::Device dev(config);
     const DeviceGraph dg = upload_graph(dev, g);
@@ -247,6 +249,13 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
       dev.attach_telemetry(options.telemetry);
     }
     if (options.profiler) dev.attach_profiler(options.profiler);
+    // Flight recording is always on: black-box dumps on the deadlock
+    // path need the recent-event ring even without a caller sink.
+    simt::FlightRecorder local_recorder;
+    simt::FlightRecorder* recorder =
+        options.recorder != nullptr ? options.recorder : &local_recorder;
+    recorder->clear();
+    dev.attach_flight_recorder(options.detach_recorder ? nullptr : recorder);
 
     // Seed: source at level 0, its token in the scheduler (host-side, §3.1).
     dev.write_word(dg.cost.at(source), 0);
@@ -260,6 +269,9 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
       return pt_bfs_wave(w, *queue, dg, options);
     });
 
+    if (run.aborted) {
+      last_black_box = dump_black_box(dev, queue.get(), run.abort_reason);
+    }
     if (run.aborted && attempt < 8) {
       // §4.4's exception path, now reachable only through the deadlock
       // detector: the in-flight working set outgrew the ring, so the
@@ -275,6 +287,7 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
     BfsResult result;
     result.run = run;
     result.attempts = attempt;
+    result.black_box = std::move(last_black_box);
     if (!run.aborted) result.levels = read_levels(dev, dg);
     return result;
   }

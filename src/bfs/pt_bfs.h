@@ -62,6 +62,16 @@ struct PtBfsOptions {
   // the event loop; accumulates across attempts and runs — the caller
   // owns reset()).
   simt::SimProfiler* profiler = nullptr;
+  // Optional flight-recorder sink (cleared per attempt). The driver
+  // always attaches a recorder — an internal one when this is null — so
+  // a deadlocked attempt dumps a black box (BfsResult::black_box)
+  // before the capacity-doubling retry.
+  simt::FlightRecorder* recorder = nullptr;
+  // Bench-only escape hatch: run with NO recorder attached so
+  // bench/sim_throughput can price the always-on recorder against a
+  // truly bare event loop. Production paths leave this false — a run
+  // without a recorder cannot dump a black box.
+  bool detach_recorder = false;
 };
 
 // Runs one BFS to completion on a fresh device built from `config`.

@@ -5,6 +5,7 @@
 #include <bit>
 #include <span>
 
+#include "core/black_box.h"
 #include "core/counters.h"
 #include "core/ext_schedulers.h"
 #include "core/task_probes.h"
@@ -183,6 +184,7 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
 
   double headroom = options.queue_headroom;
   std::uint64_t explicit_capacity = options.queue_capacity;
+  std::string last_black_box;
   for (std::uint32_t attempt = 1;; ++attempt) {
     simt::Device dev(config);
     const DeviceGraph dg = upload_graph(dev, g);
@@ -216,6 +218,12 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
       dev.attach_telemetry(options.telemetry);
     }
     if (options.profiler) dev.attach_profiler(options.profiler);
+    // Always-on flight recording; see run_pt_bfs.
+    simt::FlightRecorder local_recorder;
+    simt::FlightRecorder* recorder =
+        options.recorder != nullptr ? options.recorder : &local_recorder;
+    recorder->clear();
+    dev.attach_flight_recorder(recorder);
 
     dev.write_word(dg.cost.at(source), 0);
     const std::uint64_t seed[] = {source};
@@ -229,6 +237,9 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
           return pt_sssp_wave(w, *queue, dg, options);
         });
 
+    if (run.aborted) {
+      last_black_box = dump_black_box(dev, queue.get(), run.abort_reason);
+    }
     if (run.aborted && attempt < 8) {
       // Reachable only via the publish deadlock detector.
       if (explicit_capacity != 0) {
@@ -242,6 +253,7 @@ SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,
     SsspResult result;
     result.run = run;
     result.attempts = attempt;
+    result.black_box = std::move(last_black_box);
     if (!run.aborted) {
       result.dist.assign(dg.n_vertices, graph::kUnreachableDist);
       for (Vertex v = 0; v < dg.n_vertices; ++v) {

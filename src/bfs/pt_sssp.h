@@ -41,12 +41,18 @@ struct PtSsspOptions {
   simt::TaskTrace* task_trace = nullptr;
   // Optional simulator self-profiling; see PtBfsOptions::profiler.
   simt::SimProfiler* profiler = nullptr;
+  // Optional flight-recorder sink; see PtBfsOptions::recorder (the
+  // driver always attaches one so deadlocked attempts dump black boxes).
+  simt::FlightRecorder* recorder = nullptr;
 };
 
 struct SsspResult {
   simt::RunResult run;
   std::vector<std::uint64_t> dist;  // per-vertex distance
   std::uint32_t attempts = 1;
+  // Black-box JSON from the most recent aborted attempt ("" if none);
+  // see BfsResult::black_box.
+  std::string black_box;
 };
 
 SsspResult run_pt_sssp(const simt::DeviceConfig& config, const graph::Graph& g,

@@ -8,6 +8,7 @@
 
 #include "cluster/token.h"
 #include "core/bucketed_queue.h"
+#include "core/black_box.h"
 #include "core/counters.h"
 #include "core/task_probes.h"
 #include "core/telemetry_probes.h"
@@ -276,6 +277,7 @@ SsspResult run_pt_sssp_delta(const simt::DeviceConfig& config,
 
   double headroom = options.queue_headroom;
   std::uint64_t explicit_capacity = options.queue_capacity;
+  std::string last_black_box;
   for (std::uint32_t attempt = 1;; ++attempt) {
     simt::Device dev(config);
     const DeviceGraph dg = upload_graph(dev, g);
@@ -308,6 +310,12 @@ SsspResult run_pt_sssp_delta(const simt::DeviceConfig& config,
       dev.attach_telemetry(options.telemetry);
     }
     if (options.profiler) dev.attach_profiler(options.profiler);
+    // Always-on flight recording; see run_pt_bfs.
+    simt::FlightRecorder local_recorder;
+    simt::FlightRecorder* recorder =
+        options.recorder != nullptr ? options.recorder : &local_recorder;
+    recorder->clear();
+    dev.attach_flight_recorder(recorder);
 
     dev.write_word(dg.cost.at(source), 0);
     const std::uint64_t delta =
@@ -326,6 +334,9 @@ SsspResult run_pt_sssp_delta(const simt::DeviceConfig& config,
           return pt_sssp_delta_wave(w, *queue, wave_ctx);
         });
 
+    if (run.aborted) {
+      last_black_box = dump_black_box(dev, queue.get(), run.abort_reason);
+    }
     if (run.aborted && attempt < 8) {
       // Reachable only via the publish deadlock detector.
       if (explicit_capacity != 0) {
@@ -339,6 +350,7 @@ SsspResult run_pt_sssp_delta(const simt::DeviceConfig& config,
     SsspResult result;
     result.run = run;
     result.attempts = attempt;
+    result.black_box = std::move(last_black_box);
     if (!run.aborted) {
       result.dist.assign(dg.n_vertices, graph::kUnreachableDist);
       for (Vertex v = 0; v < dg.n_vertices; ++v) {

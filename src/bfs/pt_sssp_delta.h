@@ -65,6 +65,9 @@ struct PtSsspDeltaOptions {
   simt::OpHistory* history = nullptr;
   simt::TaskTrace* task_trace = nullptr;
   simt::SimProfiler* profiler = nullptr;
+  // Optional flight-recorder sink; see PtBfsOptions::recorder (always
+  // attached internally so deadlocked attempts dump black boxes).
+  simt::FlightRecorder* recorder = nullptr;
 };
 
 // Runs delta-stepping SSSP from `source` on a BucketedMultiQueue.

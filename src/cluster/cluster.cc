@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/black_box.h"
 #include "core/ext_schedulers.h"
 #include "core/telemetry_probes.h"
 #include "sim/task_trace.h"
@@ -52,7 +53,20 @@ Cluster::Cluster(const simt::DeviceConfig& config,
       // Self-rings are allocated for uniform indexing but never used.
       rings_[s].push_back(TransferRing::create(*devices_[s],
                                                options_.xfer_capacity));
+      // Recorder unit tags: 0 is the main queue, 1 + dst is the ring
+      // toward device dst (the source is implicit in whose recorder the
+      // event landed in).
+      rings_[s][d].set_tag(1 + d);
     }
+  }
+  // Flight recorders are unconditional: black-box dumps on the abort
+  // paths need the recent-event ring even when the caller attached no
+  // sink. Bounded and cheap, per the always-on contract.
+  for (std::uint32_t d = 0; d < n; ++d) {
+    auto rec = std::make_unique<simt::FlightRecorder>();
+    if (prefixed) rec->set_source_label("dev" + std::to_string(d));
+    devices_[d]->attach_flight_recorder(rec.get());
+    recorders_.push_back(std::move(rec));
   }
 
   if (options_.telemetry != nullptr) {
@@ -91,6 +105,51 @@ Cluster::Cluster(const simt::DeviceConfig& config,
   }
 }
 
+std::string Cluster::assemble_black_box(const std::string& reason,
+                                        const Router* router) const {
+  BlackBoxBuilder box(reason);
+  const std::uint32_t n = num_devices();
+  for (std::uint32_t d = 0; d < n; ++d) {
+    box.add_device(n > 1 ? "dev" + std::to_string(d) : std::string{},
+                   *devices_[d], queues_[d].get(), recorders_[d].get());
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      box.add_ring(s, d, rings_[s][d].front(*devices_[s]),
+                   rings_[s][d].rear(*devices_[s]), rings_[s][d].capacity());
+    }
+  }
+  if (router != nullptr) {
+    const RouterStats& rs = router->stats();
+    box.set_router(rs.drained, rs.delivered, rs.stolen, rs.inject_retries,
+                   router->pending_snapshot());
+  }
+  return box.to_json();
+}
+
+std::string Cluster::dump_now(const std::string& reason) const {
+  return assemble_black_box(reason, nullptr);
+}
+
+std::string Cluster::occupancy_detail() const {
+  std::string out;
+  const std::uint32_t n = num_devices();
+  for (std::uint32_t d = 0; d < n; ++d) {
+    out += "; dev" + std::to_string(d) + " occ=" +
+           std::to_string(queues_[d]->occupancy(*devices_[d])) + " resident=" +
+           std::to_string(queues_[d]->resident_tokens(*devices_[d]));
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      out += "; ring" + std::to_string(s) + "->" + std::to_string(d) +
+             " backlog=" + std::to_string(rings_[s][d].backlog(*devices_[s]));
+    }
+  }
+  return out;
+}
+
 bool Cluster::quiescent(const Router& router) const {
   if (!router.pending_empty()) return false;
   const std::uint32_t n = num_devices();
@@ -123,6 +182,7 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
   simt::Cycle horizon = 0;
   bool guard_tripped = false;
   bool stalled = false;
+  std::string stall_detail;
   RouterStats prev_router{};
   for (std::uint64_t step = 1;; ++step) {
     horizon += options_.quantum;
@@ -195,6 +255,9 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     // guard's 2^22 iterations.
     if (all_drained && !is_quiescent && !any_dead) {
       stalled = true;
+      // Snapshot the occupancy picture at the instant of the stall,
+      // before the teardown drain lets waves observe the stop flag.
+      stall_detail = occupancy_detail();
       break;
     }
     if (any_dead || guard_tripped || is_quiescent) break;
@@ -223,15 +286,22 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
   if (guard_tripped && !result.aborted) {
     result.aborted = true;
     result.abort_reason = "cluster superstep guard: no quiescence after " +
-                          std::to_string(kMaxSupersteps) + " supersteps";
+                          std::to_string(kMaxSupersteps) + " supersteps" +
+                          occupancy_detail();
   }
   if (stalled && !result.aborted) {
     result.aborted = true;
     result.abort_reason =
         "cluster stalled: all devices drained before quiescence "
-        "with work outstanding";
+        "with work outstanding" +
+        stall_detail;
   }
   result.router = router.stats();
+  if (result.aborted) {
+    // Assemble the black box before the recorder merge below clears the
+    // per-device rings.
+    result.black_box = assemble_black_box(result.abort_reason, &router);
+  }
 
   if (options_.telemetry != nullptr) {
     for (std::uint32_t d = 0; d < n; ++d) {
@@ -243,6 +313,12 @@ ClusterRun Cluster::run(const DeviceKernelFactory& make_factory,
     for (std::uint32_t d = 0; d < n; ++d) {
       options_.task_trace->merge_from(*task_traces_[d]);
       task_traces_[d]->clear();
+    }
+  }
+  if (options_.flight_recorder != nullptr) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      options_.flight_recorder->merge_from(*recorders_[d]);
+      recorders_[d]->clear();
     }
   }
   return result;

@@ -59,6 +59,11 @@ struct ClusterOptions {
   // internally and merged into these when a run ends.
   simt::Telemetry* telemetry = nullptr;
   simt::TaskTrace* task_trace = nullptr;
+  // Flight-recorder sink (not owned). Per-device recorders are created
+  // unconditionally — abort-path black boxes need them — and merge here
+  // (with "dev<N>" source labels when num_devices > 1) when a run ends,
+  // but only if a sink is attached.
+  simt::FlightRecorder* flight_recorder = nullptr;
 };
 
 struct ClusterRun {
@@ -68,6 +73,11 @@ struct ClusterRun {
   simt::Cycle cycles = 0;  // cluster makespan: max device launch cycles
   bool aborted = false;
   std::string abort_reason;
+  // Black-box JSON (core/black_box.h) snapshotted at the moment of
+  // death: per-device queue control blocks, flight-recorder rings and
+  // wait tables, transfer-ring residency and router pending tokens.
+  // Empty for clean runs.
+  std::string black_box;
 };
 
 class Cluster {
@@ -101,6 +111,16 @@ class Cluster {
   [[nodiscard]] simt::Telemetry* device_telemetry(std::uint32_t d) {
     return telemetry_.empty() ? nullptr : telemetry_[d].get();
   }
+  // Per-device flight recorder (always present; source label "dev<N>"
+  // when num_devices > 1).
+  [[nodiscard]] simt::FlightRecorder& device_recorder(std::uint32_t d) {
+    return *recorders_[d];
+  }
+
+  // Explicit black-box snapshot of the current cluster state (queues,
+  // recorders, rings; no router — that context lives inside run()).
+  // Callable at any time, including mid-run from host code.
+  [[nodiscard]] std::string dump_now(const std::string& reason) const;
 
   // Builds the kernel factory for one device's launch.
   using DeviceKernelFactory =
@@ -114,6 +134,12 @@ class Cluster {
 
  private:
   [[nodiscard]] bool quiescent(const Router& router) const;
+  [[nodiscard]] std::string assemble_black_box(const std::string& reason,
+                                               const Router* router) const;
+  // "; dev0 occ=A resident=B; ...; ring0->1 backlog=C; ..." — appended
+  // to stall/guard abort reasons so the first line of a failure already
+  // says where the work is stuck.
+  [[nodiscard]] std::string occupancy_detail() const;
 
   ClusterOptions options_;
   std::vector<std::unique_ptr<simt::Device>> devices_;
@@ -122,6 +148,7 @@ class Cluster {
   std::vector<simt::Addr> stop_flags_;
   std::vector<std::unique_ptr<simt::Telemetry>> telemetry_;
   std::vector<std::unique_ptr<simt::TaskTrace>> task_traces_;
+  std::vector<std::unique_ptr<simt::FlightRecorder>> recorders_;
 };
 
 }  // namespace scq::cluster

@@ -139,8 +139,20 @@ void Router::deliver(std::span<const std::unique_ptr<simt::Device>> devices,
         hist->record({simt::QueueOp::kEnqueueWrite, simt::kHostActor, rear,
                       index, epoch, token, dev.now()});
       }
+      if (simt::FlightRecorder* rec = dev.flight_recorder()) {
+        rec->record({simt::FlightKind::kRouter, simt::kHostActor, 0, rear,
+                     token, 0, dev.now()});
+      }
     }
   }
+}
+
+std::vector<std::vector<std::uint64_t>> Router::pending_snapshot() const {
+  std::vector<std::vector<std::uint64_t>> out(pending_.size());
+  for (std::size_t d = 0; d < pending_.size(); ++d) {
+    out[d].assign(pending_[d].begin(), pending_[d].end());
+  }
+  return out;
 }
 
 bool Router::pending_empty() const {

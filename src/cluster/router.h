@@ -90,6 +90,9 @@ class Router {
   [[nodiscard]] std::uint64_t pending_for(std::uint32_t d) const {
     return pending_[d].size();
   }
+  // Pending token contents per destination, FIFO order (black-box dumps).
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> pending_snapshot()
+      const;
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
 
  private:

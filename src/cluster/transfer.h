@@ -100,6 +100,21 @@ class TransferRing {
 
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
 
+  // Control-block reads for black-box dumps (host side, zero cost).
+  [[nodiscard]] std::uint64_t front(const simt::Device& src) const {
+    return src.read_word(front_addr());
+  }
+  [[nodiscard]] std::uint64_t rear(const simt::Device& src) const {
+    return src.read_word(rear_addr());
+  }
+
+  // Flight-recorder unit tag: 0 is reserved for the main queue, so the
+  // cluster labels the ring to destination d as unit 1 + d. Events the
+  // producer records (kXferReserve/kXferWrite) carry this tag so the
+  // post-mortem analyzer can tell rings apart.
+  void set_tag(std::uint32_t tag) { tag_ = tag; }
+  [[nodiscard]] std::uint32_t tag() const { return tag_; }
+
  private:
   [[nodiscard]] simt::Addr front_addr() const { return ctrl_.at(0); }
   [[nodiscard]] simt::Addr rear_addr() const { return ctrl_.at(1); }
@@ -107,6 +122,7 @@ class TransferRing {
   simt::Buffer ctrl_;   // [0]=Front  [1]=Rear
   simt::Buffer slots_;  // capacity words, slot_empty_word(0)-initialized
   std::uint64_t capacity_ = 0;
+  std::uint32_t tag_ = 0;
 };
 
 }  // namespace scq::cluster

@@ -96,6 +96,32 @@ std::uint64_t BucketedMultiQueue::band_occupancy(const simt::Device& dev,
   return rear > front ? rear - front : 0;
 }
 
+QueueSnapshot BucketedMultiQueue::snapshot(const simt::Device& dev) const {
+  QueueSnapshot s;
+  s.variant = std::string(to_string(variant()));
+  s.capacity = layout_.capacity;
+  s.per_band_capacity = per_band_;
+  s.resident = resident_tokens(dev);
+  for (std::uint32_t b = 0; b < bands_; ++b) {
+    QueueBandSnapshot band;
+    band.band = b;
+    band.front = dev.read_word(front_of(b));
+    band.rear = dev.read_word(rear_of(b));
+    band.completed = dev.read_word(completed_of(b));
+    band.occupancy = band.rear > band.front ? band.rear - band.front : 0;
+    s.bands.push_back(band);
+  }
+  // Host-side recomputation of the closure frontier (same prefix rule
+  // the device applies in acquire_slots — stable once observed).
+  std::uint32_t frontier = 0;
+  while (frontier < bands_ &&
+         s.bands[frontier].completed == s.bands[frontier].rear) {
+    ++frontier;
+  }
+  s.closure_frontier = frontier;
+  return s;
+}
+
 Kernel<void> BucketedMultiQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   // Runs even with no hungry lanes: assigned lanes may be monitoring a
   // band that has since closed and need rescuing (the driver calls this
@@ -137,6 +163,7 @@ Kernel<void> BucketedMultiQueue::acquire_slots(Wave& w, WaveQueueState& st) {
       st.hungry |= dropped;  // rescued lanes rejoin this cycle's claim
     }
     simt::OpHistory* hist = history_sink(w);
+    simt::FlightRecorder* frec = recorder_sink(w);
     for (std::uint32_t b = 0; b < frontier; ++b) {
       if (close_recorded_[b]) continue;
       close_recorded_[b] = true;
@@ -144,6 +171,10 @@ Kernel<void> BucketedMultiQueue::acquire_slots(Wave& w, WaveQueueState& st) {
       if (hist) {
         hist->record({simt::QueueOp::kBandClose, w.slot_id(),
                       snap[bands_ + b], 0, 0, 0, w.now(), b});
+      }
+      if (frec) {
+        frec->record({simt::FlightKind::kBandClose, w.slot_id(), 0,
+                      snap[bands_ + b], 0, b, w.now()});
       }
     }
   }
@@ -179,6 +210,11 @@ Kernel<void> BucketedMultiQueue::acquire_slots(Wave& w, WaveQueueState& st) {
 
   simt::OpHistory* hist = history_sink(w);
   const bool tasks = task_sink(w) != nullptr;
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // One AFA claimed n contiguous tickets in the band: one batch.
+    rec->log_steps(simt::FlightKind::kClaim, w.slot_id(), 0,
+                   encode_ticket(target, r.old_value), target, w.now(), n);
+  }
   unsigned k = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     const std::uint64_t ticket = encode_ticket(target, r.old_value + k++);
@@ -264,10 +300,15 @@ Kernel<void> BucketedMultiQueue::report_complete_tickets(
       1);
   std::array<std::uint32_t, kMaxBands> counts{};
   for (const std::uint64_t t : tickets) ++counts[band_of(t)];
+  simt::FlightRecorder* rec = recorder_sink(w);
   for (std::uint32_t b = 0; b < bands_; ++b) {
     if (counts[b] == 0) continue;
     w.bump(kQueueAtomics);
     co_await w.atomic_add(completed_of(b), counts[b]);
+    if (rec) {
+      rec->record({simt::FlightKind::kComplete, w.slot_id(), 0, 0, counts[b],
+                   b, w.now()});
+    }
   }
 }
 
@@ -327,6 +368,10 @@ void BucketedMultiQueue::seed(simt::Device& dev,
                      simt::kHostActor, 0, dev.now()});
       trace->record({simt::TaskPhase::kPayloadWrite, ticket, simt::kNoTask,
                      token, simt::kHostActor, 0, dev.now()});
+    }
+    if (simt::FlightRecorder* rec = dev.flight_recorder()) {
+      rec->record({simt::FlightKind::kWrite, simt::kHostActor, 0, ticket,
+                   token, band, dev.now()});
     }
   }
   for (std::uint32_t b = 0; b < bands_; ++b) {

@@ -82,6 +82,8 @@ class BucketedMultiQueue final : public DeviceQueue {
   }
   [[nodiscard]] std::uint64_t band_occupancy(const simt::Device& dev,
                                              std::uint32_t band) const override;
+  // Per-band counters plus the host-recomputed closure frontier.
+  [[nodiscard]] QueueSnapshot snapshot(const simt::Device& dev) const override;
 
   [[nodiscard]] std::uint64_t per_band_capacity() const { return per_band_; }
 

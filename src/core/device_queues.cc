@@ -86,6 +86,12 @@ void seed_device_queue(simt::Device& dev, const QueueLayout& q,
                     i, 0, tokens[i], dev.now()});
     }
   }
+  if (simt::FlightRecorder* rec = dev.flight_recorder()) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      rec->record({simt::FlightKind::kWrite, simt::kHostActor, 0, i,
+                   tokens[i], 0, dev.now()});
+    }
+  }
 }
 
 // ---- Shared dequeue phase 2: data arrival (paper Listing 2) ----
@@ -138,6 +144,34 @@ Kernel<LaneMask> DeviceQueue::check_arrival(Wave& w, WaveQueueState& st,
                     st.slot[lane], st.epoch[lane], tokens[lane], w.now(),
                     band_of(ticket)});
     });
+  }
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // A claim becomes a *wait* on its first missed poll: record the full
+    // event once so the recorder's monitor table picks it up (`since` =
+    // first miss). The claim itself was only ring-logged by the acquire
+    // path. Deliveries of waited tickets record fully (retiring the
+    // monitor entry); healthy deliveries take the coalescing fast path.
+    const LaneMask fresh_miss = st.assigned & ~arrived & ~st.miss_noted;
+    for_lanes(fresh_miss, [&](unsigned lane) {
+      const std::uint64_t ticket = ticket_of(st.slot[lane], st.epoch[lane]);
+      rec->record({simt::FlightKind::kClaim, w.slot_id(), 0, ticket, 0,
+                   band_of(ticket), w.now()});
+    });
+    st.miss_noted |= fresh_miss;
+    if (const LaneMask healthy = arrived & ~st.miss_noted) {
+      // Never-missed deliveries: one batched ring event for the wave.
+      const unsigned lane0 = static_cast<unsigned>(std::countr_zero(healthy));
+      const std::uint64_t t0 = ticket_of(st.slot[lane0], st.epoch[lane0]);
+      rec->log_steps(simt::FlightKind::kDeliver, w.slot_id(), 0, t0,
+                     band_of(t0), w.now(),
+                     static_cast<std::uint32_t>(std::popcount(healthy)));
+    }
+    for_lanes(arrived & st.miss_noted, [&](unsigned lane) {
+      const std::uint64_t ticket = ticket_of(st.slot[lane], st.epoch[lane]);
+      rec->record({simt::FlightKind::kDeliver, w.slot_id(), 0, ticket,
+                   tokens[lane], band_of(ticket), w.now()});
+    });
+    st.miss_noted &= ~arrived;
   }
   if (task_sink(w) != nullptr && traceable) {
     for_lanes(arrived, [&](unsigned lane) {
@@ -196,6 +230,21 @@ std::uint64_t DeviceQueue::resident_tokens(const simt::Device&) const {
   return resident_;
 }
 
+QueueSnapshot DeviceQueue::snapshot(const simt::Device& dev) const {
+  QueueSnapshot s;
+  s.variant = std::string(to_string(variant()));
+  s.capacity = layout_.capacity;
+  s.per_band_capacity = layout_.capacity;
+  s.resident = resident_tokens(dev);
+  QueueBandSnapshot b;
+  b.front = dev.read_word(layout_.front_addr());
+  b.rear = dev.read_word(layout_.rear_addr());
+  b.completed = dev.read_word(layout_.completed_addr());
+  b.occupancy = b.rear > b.front ? b.rear - b.front : 0;
+  s.bands.push_back(b);
+  return s;
+}
+
 std::uint64_t DeviceQueue::resident_tokens_scan(const simt::Device& dev) const {
   std::uint64_t n = 0;
   for (std::uint64_t i = 0; i < layout_.capacity; ++i) {
@@ -245,6 +294,13 @@ void DeviceQueue::park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
     hist->record({simt::QueueOp::kEnqueueReserve, w.slot_id(), ticket,
                   ref.index, ref.epoch, token, w.now(), band_of(ticket)});
   }
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // Ring log only: a fresh reservation is not yet a wait. The parked
+    // wait-table entry is recorded by stall_note() the first time this
+    // ticket survives a failed flush round.
+    rec->log_step(simt::FlightKind::kReserve, w.slot_id(), 0, ticket,
+                  band_of(ticket), w.now());
+  }
   // The reservation is where a task's trace id is born: stamp it with
   // the parent edge from the spawning task.
   if (traceable_tickets()) {
@@ -256,6 +312,19 @@ bool DeviceQueue::stall_note(Wave& w, WaveQueueState& st, bool wrote_any) {
   if (st.n_parked == 0) {
     st.stall_rounds = 0;
     return false;
+  }
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // A reservation becomes a *wait* the first round it fails to flush:
+    // record the full event so the recorder's parked table picks it up
+    // (park() itself only ring-logged it). `since` is the first stalled
+    // round — exactly the quantity a deadlock post-mortem wants.
+    for (std::uint32_t i = 0; i < st.n_parked; ++i) {
+      if (!st.parked[i].stalled) {
+        rec->record({simt::FlightKind::kReserve, w.slot_id(), 0,
+                     st.parked[i].ticket, st.parked[i].token,
+                     band_of(st.parked[i].ticket), w.now()});
+      }
+    }
   }
   for (std::uint32_t i = 0; i < st.n_parked; ++i) st.parked[i].stalled = true;
   w.bump(kPublishStalls, st.n_parked);
@@ -327,6 +396,29 @@ Kernel<void> DeviceQueue::flush_parked(Wave& w, WaveQueueState& st) {
                    st.parked[i].token);
       });
     }
+    if (simt::FlightRecorder* rec = recorder_sink(w)) {
+      // Stalled entries form a prefix of the parked array (stall_note
+      // marks every current entry; fresh parks append unmarked, and
+      // compaction preserves order). Those are in the recorder's parked
+      // wait table and need a full record to retire their entry; the
+      // never-stalled suffix takes one batched ring event.
+      LaneMask waited = 0;
+      for (std::uint32_t i = 0; i < n && st.parked[i].stalled; ++i) {
+        waited |= bit(i);
+      }
+      for_lanes(writable & waited, [&](unsigned i) {
+        rec->record({simt::FlightKind::kWrite, w.slot_id(), 0,
+                     st.parked[i].ticket, st.parked[i].token,
+                     band_of(st.parked[i].ticket), w.now()});
+      });
+      if (const LaneMask healthy = writable & ~waited) {
+        const unsigned i0 = static_cast<unsigned>(std::countr_zero(healthy));
+        rec->log_steps(simt::FlightKind::kWrite, w.slot_id(), 0,
+                       st.parked[i0].ticket, band_of(st.parked[i0].ticket),
+                       w.now(),
+                       static_cast<std::uint32_t>(std::popcount(healthy)));
+      }
+    }
     resident_ += static_cast<std::uint64_t>(std::popcount(writable));
     co_await w.store_lanes(writable, addrs, full);
     w.bump(kTokensEnqueued, static_cast<std::uint64_t>(std::popcount(writable)));
@@ -380,6 +472,11 @@ Kernel<void> RfanQueue::acquire_slots(Wave& w, WaveQueueState& st) {
 
   simt::OpHistory* hist = history_sink(w);
   const bool tasks = task_sink(w) != nullptr;
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // One AFA claimed n contiguous tickets: one batched ring event.
+    rec->log_steps(simt::FlightKind::kClaim, w.slot_id(), 0, r.old_value, 0,
+                   w.now(), n);
+  }
   unsigned k = 0;
   for_lanes(st.hungry, [&](unsigned lane) {
     const std::uint64_t ticket = r.old_value + k++;
@@ -440,6 +537,10 @@ Kernel<void> RfanQueue::report_complete(Wave& w, std::uint32_t count) {
   co_await w.lds_ops(std::min<std::uint32_t>(count, kWaveWidth) + 1);
   w.bump(kQueueAtomics);
   co_await w.atomic_add(layout_.completed_addr(), count);
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    rec->record(
+        {simt::FlightKind::kComplete, w.slot_id(), 0, 0, count, 0, w.now()});
+  }
 }
 
 // ---- AN: arbitrary-n via proxy thread, but CAS-based (retries) ----
@@ -487,6 +588,11 @@ Kernel<void> AnQueue::acquire_slots(Wave& w, WaveQueueState& st) {
   }
   simt::OpHistory* hist = history_sink(w);
   const bool tasks = task_sink(w) != nullptr;
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // The capped CAS claimed `claimed` contiguous tickets: one batch.
+    rec->log_steps(simt::FlightKind::kClaim, w.slot_id(), 0, r.old_value, 0,
+                   w.now(), static_cast<std::uint32_t>(claimed));
+  }
   std::uint64_t ticket = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;
@@ -561,6 +667,10 @@ Kernel<void> AnQueue::report_complete(Wave& w, std::uint32_t count) {
   co_await w.lds_ops(std::min<std::uint32_t>(count, kWaveWidth) + 1);
   w.bump(kQueueAtomics);
   co_await w.atomic_add(layout_.completed_addr(), count);
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    rec->record(
+        {simt::FlightKind::kComplete, w.slot_id(), 0, 0, count, 0, w.now()});
+  }
 }
 
 // ---- BASE: traditional lock-free queue, one CAS loop per thread ----
@@ -624,6 +734,7 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
          static_cast<std::uint64_t>(std::popcount(trying & ~claimed)));
 
   simt::OpHistory* hist = history_sink(w);
+  simt::FlightRecorder* rec = recorder_sink(w);
   const bool tasks = task_sink(w) != nullptr;
   for_lanes(claimed, [&](unsigned lane) {
     const SlotRef ref = slot_of(old[lane]);
@@ -633,6 +744,10 @@ Kernel<void> BaseQueue::acquire_slots(Wave& w, WaveQueueState& st) {
     if (hist) {
       hist->record({simt::QueueOp::kDequeueClaim, w.slot_id(), old[lane],
                     ref.index, ref.epoch, 0, w.now()});
+    }
+    if (rec) {
+      rec->log_step(simt::FlightKind::kClaim, w.slot_id(), 0, old[lane], 0,
+                    w.now());
     }
     if (tasks) trace_task(w, simt::TaskPhase::kClaim, old[lane]);
   });
@@ -725,6 +840,10 @@ Kernel<void> BaseQueue::report_complete(Wave& w, std::uint32_t count) {
   if (count > kWaveWidth) ones[0] += count - kWaveWidth;
   w.bump(kQueueAtomics, lanes);
   co_await w.atomic_lanes(simt::AtomicKind::kAdd, mask, addrs, ones);
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    rec->record(
+        {simt::FlightKind::kComplete, w.slot_id(), 0, 0, count, 0, w.now()});
+  }
 }
 
 std::unique_ptr<DeviceQueue> make_queue_variant(QueueVariant variant,

@@ -273,6 +273,12 @@ Kernel<std::uint64_t> DistributedQueue::claim_from(Wave& w, WaveQueueState& st,
 
   simt::OpHistory* hist = history_sink(w);
   const bool tasks = task_sink(w) != nullptr;
+  if (simt::FlightRecorder* rec = recorder_sink(w)) {
+    // The bounded add claimed `claimed` contiguous tickets: one batch.
+    rec->log_steps(simt::FlightKind::kClaim, w.slot_id(), 0,
+                   encode_ticket(q, r.old_value), 0, w.now(),
+                   static_cast<std::uint32_t>(claimed));
+  }
   std::uint64_t local = r.old_value;
   std::uint64_t left = claimed;
   LaneMask served = 0;

@@ -31,7 +31,9 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/device.h"
 
@@ -118,6 +120,14 @@ inline simt::Telemetry* probe_sink(Wave& w) { return w.device().telemetry(); }
 // they describe, so append order is consistent with protocol order.
 inline simt::OpHistory* history_sink(Wave& w) { return w.device().op_history(); }
 
+// Flight-recorder sink for black-box dumps: the device's attached
+// FlightRecorder, or nullptr (recording then costs one branch). Fed at
+// the same sites as the operation history, so the recorder's last-N
+// window is protocol-ordered too.
+inline simt::FlightRecorder* recorder_sink(Wave& w) {
+  return w.device().flight_recorder();
+}
+
 // Allocates and initializes a device queue (host side, pre-launch §3.1).
 QueueLayout make_device_queue(simt::Device& dev, std::uint64_t capacity);
 
@@ -150,6 +160,11 @@ struct WaveQueueState {
   // Cycle at which each lane's slot was assigned (telemetry: the slot-
   // monitor wait histogram measures assignment -> sentinel clearing).
   std::array<simt::Cycle, kWaveWidth> assign_cycle{};
+  // Lanes whose current claim has missed at least one arrival poll and
+  // has therefore been entered into the flight recorder's monitor wait
+  // table (check_arrival records the transition exactly once; delivery
+  // clears the bit after retiring the table entry).
+  LaneMask miss_noted = 0;
 
   // Eager delivery: schedulers that read payloads during acquisition
   // (e.g. the locked stack, which consumes under its lock) park tokens
@@ -225,6 +240,27 @@ struct WaveQueueState {
     for (auto k : n_new) n += k;
     return n;
   }
+};
+
+// Host-side control-block snapshot for the black-box dump: one entry
+// per priority band (single-band queues report exactly one), raw
+// counters AND the derived occupancy so the post-mortem analyzer can
+// cross-check the dump's internal consistency.
+struct QueueBandSnapshot {
+  std::uint64_t band = 0;
+  std::uint64_t front = 0;      // claimed dequeue tickets
+  std::uint64_t rear = 0;       // reserved enqueue tickets
+  std::uint64_t completed = 0;  // reported task completions
+  std::uint64_t occupancy = 0;  // rear - front, clamped at 0
+};
+
+struct QueueSnapshot {
+  std::string variant;
+  std::uint64_t capacity = 0;           // total ring slots
+  std::uint64_t per_band_capacity = 0;  // ring slots per band
+  std::uint32_t closure_frontier = 0;   // bands below it are closed (mq)
+  std::uint64_t resident = 0;           // slots currently holding tokens
+  std::vector<QueueBandSnapshot> bands;
 };
 
 enum class QueueVariant {
@@ -343,6 +379,12 @@ class DeviceQueue {
                                                      std::uint32_t band) const {
     return band == 0 ? occupancy(dev) : 0;
   }
+
+  // Host-side control-block snapshot for the black-box dump (no
+  // simulated cost). The default reads the shared Front/Rear/Completed
+  // block as one band; BucketedMultiQueue overrides with per-band
+  // counters plus the closure frontier.
+  [[nodiscard]] virtual QueueSnapshot snapshot(const simt::Device& dev) const;
 
  protected:
   // Ring placement of a Rear/Front ticket. The default is the single

@@ -32,6 +32,17 @@ void Device::on_wave_complete(Wave& wave) {
   finished_waves_.push_back(&wave);
 }
 
+void Device::teardown_frames() {
+  events_.clear();
+  for (auto& w : waves_) w->release_kernel();
+  finished_waves_.clear();
+}
+
+void Device::scrub_abort_state() {
+  abort_ = false;
+  abort_reason_.clear();
+}
+
 void Device::reset_clock_and_stats() {
   now_ = 0;
   stats_ = DeviceStats{};
@@ -62,8 +73,7 @@ void Device::launch_begin(std::uint32_t num_workgroups, KernelFactory factory) {
   launch_active_ = true;
   kernel_error_ = nullptr;
   events_processed_ = 0;
-  abort_ = false;
-  abort_reason_.clear();
+  scrub_abort_state();
   if (profiler_) profiler_->begin_run();
   factory_ = std::move(factory);
   total_workgroups_ = num_workgroups;
@@ -191,15 +201,12 @@ RunResult Device::launch_end() {
   if (abort_ || kernel_error_) {
     // Stop the machine: drop pending events, then tear down every
     // still-suspended kernel frame.
-    events_.clear();
-    for (auto& w : waves_) w->release_kernel();
-    finished_waves_.clear();
+    teardown_frames();
     if (kernel_error_) {
       // Scrub abort state before rethrowing: post-throw inspection of
       // the device must not report this launch's (or a previous one's)
       // abort as if it were still pending.
-      abort_ = false;
-      abort_reason_.clear();
+      scrub_abort_state();
       const std::exception_ptr err = kernel_error_;
       kernel_error_ = nullptr;
       std::rethrow_exception(err);
@@ -229,8 +236,7 @@ RunResult Device::launch_end() {
   result.stats = stats_ - launch_before_;
   result.aborted = abort_;
   result.abort_reason = abort_reason_;
-  abort_ = false;
-  abort_reason_.clear();
+  scrub_abort_state();
   if (profiler_) profiler_->end_run(events_processed_, result.cycles);
   return result;
 }
@@ -246,11 +252,8 @@ RunResult Device::launch(std::uint32_t num_workgroups, const KernelFactory& fact
     // kernel frames, and scrub every piece of launch-scoped state —
     // a stale abort_reason_ here would make post-throw inspection
     // report a previous launch's abort.
-    events_.clear();
-    for (auto& w : waves_) w->release_kernel();
-    finished_waves_.clear();
-    abort_ = false;
-    abort_reason_.clear();
+    teardown_frames();
+    scrub_abort_state();
     launch_active_ = false;
     factory_ = nullptr;
     kernel_error_ = nullptr;

@@ -12,6 +12,7 @@
 
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "sim/flight_recorder.h"
 #include "sim/memory.h"
 #include "sim/op_history.h"
 #include "sim/sched_policy.h"
@@ -127,6 +128,13 @@ class Device {
   // wave op; times 1-in-2^k loop iterations (sim/sim_profiler.h).
   void attach_profiler(SimProfiler* profiler) { profiler_ = profiler; }
   [[nodiscard]] SimProfiler* profiler() { return profiler_; }
+  // Optional black-box flight recording (not owned; nullptr disables).
+  // Queues, transfer rings and the router feed it; the black-box dump
+  // (core/black_box.h) snapshots it on abort paths.
+  void attach_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+  [[nodiscard]] FlightRecorder* flight_recorder() { return flight_recorder_; }
   // Seeded schedule perturbation (identity when sched_seed == 0).
   [[nodiscard]] SchedulePolicy& sched() { return sched_; }
   void request_abort(std::string reason);
@@ -149,6 +157,7 @@ class Device {
   OpHistory* op_history_ = nullptr;
   TaskTrace* task_trace_ = nullptr;
   SimProfiler* profiler_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
   SchedulePolicy sched_;
 
   std::vector<ComputeUnit> cus_;
@@ -163,6 +172,12 @@ class Device {
   template <bool kProfiled, bool kTelemetry>
   StepStatus step_loop(Cycle horizon);
   void handle_finished_waves();
+  // Shared teardown helpers for the abort / kernel-error / guard-throw
+  // paths: drop pending events and suspended kernel frames, and scrub
+  // every piece of launch-scoped abort state (a stale abort_reason_
+  // would make post-throw inspection report a previous launch's abort).
+  void teardown_frames();
+  void scrub_abort_state();
 
   // Launch-scoped state.
   std::uint32_t next_workgroup_ = 0;

@@ -315,6 +315,10 @@ table.nums td {
   border-bottom: 1px solid var(--grid);
 }
 table.nums td:first-child { text-align: left; }
+pre.postmortem {
+  font: 12px/1.5 ui-monospace, "SF Mono", Menlo, Consolas, monospace;
+  color: var(--text-secondary); white-space: pre-wrap; margin: 0;
+}
 details { margin-top: 6px; }
 summary { color: var(--muted); cursor: pointer; font-size: 12px; }
 .bars { max-width: 640px; }
@@ -378,6 +382,15 @@ std::string HtmlReportBuilder::render() const {
                                                 : attribution_.title) +
          "</h2>\n";
   out += render_table(attribution_);
+  out += "</section>\n";
+
+  out += "<section id=\"postmortem\">\n<h2>Post-mortem</h2>\n";
+  if (postmortem_.empty()) {
+    out += "<p class=\"empty\">no abort recorded — nothing to analyze</p>\n";
+  } else {
+    out += "<pre class=\"postmortem\">" + html_escape(postmortem_) +
+           "</pre>\n";
+  }
   out += "</section>\n";
 
   out += "<section id=\"profiler\">\n<h2>Simulator self-profile</h2>\n";

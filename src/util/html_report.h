@@ -71,6 +71,10 @@ class HtmlReportBuilder {
     profiler_ = std::move(bars);
     profiler_stats_ = std::move(stats);
   }
+  // Pre-rendered post-mortem report text (util/postmortem.h render()).
+  // Shown verbatim in a monospace block; empty means the run finished
+  // without an abort and the section shows its empty-state line.
+  void set_postmortem(std::string report) { postmortem_ = std::move(report); }
 
   // The complete HTML document. Deterministic: a function of the data
   // alone (no timestamps, no randomness), so seed-0 reruns are
@@ -87,6 +91,7 @@ class HtmlReportBuilder {
   ReportTable attribution_;
   std::vector<ReportBar> profiler_;
   std::vector<std::pair<std::string, std::string>> profiler_stats_;
+  std::string postmortem_;
 };
 
 }  // namespace scq::util

@@ -1,0 +1,69 @@
+// Post-mortem analysis of black-box dumps (core/black_box.h).
+//
+// The analyzer is deliberately simulator-free: it consumes only the
+// JSON document (via util/json.h), so a dump written by a crashed run
+// yesterday — or shipped in a bug report — analyzes identically to one
+// produced in-process. Three stages:
+//
+//   validate     cross-checks the document against the queue protocol's
+//                invariants (Completed <= Rear per band, occupancy ==
+//                Rear - Front, ring backlog arithmetic, known event
+//                kinds, per-source monotone sequence numbers). A dump
+//                that fails validation is reported as corrupt and NOT
+//                analyzed further — a tampered or truncated black box
+//                must not produce a confident-sounding verdict.
+//
+//   wait-for     joins the flight recorder's live wait tables against
+//   graph        the queue control blocks. A parked reservation on
+//                ticket t waits for its ring slot to recycle, i.e. for
+//                the *previous epoch's* ticket t - per_band_capacity to
+//                be consumed; that ticket's outstanding monitor names
+//                the wave holding the slot. monitor -> wave -> that
+//                wave's own parked entries closes the loop, giving
+//                edges wave -> slot/ticket -> wave.
+//
+//   verdicts     named conclusions: the blocking cycle (publish
+//                backpressure deadlock), the never-claimed blocker
+//                (consumer starvation), claim-ahead monitors beyond a
+//                band's Rear (starved band), per-device incomplete
+//                bands, undelivered transfer-ring backlogs and router
+//                holdings (cluster stalls).
+//
+// The rendered report is sectioned with stable markers ("== post-mortem
+// ==", "-- wait-for graph --", "-- verdicts --") so CI smoke checks and
+// the HTML dashboard can carve it up without a second parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace scq::util {
+
+struct PostmortemReport {
+  bool valid = false;
+  std::string validation_error;  // non-empty iff !valid
+  std::string reason;            // the dump's abort reason ("" if absent)
+  // Rendered wait-for graph edges, one line each, deterministic order.
+  std::vector<std::string> wait_edges;
+  // Named conclusions, most specific first (blocking cycle > starved
+  // band > outstanding work > ring/router residency).
+  std::vector<std::string> verdicts;
+
+  // Human-readable sectioned report (see header comment for markers).
+  [[nodiscard]] std::string render() const;
+};
+
+// Analyzes a parsed black-box document. Never throws: structural
+// problems land in validation_error.
+[[nodiscard]] PostmortemReport analyze_black_box(const JsonValue& dump);
+
+// Convenience: parse + analyze a dump file. nullopt only when the file
+// cannot be read or is not JSON at all; a well-formed-JSON-but-invalid
+// dump still returns a (failed-validation) report.
+[[nodiscard]] std::optional<PostmortemReport> analyze_black_box_file(
+    const std::string& path);
+
+}  // namespace scq::util

@@ -361,6 +361,14 @@ TEST(ClusterTest, AllDrainedBeforeQuiescenceReportsStall) {
   EXPECT_TRUE(run.aborted);
   EXPECT_NE(run.abort_reason.find("stalled"), std::string::npos)
       << run.abort_reason;
+  // The stall reason carries per-device queue occupancy and transfer-
+  // ring residency, and the run ships a black box for postmortem.
+  EXPECT_NE(run.abort_reason.find("dev0 occ="), std::string::npos)
+      << run.abort_reason;
+  EXPECT_NE(run.abort_reason.find("ring"), std::string::npos)
+      << run.abort_reason;
+  EXPECT_FALSE(run.black_box.empty());
+  EXPECT_NE(run.black_box.find("\"blackbox\":1"), std::string::npos);
 }
 
 }  // namespace

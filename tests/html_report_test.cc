@@ -1,5 +1,5 @@
 // Golden-structure tests for the self-contained HTML run report: the
-// five sections are always present (with explicit empty states), the
+// six sections are always present (with explicit empty states), the
 // document inlines everything (no external asset references), data
 // renders as SVG sparklines/heatmap cells, long runs decimate with a
 // visible "showing N of M" note, HTML metacharacters are escaped, and
@@ -29,7 +29,8 @@ std::size_t count_occurrences(const std::string& hay, const std::string& needle)
 void expect_golden_structure(const std::string& html) {
   EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
   for (const char* id : {"id=\"meta\"", "id=\"series\"", "id=\"heatmap\"",
-                         "id=\"attribution\"", "id=\"profiler\""}) {
+                         "id=\"attribution\"", "id=\"postmortem\"",
+                         "id=\"profiler\""}) {
     EXPECT_EQ(count_occurrences(html, id), 1u) << id;
   }
   // Self-contained: styles inline, no external fetches of any kind.
@@ -44,8 +45,9 @@ TEST(HtmlReportTest, EmptyReportKeepsGoldenStructure) {
   const std::string html = HtmlReportBuilder{}.render();
   expect_golden_structure(html);
   // Each data-less section states its emptiness instead of vanishing.
-  EXPECT_GE(count_occurrences(html, "class=\"empty\""), 4u);
+  EXPECT_GE(count_occurrences(html, "class=\"empty\""), 5u);
   EXPECT_NE(html.find("no windowed series recorded"), std::string::npos);
+  EXPECT_NE(html.find("no abort recorded"), std::string::npos);
 }
 
 HtmlReportBuilder populated_builder() {
@@ -64,6 +66,7 @@ HtmlReportBuilder populated_builder() {
                      {{"atomic", "120"}, {"load <vec>", "80"}}});
   b.set_profiler({{"heap", 0.25}, {"memory model", 0.5}},
                  {{"events/sec", "1.2e6"}});
+  b.set_postmortem("== post-mortem ==\nreason: queue <full>\n");
   return b;
 }
 
@@ -85,6 +88,11 @@ TEST(HtmlReportTest, PopulatedSectionsRenderSvgAndTables) {
   EXPECT_EQ(count_occurrences(html, "<rect"), 5u);
   EXPECT_NE(html.find(">dev1</text>"), std::string::npos);
   EXPECT_NE(html.find(">t=0</text>"), std::string::npos);
+
+  // Post-mortem text renders verbatim (escaped) in a monospace block.
+  EXPECT_NE(html.find("<pre class=\"postmortem\">== post-mortem =="),
+            std::string::npos);
+  EXPECT_NE(html.find("reason: queue &lt;full&gt;"), std::string::npos);
 
   // Attribution table and profiler bars.
   EXPECT_NE(html.find("<td>atomic</td><td>120</td>"), std::string::npos);

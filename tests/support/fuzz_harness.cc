@@ -4,9 +4,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/black_box.h"
 #include "core/bucketed_queue.h"
 #include "core/host_queue.h"
 #include "core/pt_driver.h"
+#include "sim/flight_recorder.h"
 #include "util/prng.h"
 
 namespace scq::fuzz {
@@ -60,6 +62,9 @@ std::string FuzzOutcome::describe(const SimFuzzCase& c) const {
            " --variant " + variant_cli_name(c.variant) + " --workload " +
            to_string(c.workload) + " --capacity " + std::to_string(c.capacity) +
            " --tasks " + std::to_string(c.num_tasks);
+    out += "\n  sweep-replay: fuzz_queues --seeds 1 --seed-start " +
+           std::to_string(c.seed) + " --only-variant " +
+           variant_cli_name(c.variant) + " --host-every 0";
     if (!error.empty()) out += "\n  error: " + error;
     if (!check.ok()) out += "\n" + check.report();
   }
@@ -81,6 +86,8 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
   simt::Device dev(cfg);
   simt::OpHistory history;
   dev.attach_op_history(&history);
+  simt::FlightRecorder recorder;
+  dev.attach_flight_recorder(&recorder);
 
   std::unique_ptr<DeviceQueue> queue;
   if (c.variant == QueueVariant::kMq) {
@@ -171,6 +178,13 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
   out.check = check_history(records, check_opt);
   out.history_records = records.size();
   if (raw_history != nullptr) *raw_history = records;
+  if (!out.ok()) {
+    // Every failed case ships its black box: the dump is what
+    // bench/postmortem consumes when a sweep or CI run goes red.
+    const std::string reason =
+        !out.error.empty() ? out.error : "checker counterexample";
+    out.black_box = dump_black_box(dev, queue.get(), reason);
+  }
   return out;
 }
 

@@ -52,9 +52,16 @@ struct FuzzOutcome {
   simt::RunResult run;
   std::uint64_t history_records = 0;
   std::string error;  // abort / SimError text; empty == clean completion
+  // Black-box dump (core/black_box.h) assembled automatically for every
+  // failed sim case — abort, SimError, or checker counterexample.
+  // Empty for passing cases and for host cases (no device to snapshot).
+  std::string black_box;
 
   [[nodiscard]] bool ok() const { return error.empty() && check.ok(); }
-  // One-line verdict plus a replay command for fuzz_queues.
+  // One-line verdict plus the exact replay commands for fuzz_queues:
+  // the pinned single-case replay (--fuzz-seed/--variant/...) and the
+  // sweep-exact one (--seeds 1 --seed-start/--only-variant), which
+  // reproduces the failure through the same sweep code path.
   [[nodiscard]] std::string describe(const SimFuzzCase& c) const;
 };
 
