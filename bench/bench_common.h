@@ -288,6 +288,13 @@ class Observability {
     metrics_[key] = value;
   }
 
+  // Per-workload dynamic-task statistics table for the --report
+  // dashboard's taskstats section (fed by fig_task_framework from the
+  // same numbers it records as metrics).
+  void set_task_stats(util::ReportTable table) {
+    task_stats_ = std::move(table);
+  }
+
   // Applies the --sim-seed/--sim-jitter schedule perturbation to a
   // device config. Seed 0 (the default) leaves the legacy bit-exact
   // schedule untouched, so paper-number runs are unaffected.
@@ -506,6 +513,8 @@ class Observability {
       report.set_attribution(std::move(table));
     }
 
+    if (!task_stats_.rows.empty()) report.set_task_stats(task_stats_);
+
     if (profiler_.events() > 0) {
       char buf[64];
       std::vector<std::pair<std::string, std::string>> stats;
@@ -615,6 +624,7 @@ class Observability {
   simt::Cycle sim_jitter_ = 0;
   std::uint32_t device_count_ = 1;
   std::map<std::string, double> metrics_;
+  util::ReportTable task_stats_;
   std::vector<std::pair<std::string, simt::AttributionSummary>>
       attribution_columns_;
   std::vector<simt::TaskRecord> last_records_;

@@ -59,12 +59,10 @@ int main(int argc, char** argv) {
                           .build(args.get_double("scale")),
                       1234, max_w)});
   workloads.push_back(
-      {"random", graph::with_random_weights(
-                     graph::rodinia_random(
-                         {.n_vertices = 4000, .avg_degree = 6, .seed = 3}),
-                     7, max_w)});
-  workloads.push_back({"tree", graph::with_random_weights(
-                                   graph::synthetic_kary(4000, 4), 11, max_w)});
+      {"random",
+       graph::with_random_weights(bfs::bench_random_graph(), 7, max_w)});
+  workloads.push_back(
+      {"tree", graph::with_random_weights(bfs::bench_tree_graph(), 11, max_w)});
 
   std::printf("SSSP work efficiency on %s, %u workgroups, %u bands\n\n",
               dev.config.name.c_str(), dev.paper_workgroups, bands);

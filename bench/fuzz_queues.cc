@@ -33,6 +33,26 @@ QueueVariant variant_from_string(const std::string& s) {
   std::exit(2);
 }
 
+// Splits a comma-separated variant list ("mq" or "an,rfan,mq"). Sweep
+// seeds rotate through the list so a multi-variant pin still covers
+// every listed variant evenly.
+std::vector<QueueVariant> variants_from_list(const std::string& s) {
+  std::vector<QueueVariant> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(start, comma - start);
+    if (!item.empty()) out.push_back(variant_from_string(item));
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--only-variant: no variants in '%s'\n", s.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
 // Sweep-mode case shapes are a pure function of the seed, so a failure
 // replays from the seed alone; the printed replay command additionally
 // pins every parameter explicitly.
@@ -45,11 +65,12 @@ scq::fuzz::SimFuzzCase sim_case_for_seed(std::uint64_t seed) {
                                         QueueVariant::kRfan, QueueVariant::kMq};
   constexpr scq::fuzz::Workload kWorkloads[] = {scq::fuzz::Workload::kTree,
                                                 scq::fuzz::Workload::kChain,
-                                                scq::fuzz::Workload::kRandom};
+                                                scq::fuzz::Workload::kRandom,
+                                                scq::fuzz::Workload::kTasks};
   constexpr std::uint64_t kCapacities[] = {8, 16, 24, 40, 56};
   c.variant = kVariants[h % 4];
-  c.workload = kWorkloads[(h / 4) % 3];
-  c.capacity = kCapacities[(h / 12) % 5];
+  c.workload = kWorkloads[(h / 4) % 4];
+  c.capacity = kCapacities[(h / 16) % 5];
   return c;
 }
 
@@ -110,10 +131,17 @@ int main(int argc, char** argv) {
   args.add_int("host-seed", "replay one host case with this seed", -1);
   args.add_string("variant", "replay: queue variant (base|an|rfan|mq)",
                   "rfan");
-  args.add_string("workload", "replay: workload (tree|chain|random)", "tree");
+  args.add_string("workload", "replay: workload (tree|chain|random|tasks)",
+                  "tree");
   args.add_string("only-variant",
-                  "sweep: pin every sim case to this variant instead of "
-                  "rotating (empty = rotate)",
+                  "sweep: pin sim cases to this comma-separated variant "
+                  "list (e.g. 'mq' or 'an,rfan,mq'), rotating through the "
+                  "list per seed instead of the full rotation (empty = "
+                  "rotate all)",
+                  "");
+  args.add_string("only-workload",
+                  "sweep: pin every sim case to this workload "
+                  "(tree|chain|random|tasks; empty = rotate)",
                   "");
   args.add_int("capacity", "replay: ring capacity", 24);
   args.add_int("tasks", "replay: workload size bound", 96);
@@ -164,11 +192,20 @@ int main(int argc, char** argv) {
     std::string black_box;
   };
   const std::string only_variant = args.get_string("only-variant");
+  const std::vector<QueueVariant> pinned =
+      only_variant.empty() ? std::vector<QueueVariant>{}
+                           : variants_from_list(only_variant);
+  const std::string only_workload = args.get_string("only-workload");
+  const bool pin_workload = !only_workload.empty();
+  const scq::fuzz::Workload pinned_workload =
+      pin_workload ? scq::fuzz::workload_from_string(only_workload)
+                   : scq::fuzz::Workload::kTree;
   std::vector<SimSlot> slots(count);
   scq::util::parallel_sweep(
       static_cast<std::size_t>(count), threads, [&](std::size_t i) {
         auto c = sim_case_for_seed(first + i);
-        if (!only_variant.empty()) c.variant = variant_from_string(only_variant);
+        if (!pinned.empty()) c.variant = pinned[i % pinned.size()];
+        if (pin_workload) c.workload = pinned_workload;
         const scq::fuzz::FuzzOutcome out = scq::fuzz::run_sim_fuzz_case(c);
         slots[i].ok = out.ok();
         if (!out.ok() || verbose) slots[i].text = out.describe(c) + "\n";

@@ -83,6 +83,29 @@ const std::vector<DatasetSpec>& rodinia_datasets() {
   return kDatasets;
 }
 
+graph::Graph synthetic_power_law(graph::Vertex n_vertices,
+                                 std::uint64_t n_edges, std::uint64_t seed) {
+  graph::RmatParams p;
+  p.n_vertices = n_vertices;
+  p.n_edges = n_edges;
+  p.seed = seed;
+  return graph::rmat(p);
+}
+
+graph::Graph synthetic_grid(graph::Vertex n_vertices, std::uint64_t seed) {
+  graph::RoadParams p;
+  p.n_vertices = n_vertices;
+  p.seed = seed;
+  return graph::road_network(p);
+}
+
+graph::Graph bench_random_graph() {
+  return graph::rodinia_random(
+      {.n_vertices = 4000, .avg_degree = 6, .seed = 3});
+}
+
+graph::Graph bench_tree_graph() { return graph::synthetic_kary(4000, 4); }
+
 const DatasetSpec& dataset_by_name(const std::string& name) {
   for (const auto* registry :
        {&paper_datasets(), &chai_datasets(), &rodinia_datasets()}) {

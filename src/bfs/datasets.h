@@ -40,4 +40,31 @@ const std::vector<DatasetSpec>& rodinia_datasets();
 // Lookup across all registries; throws std::invalid_argument if absent.
 const DatasetSpec& dataset_by_name(const std::string& name);
 
+// ---- Shared synthetic bench inputs ----
+//
+// Deterministic non-dataset graphs shared by the figure benches and the
+// task-framework workload bench, so each shape is generated in exactly
+// one place: benches naming the same shape always run the identical
+// graph, and checked-in perf baselines cannot drift because two figs
+// disagreed on a seed.
+
+// Power-law (R-MAT) graph with social-style degree skew: wide shallow
+// frontiers, a few very hot vertices.
+[[nodiscard]] graph::Graph synthetic_power_law(graph::Vertex n_vertices,
+                                               std::uint64_t n_edges,
+                                               std::uint64_t seed = 42);
+
+// Near-planar lattice grid (road-style: degree ~2-3, diameter
+// ~2*sqrt(n)): deep narrow frontiers, the opposite pressure profile.
+[[nodiscard]] graph::Graph synthetic_grid(graph::Vertex n_vertices,
+                                          std::uint64_t seed = 7);
+
+// fig_work_efficiency's historical non-road inputs, hoisted here so
+// other benches can reuse them without re-deriving the parameters
+// (changing either would shift perf_smoke_work_efficiency.json):
+// uniform-random (Rodinia-style, 4000 vertices, avg degree 6, seed 3)
+// and the paper's 4-ary saturator tree at 4000 vertices.
+[[nodiscard]] graph::Graph bench_random_graph();
+[[nodiscard]] graph::Graph bench_tree_graph();
+
 }  // namespace scq::bfs

@@ -10,6 +10,7 @@
 #include "core/ext_schedulers.h"
 #include "core/task_probes.h"
 #include "core/telemetry_probes.h"
+#include "tasks/task_engine.h"
 
 namespace scq::bfs {
 
@@ -199,6 +200,107 @@ Kernel<void> pt_bfs_wave(Wave& w, DeviceQueue& queue, const DeviceGraph& g,
   }
 }
 
+// The same kernel re-expressed as a task-engine client: the engine owns
+// the work-cycle skeleton (pt_bfs_wave above, structurally verbatim)
+// and this client supplies the BFS-specific prolog and edge loop. A
+// test pins this path bit-exact against pt_bfs_wave at seed 0; keep the
+// two bodies in lockstep when touching either.
+class BfsWaveClient final : public tasks::TaskWaveClient {
+ public:
+  BfsWaveClient(const DeviceGraph& g, const PtBfsOptions& opt)
+      : g_(g), opt_(opt) {}
+
+  Kernel<void> on_arrival(Wave& w, WaveQueueState& st, LaneMask arrived,
+                          std::span<const std::uint64_t> tokens) override {
+    std::array<Addr, kWaveWidth> a{};
+    std::array<std::uint64_t, kWaveWidth> row_begin{}, row_end{}, vcost{};
+    for_lanes(arrived, [&](unsigned lane) {
+      lw_.vertex[lane] = tokens[lane];
+      a[lane] = g_.row_offsets.at(lw_.vertex[lane]);
+    });
+    co_await w.load_lanes(arrived, a, row_begin);
+    for_lanes(arrived, [&](unsigned lane) { a[lane] += 1; });
+    co_await w.load_lanes(arrived, a, row_end);
+    for_lanes(arrived, [&](unsigned lane) {
+      a[lane] = g_.cost.at(lw_.vertex[lane]);
+    });
+    co_await w.load_lanes(arrived, a, vcost);
+    const bool tasks_traced = task_sink(w) != nullptr;
+    for_lanes(arrived, [&](unsigned lane) {
+      lw_.cursor[lane] = row_begin[lane];
+      lw_.row_end[lane] = row_end[lane];
+      lw_.cost[lane] = vcost[lane];
+      lw_.ticket[lane] = st.deliver_ticket[lane];
+      if (tasks_traced) {
+        trace_task(w, simt::TaskPhase::kExecStart, lw_.ticket[lane],
+                   lw_.vertex[lane]);
+      }
+    });
+  }
+
+  Kernel<LaneMask> work_step(Wave& w, WaveQueueState& st,
+                             LaneMask run) override {
+    for (unsigned t = 0; t < opt_.work_budget; ++t) {
+      LaneMask active = 0;
+      for_lanes(run, [&](unsigned lane) {
+        if (lw_.cursor[lane] < lw_.row_end[lane]) active |= bit(lane);
+      });
+      if (!active) break;
+
+      std::array<Addr, kWaveWidth> ea{};
+      std::array<std::uint64_t, kWaveWidth> child{};
+      for_lanes(active, [&](unsigned lane) {
+        ea[lane] = g_.cols.at(lw_.cursor[lane]);
+        lw_.cursor[lane] += 1;
+      });
+      co_await w.load_lanes(active, ea, child);
+      w.bump(kEdgesRelaxed, static_cast<std::uint64_t>(std::popcount(active)));
+
+      std::array<Addr, kWaveWidth> ca{};
+      std::array<std::uint64_t, kWaveWidth> newcost{}, oldcost{};
+      for_lanes(active, [&](unsigned lane) {
+        ca[lane] = g_.cost.at(child[lane]);
+        newcost[lane] = lw_.cost[lane] + 1;
+      });
+      LaneMask improved = 0;
+      if (opt_.atomic_discovery) {
+        co_await w.atomic_lanes(simt::AtomicKind::kMin, active, ca, newcost,
+                                {}, oldcost);
+        for_lanes(active, [&](unsigned lane) {
+          if (oldcost[lane] > newcost[lane]) improved |= bit(lane);
+        });
+      } else {
+        co_await w.load_lanes(active, ca, oldcost);
+        for_lanes(active, [&](unsigned lane) {
+          if (oldcost[lane] > newcost[lane]) improved |= bit(lane);
+        });
+        if (improved) co_await w.store_lanes(improved, ca, newcost);
+      }
+      for_lanes(improved, [&](unsigned lane) {
+        st.push_token(lane, child[lane], lw_.ticket[lane]);
+        if (oldcost[lane] != kUnvisited) w.bump(kDupEnqueues);
+      });
+    }
+
+    LaneMask done_lanes = 0;
+    const bool tasks_traced = task_sink(w) != nullptr;
+    for_lanes(run, [&](unsigned lane) {
+      if (lw_.cursor[lane] >= lw_.row_end[lane]) {
+        done_lanes |= bit(lane);
+        if (tasks_traced) {
+          trace_task(w, simt::TaskPhase::kExecEnd, lw_.ticket[lane]);
+        }
+      }
+    });
+    co_return done_lanes;
+  }
+
+ private:
+  const DeviceGraph& g_;
+  const PtBfsOptions& opt_;
+  LaneWork lw_{};
+};
+
 }  // namespace
 
 BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
@@ -265,9 +367,21 @@ BfsResult run_pt_bfs(const simt::DeviceConfig& config, const graph::Graph& g,
     const std::uint32_t workgroups = options.num_workgroups != 0
                                          ? options.num_workgroups
                                          : config.resident_waves();
-    const simt::RunResult run = dev.launch(workgroups, [&](Wave& w) -> Kernel<void> {
-      return pt_bfs_wave(w, *queue, dg, options);
-    });
+    simt::RunResult run;
+    if (options.use_task_engine) {
+      tasks::TaskEngineOptions eng;
+      eng.work_budget = options.work_budget;
+      eng.poll_interval = options.poll_interval;
+      eng.num_workgroups = workgroups;
+      run = tasks::run_task_waves(
+          dev, *queue,
+          [&](Wave&) { return std::make_unique<BfsWaveClient>(dg, options); },
+          eng);
+    } else {
+      run = dev.launch(workgroups, [&](Wave& w) -> Kernel<void> {
+        return pt_bfs_wave(w, *queue, dg, options);
+      });
+    }
 
     if (run.aborted) {
       last_black_box = dump_black_box(dev, queue.get(), run.abort_reason);

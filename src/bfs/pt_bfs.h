@@ -72,6 +72,13 @@ struct PtBfsOptions {
   // truly bare event loop. Production paths leave this false — a run
   // without a recorder cannot dump a black box.
   bool detach_recorder = false;
+  // true (default): run the kernel as a tasks::TaskWaveClient on the
+  // shared task-engine wave loop — bit-exact with the legacy inline
+  // kernel (a test pins cycles, stats and levels at seed 0), and the
+  // route by which BFS gains banded (kMq) support, since the engine
+  // reports completions per ticket. false: the legacy inline kernel,
+  // kept as the bit-exactness reference.
+  bool use_task_engine = true;
 };
 
 // Runs one BFS to completion on a fresh device built from `config`.

@@ -306,6 +306,9 @@ void DeviceQueue::park(Wave& w, WaveQueueState& st, std::uint64_t ticket,
   if (traceable_tickets()) {
     trace_task(w, simt::TaskPhase::kReserve, ticket, token, parent);
   }
+  // Host-side spawn observer (the src/tasks engine's depth/credit
+  // bookkeeping hooks in here): same birth instant, no simulated cost.
+  if (st.on_reserve != nullptr) (*st.on_reserve)(ticket, token, parent);
 }
 
 bool DeviceQueue::stall_note(Wave& w, WaveQueueState& st, bool wrote_any) {

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -209,6 +210,15 @@ struct WaveQueueState {
   // and the device progress signature they were measured against.
   std::uint64_t stall_signature = 0;
   std::uint32_t stall_rounds = 0;
+
+  // Host-side reservation observer (the src/tasks engine's spawn-depth
+  // and credit accounting): park() invokes it at the instant a Rear
+  // reservation binds (ticket, token) — where a task's identity is born
+  // — with the spawning task's trace id. Pure host bookkeeping, no
+  // simulated cycles, so attaching one cannot perturb the event
+  // schedule. Not owned; must outlive the launch.
+  const std::function<void(std::uint64_t ticket, std::uint64_t token,
+                           std::uint64_t parent)>* on_reserve = nullptr;
 
   // CAS-retry state (BASE variant). A failing CAS returns the current
   // counter value; the retry uses that observation as its next expected

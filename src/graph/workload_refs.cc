@@ -1,0 +1,111 @@
+#include "graph/workload_refs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scq::graph {
+
+namespace {
+
+// Undirected adjacency: for vertex-symmetric passes over a CSR that may
+// be directed, visit out-neighbors AND the reverse edges.
+std::vector<std::vector<Vertex>> undirected_adjacency(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::vector<Vertex>> adj(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex u : g.neighbors(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  return adj;
+}
+
+struct UnionFind {
+  std::vector<Vertex> parent;
+  explicit UnionFind(Vertex n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), Vertex{0});
+  }
+  Vertex find(Vertex v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  }
+  void unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Union by id keeps the smaller id as root, which makes the final
+    // canonicalization a plain find().
+    if (a < b) parent[b] = a;
+    else parent[a] = b;
+  }
+};
+
+}  // namespace
+
+std::vector<Vertex> connected_components_ref(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  UnionFind uf(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex u : g.neighbors(v)) uf.unite(v, u);
+  }
+  std::vector<Vertex> label(n);
+  for (Vertex v = 0; v < n; ++v) label[v] = uf.find(v);
+  return label;
+}
+
+std::vector<double> pagerank_ref(const Graph& g, double damping, double tol,
+                                 std::uint32_t max_iters) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 - damping);
+  std::vector<double> next(n);
+  for (std::uint32_t it = 0; it < max_iters; ++it) {
+    std::fill(next.begin(), next.end(), 1.0 - damping);
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint64_t deg = g.out_degree(v);
+      if (deg == 0) continue;  // dangling mass evaporates
+      const double share = damping * rank[v] / static_cast<double>(deg);
+      for (Vertex u : g.neighbors(v)) next[u] += share;
+    }
+    double delta = 0.0;
+    for (Vertex v = 0; v < n; ++v) delta += std::abs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta < tol) break;
+  }
+  return rank;
+}
+
+std::vector<std::uint32_t> greedy_coloring_ref(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  const auto adj = undirected_adjacency(g);
+  std::vector<std::uint32_t> color(n, ~std::uint32_t{0});
+  std::vector<bool> used;
+  for (Vertex v = 0; v < n; ++v) {
+    used.assign(adj[v].size() + 1, false);
+    for (Vertex u : adj[v]) {
+      if (u < v && color[u] < used.size()) used[color[u]] = true;
+    }
+    std::uint32_t c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+bool coloring_is_proper(const Graph& g,
+                        const std::vector<std::uint32_t>& color) {
+  const Vertex n = g.num_vertices();
+  if (color.size() != n) return false;
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex u : g.neighbors(v)) {
+      if (u != v && color[u] == color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scq::graph

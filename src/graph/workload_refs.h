@@ -1,0 +1,42 @@
+// Serial references for the dynamic-task-framework workloads: ground
+// truth the parallel runs (src/tasks/workloads) are validated against,
+// the same role bfs_ref plays for the BFS drivers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scq::graph {
+
+// Connected components over the undirected closure of `g` (edges are
+// treated as bidirectional regardless of CSR direction), via union-find
+// with path compression. Returns one label per vertex, canonicalized to
+// the smallest vertex id in the component — the fixed point min-label
+// propagation converges to.
+std::vector<Vertex> connected_components_ref(const Graph& g);
+
+// PageRank by dense power iteration: rank = (1-d)·1 + d·Pᵀ·rank with
+// dangling vertices contributing nothing (their mass evaporates — the
+// same semantics as push-based residual propagation that never pushes
+// from a zero-out-degree vertex). Iterates until the L1 step delta
+// drops below `tol` (or `max_iters`). Ranks are per-vertex scores with
+// baseline (1-d), not a normalized distribution.
+std::vector<double> pagerank_ref(const Graph& g, double damping = 0.85,
+                                 double tol = 1e-10,
+                                 std::uint32_t max_iters = 10000);
+
+// Greedy coloring in ascending vertex-id order over the undirected
+// closure: each vertex takes the smallest color unused by its
+// already-colored neighbors. This is also the exact fixed point of
+// Jones-Plassmann with vertex id as the priority, so both task-framework
+// coloring modes must reproduce it bit-for-bit.
+std::vector<std::uint32_t> greedy_coloring_ref(const Graph& g);
+
+// True iff `color` is a proper coloring of the undirected closure of
+// `g` (no edge joins two vertices of equal color; self-loops ignored).
+bool coloring_is_proper(const Graph& g,
+                        const std::vector<std::uint32_t>& color);
+
+}  // namespace scq::graph

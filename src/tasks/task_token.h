@@ -1,0 +1,62 @@
+// Task-token packing for the dynamic task framework.
+//
+// Framework tokens reuse the cluster token layout (cluster/token.h) so
+// one 48-bit ring payload carries both the user payload and the task's
+// priority band:
+//
+//   bits 47..46  kind    always kLocal for intra-device task tokens
+//   bits 45..24  band    priority band (the cost field — see below)
+//   bits 23..0   payload user task id (vertex ids for the graph
+//                workloads)
+//
+// Putting the band in the *cost* bits is deliberate: it makes
+// BucketedMultiQueue::cost_band_map() route framework tokens with no
+// adapter — the same map the delta-stepping driver and the cluster
+// runtime use — and keeps framework tokens forwardable through the
+// cluster router unchanged if a workload ever goes multi-device.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/token.h"
+#include "sim/device.h"
+
+namespace scq::tasks {
+
+// User payloads are bounded by the cluster vertex field (24 bits).
+inline constexpr std::uint64_t kMaxPayload = cluster::kMaxPackVertex;
+// Bands are bounded by the queue, not the packing: the cost field holds
+// 22 bits but BucketedMultiQueue supports at most kMaxBands rings.
+inline constexpr std::uint64_t kMaxBand = cluster::kMaxPackCost;
+
+[[nodiscard]] constexpr std::uint64_t pack_task(std::uint64_t payload,
+                                                std::uint64_t band) {
+  return cluster::pack_token(cluster::TokenKind::kLocal, band, payload);
+}
+
+[[nodiscard]] constexpr std::uint64_t task_payload(std::uint64_t token) {
+  return token & cluster::kMaxPackVertex;
+}
+
+[[nodiscard]] constexpr std::uint64_t task_band(std::uint64_t token) {
+  return (token >> cluster::kVertexBits) & cluster::kMaxPackCost;
+}
+
+// Checked packing for runtime values: loud SimError instead of a
+// silently wrapped band or payload.
+[[nodiscard]] inline std::uint64_t pack_task_checked(std::uint64_t payload,
+                                                     std::uint64_t band) {
+  if (payload > kMaxPayload) {
+    throw simt::SimError("task token: payload exceeds 24-bit field");
+  }
+  if (band > kMaxBand) {
+    throw simt::SimError("task token: band exceeds 22-bit field");
+  }
+  return pack_task(payload, band);
+}
+
+static_assert(task_payload(pack_task(0xABCDEF, 5)) == 0xABCDEF);
+static_assert(task_band(pack_task(0xABCDEF, 5)) == 5);
+static_assert(pack_task(kMaxPayload, kMaxBand) <= kMaxToken);
+
+}  // namespace scq::tasks

@@ -1,0 +1,229 @@
+#include "tasks/workloads/workloads.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace scq::tasks::workloads {
+
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+constexpr std::uint32_t kNoColor = ~std::uint32_t{0};
+constexpr std::uint64_t kNoHandle = ~std::uint64_t{0};
+
+// Undirected adjacency multiset (both directions of every CSR edge).
+// Multiplicities are symmetric by construction, which the coloring
+// dependency counts rely on: u appears in adj[w] exactly as often as w
+// appears in adj[u].
+std::vector<std::vector<Vertex>> undirected_adjacency(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::vector<Vertex>> adj(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex u : g.neighbors(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  return adj;
+}
+
+void check_payload_range(const Graph& g) {
+  // +1: the coloring dependency mode uses payload n as its phase-start
+  // sentinel; keeping the bound uniform keeps workload sizing uniform.
+  if (g.num_vertices() + std::uint64_t{1} > kMaxPayload) {
+    throw simt::SimError(
+        "task workloads: vertex count exceeds the 24-bit task payload");
+  }
+}
+
+std::vector<TaskSeed> all_vertex_seeds(Vertex n, bool descending = false) {
+  std::vector<TaskSeed> seeds(n);
+  for (Vertex v = 0; v < n; ++v) {
+    seeds[v] = {descending ? n - 1 - v : v, 0};
+  }
+  return seeds;
+}
+
+TaskGraphOptions with_hint(TaskGraphOptions o, std::uint64_t hint) {
+  if (o.payload_hint == 0) o.payload_hint = hint;
+  return o;
+}
+
+}  // namespace
+
+CcResult run_cc(const simt::DeviceConfig& config, const Graph& g,
+                const TaskGraphOptions& options) {
+  check_payload_range(g);
+  const Vertex n = g.num_vertices();
+  CcResult result;
+  result.label.resize(n);
+  for (Vertex v = 0; v < n; ++v) result.label[v] = v;
+  if (n == 0) return result;
+
+  const auto adj = undirected_adjacency(g);
+  std::vector<Vertex>& label = result.label;
+  // Min-label propagation, label-correcting: push my current label to
+  // every neighbor it improves and spawn the improved neighbor. A
+  // vertex re-enqueued after further improvement pushes the fresher
+  // label (read at execution, not at spawn).
+  const HostTask task = [&](TaskContext& ctx) {
+    const auto v = static_cast<Vertex>(ctx.payload());
+    const Vertex my = label[v];
+    for (Vertex u : adj[v]) {
+      if (my < label[u]) {
+        label[u] = my;
+        ctx.spawn(u, 0);
+      }
+    }
+  };
+  TaskGraphOptions opt = with_hint(options, n);
+  opt.on_attempt = [&] {
+    for (Vertex v = 0; v < n; ++v) label[v] = v;
+  };
+  result.graph = run_task_graph(config, all_vertex_seeds(n), task, opt);
+  return result;
+}
+
+PageRankResult run_pagerank_delta(const simt::DeviceConfig& config,
+                                  const Graph& g, const PageRankOptions& pr,
+                                  const TaskGraphOptions& options) {
+  check_payload_range(g);
+  const Vertex n = g.num_vertices();
+  PageRankResult result;
+  result.rank.assign(n, 0.0);
+  if (n == 0) return result;
+
+  std::vector<double>& rank = result.rank;
+  std::vector<double> residual(n, 1.0 - pr.damping);
+  std::vector<char> queued(n, 1);  // every vertex is seeded
+  // Push-based residual propagation: settle my residual into my rank,
+  // push the damped share downstream, spawn neighbors whose residual
+  // crossed the threshold (the queued flag de-duplicates — host
+  // callbacks are sequential, so it is race-free). Dangling vertices
+  // push nothing, matching pagerank_ref's evaporating-mass semantics.
+  const HostTask task = [&](TaskContext& ctx) {
+    const auto v = static_cast<Vertex>(ctx.payload());
+    queued[v] = 0;
+    const double r = residual[v];
+    residual[v] = 0.0;
+    rank[v] += r;
+    const std::uint64_t deg = g.out_degree(v);
+    if (deg == 0 || r == 0.0) return;
+    const double share = pr.damping * r / static_cast<double>(deg);
+    for (Vertex u : g.neighbors(v)) {
+      residual[u] += share;
+      if (queued[u] == 0 && residual[u] >= pr.threshold) {
+        queued[u] = 1;
+        ctx.spawn(u, 0);
+      }
+    }
+  };
+  TaskGraphOptions opt = with_hint(options, n);
+  opt.on_attempt = [&] {
+    std::fill(rank.begin(), rank.end(), 0.0);
+    std::fill(residual.begin(), residual.end(), 1.0 - pr.damping);
+    std::fill(queued.begin(), queued.end(), char{1});
+  };
+  result.graph = run_task_graph(config, all_vertex_seeds(n), task, opt);
+  return result;
+}
+
+ColoringResult run_coloring(const simt::DeviceConfig& config, const Graph& g,
+                            const ColoringOptions& co,
+                            const TaskGraphOptions& options) {
+  check_payload_range(g);
+  const Vertex n = g.num_vertices();
+  ColoringResult result;
+  result.color.assign(n, kNoColor);
+  if (n == 0) return result;
+
+  const auto adj = undirected_adjacency(g);
+  std::vector<std::uint32_t>& color = result.color;
+
+  // Smallest color unused by already-colored smaller-id neighbors. In
+  // both modes a vertex runs only after every smaller-id neighbor is
+  // colored and no larger-id neighbor can be colored yet, so this IS
+  // the serial greedy-by-id color.
+  std::vector<char> used;
+  const auto pick_color = [&](Vertex v) {
+    used.assign(adj[v].size() + 1, 0);
+    for (Vertex u : adj[v]) {
+      if (u < v && color[u] < used.size()) used[color[u]] = 1;
+    }
+    std::uint32_t c = 0;
+    while (used[c] != 0) ++c;
+    color[v] = c;
+  };
+
+  if (!co.use_dependencies) {
+    // Conflict-respawn mode: a task that finds an uncolored
+    // higher-priority (smaller-id) neighbor re-enqueues itself. The
+    // smallest uncolored vertex can always color, so the retry chain
+    // terminates; the re-execution count is the scheduling cost.
+    const HostTask task = [&](TaskContext& ctx) {
+      const auto v = static_cast<Vertex>(ctx.payload());
+      if (color[v] != kNoColor) return;
+      for (Vertex u : adj[v]) {
+        if (u < v && color[u] == kNoColor) {
+          ctx.respawn();
+          return;
+        }
+      }
+      pick_color(v);
+    };
+    TaskGraphOptions opt = with_hint(options, n);
+    opt.on_attempt = [&] { std::fill(color.begin(), color.end(), kNoColor); };
+    result.graph = run_task_graph(
+        config, all_vertex_seeds(n, co.adversarial_order), task, opt);
+    return result;
+  }
+
+  // Dependency-credit mode, two bands:
+  //   band 0 (registration): defer my band-1 coloring task behind
+  //     (#smaller-id neighbors + 1) credits, the +1 paid by a phase-
+  //     start task that is itself deferred behind all n registrations —
+  //     so no coloring task can release before every handle exists.
+  //   band 1 (coloring): color, then pay one credit to each larger-id
+  //     neighbor. Zero re-executions by construction.
+  std::vector<std::uint64_t> n_smaller(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex u : adj[v]) n_smaller[v] += u < v ? 1 : 0;
+  }
+  std::vector<std::uint64_t> handle(n, kNoHandle);
+  std::uint64_t start_handle = kNoHandle;
+  const std::uint64_t kStartPayload = n;
+  const HostTask task = [&](TaskContext& ctx) {
+    if (ctx.band() == 0) {
+      const auto v = static_cast<Vertex>(ctx.payload());
+      if (start_handle == kNoHandle) {
+        start_handle = ctx.defer(kStartPayload, 1, n);
+      }
+      handle[v] = ctx.defer(v, 1, n_smaller[v] + 1);
+      ctx.credit(start_handle);
+      return;
+    }
+    if (ctx.payload() == kStartPayload) {
+      // Phase start: every registration has run; release the roots.
+      for (Vertex w = 0; w < n; ++w) ctx.credit(handle[w]);
+      return;
+    }
+    const auto v = static_cast<Vertex>(ctx.payload());
+    pick_color(v);
+    for (Vertex u : adj[v]) {
+      if (u > v) ctx.credit(handle[u]);
+    }
+  };
+  TaskGraphOptions opt = with_hint(options, n);
+  opt.on_attempt = [&] {
+    std::fill(color.begin(), color.end(), kNoColor);
+    std::fill(handle.begin(), handle.end(), kNoHandle);
+    start_handle = kNoHandle;
+  };
+  result.graph = run_task_graph(
+      config, all_vertex_seeds(n, co.adversarial_order), task, opt);
+  return result;
+}
+
+}  // namespace scq::tasks::workloads

@@ -384,6 +384,13 @@ std::string HtmlReportBuilder::render() const {
   out += render_table(attribution_);
   out += "</section>\n";
 
+  out += "<section id=\"taskstats\">\n<h2>" +
+         html_escape(task_stats_.title.empty() ? "Task framework statistics"
+                                               : task_stats_.title) +
+         "</h2>\n";
+  out += render_table(task_stats_);
+  out += "</section>\n";
+
   out += "<section id=\"postmortem\">\n<h2>Post-mortem</h2>\n";
   if (postmortem_.empty()) {
     out += "<p class=\"empty\">no abort recorded — nothing to analyze</p>\n";

@@ -66,6 +66,9 @@ class HtmlReportBuilder {
   }
   void set_heatmap(ReportHeatmap heatmap) { heatmap_ = std::move(heatmap); }
   void set_attribution(ReportTable table) { attribution_ = std::move(table); }
+  // Per-workload dynamic-task statistics (spawns, respawns, phases,
+  // work efficiency) from the task-framework bench's metrics.
+  void set_task_stats(ReportTable table) { task_stats_ = std::move(table); }
   void set_profiler(std::vector<ReportBar> bars,
                     std::vector<std::pair<std::string, std::string>> stats = {}) {
     profiler_ = std::move(bars);
@@ -89,6 +92,7 @@ class HtmlReportBuilder {
   std::vector<ReportSeries> series_;
   ReportHeatmap heatmap_;
   ReportTable attribution_;
+  ReportTable task_stats_;
   std::vector<ReportBar> profiler_;
   std::vector<std::pair<std::string, std::string>> profiler_stats_;
   std::string postmortem_;

@@ -295,6 +295,41 @@ TEST(DatasetTest, ScaledBuildsShrinkProportionally) {
   EXPECT_THROW((void)spec.build(1.5), std::invalid_argument);
 }
 
+TEST(DatasetTest, SharedSyntheticInputsAreDeterministic) {
+  // The shared bench inputs are pure functions of their arguments:
+  // regenerating must give an identical graph (offsets and columns).
+  const graph::Graph a = synthetic_power_law(500, 2000);
+  const graph::Graph b = synthetic_power_law(500, 2000);
+  EXPECT_EQ(a.num_vertices(), 500u);
+  EXPECT_EQ(a.row_offsets(), b.row_offsets());
+  EXPECT_EQ(a.cols(), b.cols());
+
+  const graph::Graph ga = synthetic_grid(400);
+  const graph::Graph gb = synthetic_grid(400);
+  EXPECT_EQ(ga.row_offsets(), gb.row_offsets());
+  EXPECT_EQ(ga.cols(), gb.cols());
+  // Grid degree stays road-like; power-law has a hotter max degree.
+  std::uint64_t grid_max = 0, pl_max = 0;
+  for (graph::Vertex v = 0; v < ga.num_vertices(); ++v) {
+    grid_max = std::max<std::uint64_t>(grid_max, ga.out_degree(v));
+  }
+  for (graph::Vertex v = 0; v < a.num_vertices(); ++v) {
+    pl_max = std::max<std::uint64_t>(pl_max, a.out_degree(v));
+  }
+  EXPECT_LE(grid_max, 5u);
+  EXPECT_GT(pl_max, grid_max);
+}
+
+TEST(DatasetTest, HoistedBenchInputsKeepHistoricalParameters) {
+  // bench_random_graph/bench_tree_graph back perf baselines: the shapes
+  // are pinned (4000 vertices each, tree fan-out 4).
+  const graph::Graph r = bench_random_graph();
+  const graph::Graph t = bench_tree_graph();
+  EXPECT_EQ(r.num_vertices(), 4000u);
+  EXPECT_EQ(t.num_vertices(), 4000u);
+  EXPECT_EQ(t.out_degree(0), 4u);
+}
+
 TEST(DatasetTest, SocialBuildKeepsAverageDegree) {
   const DatasetSpec& spec = dataset_by_name("soc-LiveJournal1");
   const graph::Graph g = spec.build(0.002);

@@ -1,5 +1,5 @@
 // Golden-structure tests for the self-contained HTML run report: the
-// six sections are always present (with explicit empty states), the
+// seven sections are always present (with explicit empty states), the
 // document inlines everything (no external asset references), data
 // renders as SVG sparklines/heatmap cells, long runs decimate with a
 // visible "showing N of M" note, HTML metacharacters are escaped, and
@@ -29,8 +29,8 @@ std::size_t count_occurrences(const std::string& hay, const std::string& needle)
 void expect_golden_structure(const std::string& html) {
   EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
   for (const char* id : {"id=\"meta\"", "id=\"series\"", "id=\"heatmap\"",
-                         "id=\"attribution\"", "id=\"postmortem\"",
-                         "id=\"profiler\""}) {
+                         "id=\"attribution\"", "id=\"taskstats\"",
+                         "id=\"postmortem\"", "id=\"profiler\""}) {
     EXPECT_EQ(count_occurrences(html, id), 1u) << id;
   }
   // Self-contained: styles inline, no external fetches of any kind.
@@ -45,7 +45,7 @@ TEST(HtmlReportTest, EmptyReportKeepsGoldenStructure) {
   const std::string html = HtmlReportBuilder{}.render();
   expect_golden_structure(html);
   // Each data-less section states its emptiness instead of vanishing.
-  EXPECT_GE(count_occurrences(html, "class=\"empty\""), 5u);
+  EXPECT_GE(count_occurrences(html, "class=\"empty\""), 6u);
   EXPECT_NE(html.find("no windowed series recorded"), std::string::npos);
   EXPECT_NE(html.find("no abort recorded"), std::string::npos);
 }
@@ -64,6 +64,9 @@ HtmlReportBuilder populated_builder() {
   b.set_attribution({"Critical-path attribution",
                      {"op", "cycles"},
                      {{"atomic", "120"}, {"load <vec>", "80"}}});
+  b.set_task_stats({"Task framework statistics",
+                    {"workload", "spawns", "respawns"},
+                    {{"cc", "812", "0"}, {"coloring", "440", "37"}}});
   b.set_profiler({{"heap", 0.25}, {"memory model", 0.5}},
                  {{"events/sec", "1.2e6"}});
   b.set_postmortem("== post-mortem ==\nreason: queue <full>\n");
@@ -94,8 +97,10 @@ TEST(HtmlReportTest, PopulatedSectionsRenderSvgAndTables) {
             std::string::npos);
   EXPECT_NE(html.find("reason: queue &lt;full&gt;"), std::string::npos);
 
-  // Attribution table and profiler bars.
+  // Attribution table, task-stats table, and profiler bars.
   EXPECT_NE(html.find("<td>atomic</td><td>120</td>"), std::string::npos);
+  EXPECT_NE(html.find("<td>coloring</td><td>440</td><td>37</td>"),
+            std::string::npos);
   EXPECT_EQ(count_occurrences(html, "class=\"bar-row\""), 2u);
   EXPECT_NE(html.find("50.0%"), std::string::npos);
   EXPECT_NE(html.find("events/sec"), std::string::npos);

@@ -403,6 +403,31 @@ TEST(ScheduleFuzz, MqPrioritySweep) {
   EXPECT_EQ(ran, 207);
 }
 
+// Dynamic-task sweep: the framework path (spawn-from-delivery, seeded
+// respawns, defer/credit shadow tasks) across every variant, so the
+// exactly-once checker covers tickets that did not exist at seed time.
+TEST(ScheduleFuzz, TaskFrameworkSweep) {
+  const QueueVariant variants[] = {QueueVariant::kBase, QueueVariant::kAn,
+                                   QueueVariant::kRfan, QueueVariant::kMq};
+  const std::uint64_t capacities[] = {8, 24, 56};
+  int ran = 0;
+  for (QueueVariant v : variants) {
+    for (std::uint64_t cap : capacities) {
+      for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+        SimFuzzCase c;
+        c.seed = seed * 0xf1ee7a5cu + cap + static_cast<std::uint64_t>(v);
+        c.variant = v;
+        c.workload = Workload::kTasks;
+        c.capacity = cap;
+        const FuzzOutcome out = run_sim_fuzz_case(c);
+        EXPECT_TRUE(out.ok()) << out.describe(c);
+        ++ran;
+      }
+    }
+  }
+  EXPECT_EQ(ran, 108);
+}
+
 TEST(ScheduleFuzz, HostSweep) {
   for (std::uint64_t seed = 1; seed <= 24; ++seed) {
     HostFuzzCase c;

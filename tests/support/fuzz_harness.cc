@@ -8,6 +8,7 @@
 #include "core/bucketed_queue.h"
 #include "core/host_queue.h"
 #include "core/pt_driver.h"
+#include "tasks/task_engine.h"
 #include "sim/flight_recorder.h"
 #include "util/prng.h"
 
@@ -37,6 +38,7 @@ const char* to_string(Workload w) {
     case Workload::kTree: return "tree";
     case Workload::kChain: return "chain";
     case Workload::kRandom: return "random";
+    case Workload::kTasks: return "tasks";
   }
   return "?";
 }
@@ -45,7 +47,9 @@ Workload workload_from_string(const std::string& s) {
   if (s == "tree") return Workload::kTree;
   if (s == "chain") return Workload::kChain;
   if (s == "random") return Workload::kRandom;
-  throw simt::SimError("unknown workload '" + s + "' (tree|chain|random)");
+  if (s == "tasks") return Workload::kTasks;
+  throw simt::SimError("unknown workload '" + s +
+                       "' (tree|chain|random|tasks)");
 }
 
 std::string FuzzOutcome::describe(const SimFuzzCase& c) const {
@@ -90,6 +94,7 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
   dev.attach_flight_recorder(&recorder);
 
   std::unique_ptr<DeviceQueue> queue;
+  std::uint64_t mq_bands = 1;
   if (c.variant == QueueVariant::kMq) {
     // Id-proportional band map: monotone along the spawn relation for
     // every harness workload (children always have larger ids), so the
@@ -101,12 +106,23 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
     const std::uint64_t bands = std::min<std::uint64_t>(
         std::max<std::uint32_t>(c.num_bands, 1),
         std::max<std::uint64_t>(c.capacity / 4, 1));
+    mq_bands = bands;
     const std::uint64_t n_hint = std::max<std::uint32_t>(c.num_tasks, 1);
-    queue = std::make_unique<BucketedMultiQueue>(
-        dev, c.capacity, static_cast<std::uint32_t>(bands),
-        [bands, n_hint](std::uint64_t token) {
-          return std::min<std::uint64_t>(token * bands / n_hint, bands - 1);
-        });
+    if (c.workload == Workload::kTasks) {
+      // Framework tokens carry their band in the cluster cost bits;
+      // the task below computes id-proportional bands itself, so the
+      // standard cost map routes them (and stays monotone: children
+      // always have larger ids, hence equal-or-higher bands).
+      queue = std::make_unique<BucketedMultiQueue>(
+          dev, c.capacity, static_cast<std::uint32_t>(bands),
+          BucketedMultiQueue::cost_band_map());
+    } else {
+      queue = std::make_unique<BucketedMultiQueue>(
+          dev, c.capacity, static_cast<std::uint32_t>(bands),
+          [bands, n_hint](std::uint64_t token) {
+            return std::min<std::uint64_t>(token * bands / n_hint, bands - 1);
+          });
+    }
   } else {
     QueueLayout layout = make_device_queue(dev, c.capacity);
     queue = make_queue_variant(c.variant, layout);
@@ -141,6 +157,8 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
         }
         break;
       }
+      case Workload::kTasks:
+        break;  // runs through the task framework below, not this TaskFn
     }
   };
 
@@ -151,15 +169,55 @@ FuzzOutcome run_sim_fuzz_case(const SimFuzzCase& c,
     seeds.push_back(0);
   }
 
-  PtDriverOptions opt;
-  opt.num_workgroups = c.num_workgroups;
-
   FuzzOutcome out;
-  try {
-    out.run = run_persistent_tasks(dev, *queue, seeds, task, opt);
-    if (out.run.aborted) out.error = "aborted: " + out.run.abort_reason;
-  } catch (const simt::SimError& e) {
-    out.error = std::string("SimError: ") + e.what();
+  if (c.workload == Workload::kTasks) {
+    // Dynamic task framework under schedule fuzz: a binary spawn tree
+    // where every ticket past the seed is created from a delivery,
+    // with seed-chosen single respawns (duplicate payloads through new
+    // tickets) and defer/credit self-releases (shadow tasks with ids
+    // >= n) — so the exactly-once checker sees dynamically created
+    // tickets of every framework flavor.
+    const std::uint64_t bands = mq_bands;
+    const auto band_for = [bands, n](std::uint64_t id) {
+      return bands <= 1 ? 0
+                        : std::min<std::uint64_t>(id * bands / n, bands - 1);
+    };
+    std::vector<char> respawned(n, 0);
+    const tasks::HostTask ttask = [&](tasks::TaskContext& ctx) {
+      const std::uint64_t t = ctx.payload();
+      if (t >= n) return;  // shadow task: leaf
+      if (hash2(c.seed ^ 0x7a5c5, t) % 8 == 0 && respawned[t] == 0) {
+        respawned[t] = 1;
+        ctx.respawn();
+        return;
+      }
+      if (2 * t + 1 < n) ctx.spawn(2 * t + 1, band_for(2 * t + 1));
+      if (2 * t + 2 < n) ctx.spawn(2 * t + 2, band_for(2 * t + 2));
+      if (t % 2 == 1) {
+        // Deferred shadow, released by a same-task credit: exercises
+        // the defer table and the release path without cross-task
+        // handle-visibility ordering concerns.
+        ctx.credit(ctx.defer(t + n, band_for(t + n), 1));
+      }
+    };
+    tasks::HostTaskOptions hopt;
+    hopt.num_workgroups = c.num_workgroups;
+    const std::vector<tasks::TaskSeed> tseeds = {{0, 0}};
+    try {
+      out.run = tasks::run_host_tasks(dev, *queue, tseeds, ttask, hopt);
+      if (out.run.aborted) out.error = "aborted: " + out.run.abort_reason;
+    } catch (const simt::SimError& e) {
+      out.error = std::string("SimError: ") + e.what();
+    }
+  } else {
+    PtDriverOptions opt;
+    opt.num_workgroups = c.num_workgroups;
+    try {
+      out.run = run_persistent_tasks(dev, *queue, seeds, task, opt);
+      if (out.run.aborted) out.error = "aborted: " + out.run.abort_reason;
+    } catch (const simt::SimError& e) {
+      out.error = std::string("SimError: ") + e.what();
+    }
   }
 
   CheckOptions check_opt;

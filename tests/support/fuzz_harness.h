@@ -27,9 +27,13 @@ enum class Workload {
   kTree,    // binary tree: token t spawns 2t+1, 2t+2 below N
   kChain,   // serial chain: token t spawns t+1 (stresses empty polling)
   kRandom,  // seeded irregular fan-out with duplicate children
+  kTasks,   // dynamic task framework (src/tasks): spawn-from-delivery,
+            // seed-chosen respawns and defer/credit releases — covers
+            // the exactly-once checker for dynamically created tickets
 };
 [[nodiscard]] const char* to_string(Workload w);
-// Parses "tree" / "chain" / "random"; throws simt::SimError otherwise.
+// Parses "tree" / "chain" / "random" / "tasks"; throws simt::SimError
+// otherwise.
 [[nodiscard]] Workload workload_from_string(const std::string& s);
 
 struct SimFuzzCase {

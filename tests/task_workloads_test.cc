@@ -1,0 +1,228 @@
+// Task-framework workloads validated against their serial references
+// across queue variants, plus the serial references validated against
+// brute force.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "graph/bfs_ref.h"
+#include "graph/generators.h"
+#include "graph/workload_refs.h"
+#include "tasks/workloads/workloads.h"
+
+namespace scq::tasks::workloads {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+simt::DeviceConfig small_device() {
+  simt::DeviceConfig cfg = simt::spectre_config();
+  cfg.name = "small";
+  cfg.num_cus = 2;
+  cfg.waves_per_cu = 2;
+  return cfg;
+}
+
+// A multi-component test graph: an rmat core (naturally leaves isolated
+// vertices) plus a disjoint ring, so component structure is non-trivial.
+Graph multi_component_graph() {
+  graph::RmatParams p;
+  p.n_vertices = 400;
+  p.n_edges = 1200;
+  const Graph core = graph::rmat(p);
+  std::vector<graph::Edge> edges;
+  for (Vertex v = 0; v < core.num_vertices(); ++v) {
+    for (Vertex u : core.neighbors(v)) edges.emplace_back(v, u);
+  }
+  for (Vertex v = 400; v < 440; ++v) {
+    edges.emplace_back(v, v + 1 == 440 ? 400 : v + 1);
+  }
+  return Graph::from_edges(440, edges);
+}
+
+const std::vector<QueueVariant> kVariants = {
+    QueueVariant::kBase, QueueVariant::kAn, QueueVariant::kRfan,
+    QueueVariant::kMq};
+
+// ---- Serial references vs brute force ----
+
+TEST(WorkloadRefs, UnionFindMatchesBruteForceReachability) {
+  const Graph g = multi_component_graph();
+  const auto label = graph::connected_components_ref(g);
+  const Vertex n = g.num_vertices();
+
+  // Brute force: undirected BFS from every vertex; two vertices share a
+  // component label iff they reach each other.
+  std::vector<std::vector<Vertex>> adj(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex u : g.neighbors(v)) {
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+    }
+  }
+  std::vector<Vertex> reach_label(n, graph::kInvalidVertex);
+  for (Vertex s = 0; s < n; ++s) {
+    if (reach_label[s] != graph::kInvalidVertex) continue;
+    std::queue<Vertex> q;
+    q.push(s);
+    reach_label[s] = s;  // s is the smallest unvisited id: canonical
+    while (!q.empty()) {
+      const Vertex v = q.front();
+      q.pop();
+      for (Vertex u : adj[v]) {
+        if (reach_label[u] == graph::kInvalidVertex) {
+          reach_label[u] = s;
+          q.push(u);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(label, reach_label);
+}
+
+TEST(WorkloadRefs, PagerankIsAFixedPoint) {
+  graph::RmatParams p;
+  p.n_vertices = 128;
+  p.n_edges = 512;
+  const Graph g = graph::rmat(p);
+  const double d = 0.85;
+  const auto rank = graph::pagerank_ref(g, d, 1e-13);
+  // rank must satisfy rank(v) = (1-d) + d * sum_{u->v} rank(u)/deg(u).
+  std::vector<double> expect(g.num_vertices(), 1.0 - d);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const std::uint64_t deg = g.out_degree(u);
+    if (deg == 0) continue;
+    for (Vertex v : g.neighbors(u)) {
+      expect[v] += d * rank[u] / static_cast<double>(deg);
+    }
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(rank[v], expect[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(WorkloadRefs, GreedyColoringIsProperAndDeterministic) {
+  const Graph g = multi_component_graph();
+  const auto color = graph::greedy_coloring_ref(g);
+  EXPECT_TRUE(graph::coloring_is_proper(g, color));
+  EXPECT_EQ(color, graph::greedy_coloring_ref(g));  // same input, same output
+}
+
+// ---- Workloads vs references, across queue variants ----
+
+class WorkloadVariants : public ::testing::TestWithParam<QueueVariant> {};
+
+TEST_P(WorkloadVariants, ConnectedComponentsMatchesUnionFind) {
+  const Graph g = multi_component_graph();
+  TaskGraphOptions opt;
+  opt.variant = GetParam();
+  const CcResult r = run_cc(small_device(), g, opt);
+  ASSERT_FALSE(r.graph.run.aborted);
+  EXPECT_EQ(r.label, graph::connected_components_ref(g));
+  EXPECT_EQ(r.graph.stats.executions,
+            r.graph.stats.spawns + g.num_vertices());
+}
+
+TEST_P(WorkloadVariants, PagerankDeltaMatchesPowerIteration) {
+  graph::RmatParams p;
+  p.n_vertices = 300;
+  p.n_edges = 1500;
+  const Graph g = graph::rmat(p);
+  PageRankOptions pr;
+  pr.threshold = 1e-7;
+  TaskGraphOptions opt;
+  opt.variant = GetParam();
+  const PageRankResult r = run_pagerank_delta(small_device(), g, pr, opt);
+  ASSERT_FALSE(r.graph.run.aborted);
+  const auto ref = graph::pagerank_ref(g, pr.damping, 1e-13);
+  // Push-based propagation truncates residual mass below the spawn
+  // threshold; the total truncation is bounded by n*threshold/(1-d).
+  const double bound = static_cast<double>(g.num_vertices()) * pr.threshold /
+                       (1.0 - pr.damping);
+  double l1 = 0.0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    l1 += std::abs(r.rank[v] - ref[v]);
+  }
+  EXPECT_LE(l1, bound + 1e-9);
+}
+
+TEST_P(WorkloadVariants, ColoringRespawnMatchesSerialGreedy) {
+  const Graph g = multi_component_graph();
+  ColoringOptions co;
+  co.use_dependencies = false;
+  TaskGraphOptions opt;
+  opt.variant = GetParam();
+  const ColoringResult r = run_coloring(small_device(), g, co, opt);
+  ASSERT_FALSE(r.graph.run.aborted);
+  EXPECT_TRUE(graph::coloring_is_proper(g, r.color));
+  // Jones-Plassmann by id has serial greedy-by-id as its unique fixed
+  // point: identical colors on every variant and schedule.
+  EXPECT_EQ(r.color, graph::greedy_coloring_ref(g));
+  EXPECT_EQ(r.graph.stats.deferred, 0u);
+}
+
+TEST_P(WorkloadVariants, ColoringDependencyModeMatchesSerialGreedy) {
+  const Graph g = multi_component_graph();
+  ColoringOptions co;
+  co.use_dependencies = true;
+  TaskGraphOptions opt;
+  opt.variant = GetParam();
+  const ColoringResult r = run_coloring(small_device(), g, co, opt);
+  ASSERT_FALSE(r.graph.run.aborted);
+  EXPECT_EQ(r.color, graph::greedy_coloring_ref(g));
+  // Credits gate execution exactly: no conflict retries at all, one
+  // deferred registration per vertex plus the phase-start task, all
+  // released.
+  EXPECT_EQ(r.graph.stats.respawns, 0u);
+  EXPECT_EQ(r.graph.stats.deferred, g.num_vertices() + std::uint64_t{1});
+  EXPECT_EQ(r.graph.stats.released, g.num_vertices() + std::uint64_t{1});
+}
+
+TEST_P(WorkloadVariants, ColoringAdversarialOrderStillMatchesSerial) {
+  // Descending-id seeding maximizes priority inversions: respawn mode
+  // must pay real re-executions yet land on the same fixed point, and
+  // dependency mode must stay retry-free (it is order-insensitive).
+  const Graph g = multi_component_graph();
+  ColoringOptions co;
+  co.adversarial_order = true;
+  TaskGraphOptions opt;
+  opt.variant = GetParam();
+
+  co.use_dependencies = false;
+  const ColoringResult respawn = run_coloring(small_device(), g, co, opt);
+  ASSERT_FALSE(respawn.graph.run.aborted);
+  EXPECT_EQ(respawn.color, graph::greedy_coloring_ref(g));
+  EXPECT_GT(respawn.graph.stats.respawns, 0u);
+
+  co.use_dependencies = true;
+  const ColoringResult deps = run_coloring(small_device(), g, co, opt);
+  ASSERT_FALSE(deps.graph.run.aborted);
+  EXPECT_EQ(deps.color, graph::greedy_coloring_ref(g));
+  EXPECT_EQ(deps.graph.stats.respawns, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Queues, WorkloadVariants,
+                         ::testing::ValuesIn(kVariants));
+
+// Banded two-phase coloring: registrations in band 0, coloring in band
+// 1, on the multi-queue — the closure frontier must observe both phase
+// closes.
+TEST(WorkloadPhases, DependencyColoringClosesPhasesOnMq) {
+  const Graph g = multi_component_graph();
+  ColoringOptions co;
+  co.use_dependencies = true;
+  TaskGraphOptions opt;
+  opt.variant = QueueVariant::kMq;
+  opt.num_bands = 2;
+  const ColoringResult r = run_coloring(small_device(), g, co, opt);
+  ASSERT_FALSE(r.graph.run.aborted);
+  EXPECT_EQ(r.color, graph::greedy_coloring_ref(g));
+  EXPECT_EQ(r.graph.stats.phase_closes, 2u);
+}
+
+}  // namespace
+}  // namespace scq::tasks::workloads
